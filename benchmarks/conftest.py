@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Every module in this directory regenerates one paper artifact (a table or
+figure) via pytest-benchmark::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the rendered rows/series alongside the timing data.
+"""

@@ -1,0 +1,77 @@
+"""Ablation: fusion medium -- compute unit vs memory (paper Table I).
+
+The paper positions FuseCU against Chimera/SET/FLAT/DAT by *where* fusion
+happens: prior work buffers the intermediate in memory; FuseCU holds it in
+the compute unit.  This bench quantifies the difference on transformer
+chains at several buffer sizes: register-resident intermediates free
+buffer capacity (larger tiles for the external tensors), while huge S x S
+intermediates exceed the register file and fall back to the buffer.
+"""
+
+from repro.core import FusionMedium, optimize_fused
+from repro.experiments import format_table
+from repro.ir import matmul
+
+REGISTERS = 128 * 128 * 4  # one accumulator per PE in the FuseCU group
+
+CHAINS = {
+    "ffn-like (768->3072->768, M=2048)": (2048, 768, 3072, 768),
+    "attention-like (S=1024, d=64)": (1024, 64, 1024, 64),
+    "square (512^3 chain)": (512, 512, 512, 512),
+}
+
+
+def test_fusion_medium(benchmark):
+    def run():
+        rows = []
+        for name, (m, k, l, n) in CHAINS.items():
+            op1 = matmul("mm1", m, k, l)
+            op2 = matmul("mm2", m, l, n, a=op1.output)
+            for budget_kb in (64, 512):
+                budget = budget_kb * 1024
+                memory_r = optimize_fused(
+                    [op1, op2], budget, medium=FusionMedium.MEMORY
+                )
+                cu_r = optimize_fused(
+                    [op1, op2],
+                    budget,
+                    medium=FusionMedium.COMPUTE_UNIT,
+                    register_elems=REGISTERS,
+                )
+                best_r = optimize_fused(
+                    [op1, op2],
+                    budget,
+                    medium=FusionMedium.BEST,
+                    register_elems=REGISTERS,
+                )
+                rows.append(
+                    [
+                        name,
+                        budget_kb,
+                        memory_r.memory_access if memory_r else "-",
+                        cu_r.memory_access if cu_r else "infeasible",
+                        best_r.memory_access if best_r else "-",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "chain",
+                "buffer (KB)",
+                "memory-medium MA",
+                "compute-unit MA",
+                "best-of-both MA",
+            ],
+            rows,
+            title="Ablation: fusion medium (paper Table I differentiator)",
+        )
+    )
+    for row in rows:
+        # BEST never loses to either concrete medium.
+        values = [v for v in (row[2], row[3]) if isinstance(v, int)]
+        if isinstance(row[4], int) and values:
+            assert row[4] <= min(values)

@@ -1,0 +1,55 @@
+"""Extension experiment: sensitivity to on-chip bandwidth (roofline).
+
+The paper fixes bandwidth at 1 TB/s.  This bench sweeps it: at high
+bandwidth all platforms are compute-bound and FuseCU's *speedup* comes
+from utilization alone; as bandwidth tightens, the memory-access savings
+turn directly into speedup, so FuseCU's advantage grows -- quantifying
+when the communication lower bound matters for performance.
+"""
+
+from repro.arch import MemorySpec, evaluate_graph, fusecu, tpuv4i
+from repro.experiments import format_table
+from repro.workloads import BERT, build_layer_graph
+
+BANDWIDTHS_GBPS = (8000.0, 2000.0, 1000.0, 250.0, 62.5)
+
+
+def test_bandwidth_sensitivity(benchmark):
+    graph = build_layer_graph(BERT)
+
+    def run():
+        rows = []
+        for bandwidth in BANDWIDTHS_GBPS:
+            memory = MemorySpec(bandwidth_gbps=bandwidth)
+            base = evaluate_graph(graph, tpuv4i(memory))
+            fused = evaluate_graph(graph, fusecu(memory))
+            rows.append(
+                [
+                    bandwidth,
+                    round(fused.speedup_over(base), 3),
+                    round(base.utilization, 3),
+                    round(fused.utilization, 3),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "bandwidth (GB/s)",
+                "FuseCU speedup vs TPUv4i",
+                "TPUv4i utilization",
+                "FuseCU utilization",
+            ],
+            rows,
+            title="Extension: roofline sweep (BERT layer, 512 KB buffer)",
+        )
+    )
+    speedups = [row[1] for row in rows]
+    # Tighter bandwidth -> larger FuseCU advantage (monotone in the sweep).
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > speedups[0]
+    # FuseCU always at least as fast.
+    assert all(speedup >= 1.0 for speedup in speedups)

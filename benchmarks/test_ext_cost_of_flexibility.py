@@ -1,0 +1,77 @@
+"""Synthesis experiment: what a percent of area buys in memory traffic.
+
+Combines Fig. 10 (MA savings) with Fig. 12 (area overheads) into the
+efficiency frontier the paper argues FuseCU sits on: the XS MUXes and
+inter-CU wires cost ~12% area and buy ~57% of the traffic (and all of the
+fusion capability), while Planaria's 12.6% interconnect buys roughly half
+the traffic reduction and no fusion.
+"""
+
+from repro.arch import (
+    fusecu_area,
+    gemmini_area,
+    planaria_area,
+    tpuv4i_area,
+    unfcu_area,
+)
+from repro.experiments import format_table, run_fig10
+
+AREAS = {
+    "TPUv4i": tpuv4i_area,
+    "Gemmini": gemmini_area,
+    "Planaria": planaria_area,
+    "UnfCU": unfcu_area,
+    "FuseCU": fusecu_area,
+}
+
+
+def test_cost_of_flexibility(benchmark):
+    def run():
+        fig10 = run_fig10()
+        baseline_area = tpuv4i_area()
+        rows = []
+        for platform, area_factory in AREAS.items():
+            overhead = area_factory().overhead_over(baseline_area)
+            saving = (
+                fig10.ma_saving(platform, "TPUv4i") if platform != "TPUv4i" else 0.0
+            )
+            speedup = (
+                fig10.speedup(platform, "TPUv4i") if platform != "TPUv4i" else 1.0
+            )
+            leverage = saving / overhead if overhead > 0 else float("nan")
+            rows.append(
+                [
+                    platform,
+                    f"{overhead:.1%}",
+                    f"{saving:.1%}",
+                    f"{speedup:.2f}x",
+                    "-" if overhead == 0 else f"{leverage:.1f}",
+                ]
+            )
+        return rows, fig10
+
+    rows, fig10 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "platform",
+                "area overhead",
+                "avg MA saving vs TPUv4i",
+                "avg speedup",
+                "saving per % area",
+            ],
+            rows,
+            title="Synthesis: area overhead vs traffic saving (7-model avg)",
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # FuseCU and Planaria cost roughly the same area...
+    fusecu_overhead = fusecu_area().overhead_over(tpuv4i_area())
+    planaria_overhead = planaria_area().overhead_over(tpuv4i_area())
+    assert abs(fusecu_overhead - planaria_overhead) < 0.02
+    # ...but FuseCU buys meaningfully more traffic reduction (the paper's
+    # efficiency argument for compute-unit fusion).
+    assert fig10.ma_saving("FuseCU", "TPUv4i") > fig10.ma_saving(
+        "Planaria", "TPUv4i"
+    ) + 0.1

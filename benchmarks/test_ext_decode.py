@@ -1,0 +1,68 @@
+"""Extension experiment: decode-phase (KV-cache) sensitivity.
+
+Complements Fig. 11: the paper sweeps prefill sequence length; serving also
+runs the GEMV-shaped decode phase, where intermediates are 1 x context
+vectors rather than S x S matrices.  Fusion still wins, but by less, and
+the workload turns memory-bound -- a useful boundary for the model.
+"""
+
+from repro.arch import evaluate_graph, fusecu, tpuv4i
+from repro.experiments import format_table
+from repro.workloads import LLAMA2, build_decode_graph, build_layer_graph
+
+CONTEXTS = (512, 2048, 8192)
+
+
+def test_decode_sensitivity(benchmark):
+    def run():
+        rows = []
+        for context in CONTEXTS:
+            graph = build_decode_graph(LLAMA2, context)
+            base = evaluate_graph(graph, tpuv4i())
+            fused = evaluate_graph(graph, fusecu())
+            memory_bound = sum(1 for s in fused.segments if s.memory_bound)
+            rows.append(
+                [
+                    context,
+                    base.total_memory_access,
+                    fused.total_memory_access,
+                    f"{1 - fused.total_memory_access / base.total_memory_access:.1%}",
+                    f"{memory_bound}/{len(fused.segments)}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "context",
+                "TPUv4i MA",
+                "FuseCU MA",
+                "FuseCU saving",
+                "memory-bound segments",
+            ],
+            rows,
+            title="Extension: LLaMA2 decode step vs KV-cache length",
+        )
+    )
+    for row in rows:
+        assert row[2] <= row[1]  # FuseCU never worse
+
+    # Decode fusion saving < prefill fusion saving at the same context.
+    prefill = build_layer_graph(LLAMA2.with_seq_len(2048))
+    decode = build_decode_graph(LLAMA2, 2048)
+    prefill_saving = 1 - (
+        evaluate_graph(prefill, fusecu()).total_memory_access
+        / evaluate_graph(prefill, tpuv4i()).total_memory_access
+    )
+    decode_saving = 1 - (
+        evaluate_graph(decode, fusecu()).total_memory_access
+        / evaluate_graph(decode, tpuv4i()).total_memory_access
+    )
+    print(
+        f"\nfusion saving @2048: prefill {prefill_saving:.1%} vs decode "
+        f"{decode_saving:.1%}"
+    )
+    assert decode_saving < prefill_saving

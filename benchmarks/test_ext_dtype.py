@@ -1,0 +1,92 @@
+"""Extension experiment: element width (quantization) sensitivity.
+
+The paper's buffer arithmetic is element-denominated (int8).  Wider
+elements shrink the buffer's *element* capacity: fp16 halves it, fp32
+quarters it, pushing operators down the regime ladder and raising the
+communication lower bound -- one more reason quantized inference wins.
+"""
+
+from repro.arch import MemorySpec, evaluate_graph, fusecu, tpuv4i
+from repro.core import classify_buffer, optimize_intra
+from repro.experiments import format_table
+from repro.ir import matmul
+from repro.workloads import BERT, build_layer_graph
+
+DTYPES = {"int8": 1, "fp16": 2, "fp32": 4}
+
+
+def test_dtype_regimes(benchmark):
+    """Per-operator: wider elements demote the regime and raise MA."""
+    op = matmul("bert_mm", 1024, 768, 768)
+
+    def run():
+        rows = []
+        for name, width in DTYPES.items():
+            buffer_elems = 512 * 1024 // width
+            regime = classify_buffer(op, buffer_elems).regime.value
+            result = optimize_intra(op, buffer_elems)
+            rows.append(
+                [
+                    name,
+                    buffer_elems,
+                    regime,
+                    str(result.nra_class),
+                    result.memory_access,
+                    result.memory_access * width,  # bytes moved
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "dtype",
+                "buffer (elems)",
+                "regime",
+                "NRA",
+                "MA (elems)",
+                "MA (bytes)",
+            ],
+            rows,
+            title="Extension: element width vs regime (512 KB buffer)",
+        )
+    )
+    element_ma = [row[4] for row in rows]
+    byte_ma = [row[5] for row in rows]
+    assert element_ma == sorted(element_ma)  # wider -> more element traffic
+    assert byte_ma == sorted(byte_ma)        # and strictly more bytes
+
+
+def test_dtype_platform_gap(benchmark):
+    """FuseCU's MA saving persists across element widths."""
+    graph = build_layer_graph(BERT)
+
+    def run():
+        rows = []
+        for name, width in DTYPES.items():
+            memory = MemorySpec(buffer_bytes=512 * 1024, dtype_bytes=width)
+            base = evaluate_graph(graph, tpuv4i(memory))
+            fused = evaluate_graph(graph, fusecu(memory))
+            rows.append(
+                [
+                    name,
+                    base.total_memory_access,
+                    fused.total_memory_access,
+                    f"{1 - fused.total_memory_access / base.total_memory_access:.1%}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["dtype", "TPUv4i MA", "FuseCU MA", "saving"],
+            rows,
+            title="Extension: FuseCU saving vs element width (BERT layer)",
+        )
+    )
+    for row in rows:
+        assert row[2] < row[1]

@@ -1,0 +1,53 @@
+"""Extension experiment: energy decomposition across platforms.
+
+Not a paper figure -- the paper motivates dataflow optimization with memory
+energy ("a key factor in the energy consumption"); this bench quantifies
+how the Fig. 10 memory-access savings translate into total-energy savings
+at standard DRAM/SRAM/MAC cost ratios.
+"""
+
+from repro.arch import ALL_PLATFORMS, energy_of, evaluate_graph
+from repro.experiments import format_table
+from repro.workloads import PAPER_MODELS, build_layer_graph
+
+
+def test_energy_across_platforms(benchmark):
+    def run():
+        rows = []
+        for model in PAPER_MODELS:
+            graph = build_layer_graph(model)
+            reports = {
+                factory().name: energy_of(evaluate_graph(graph, factory()))
+                for factory in ALL_PLATFORMS
+            }
+            baseline = reports["TPUv4i"]
+            rows.append(
+                [
+                    model.name,
+                    round(baseline.total_mj, 3),
+                    f"{baseline.dram_share:.0%}",
+                    round(reports["FuseCU"].total_mj, 3),
+                    f"{reports['FuseCU'].dram_share:.0%}",
+                    f"{reports['FuseCU'].saving_over(baseline):.1%}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "model",
+                "TPUv4i mJ",
+                "TPUv4i DRAM share",
+                "FuseCU mJ",
+                "FuseCU DRAM share",
+                "energy saving",
+            ],
+            rows,
+            title="Extension: energy per layer (DRAM 20 pJ/elem, MAC 0.25 pJ)",
+        )
+    )
+    for row in rows:
+        assert row[3] < row[1]  # FuseCU saves energy on every model

@@ -1,0 +1,35 @@
+"""Extension experiment: MA(BS) staircases with regime annotations.
+
+The visual form of the paper's Sec. III-A4 classification: each operator's
+communication-lower-bound curve, its Single->Two shift band and its
+Three-NRA threshold, extracted as exact corner points via the inverse
+queries.
+"""
+
+from repro.core import classify_buffer
+from repro.experiments import render_sweep, run_sweep
+from repro.ir import matmul
+
+OPERATORS = [
+    matmul("balanced", 512, 384, 448),
+    matmul("attention-ish", 1024, 64, 1024),
+    matmul("paper-example", 1024, 768, 768),
+]
+
+
+def test_sweep_curves(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_sweep(OPERATORS, max_points=16), rounds=1, iterations=1
+    )
+    print("\n" + render_sweep(curves))
+    for curve, operator in zip(curves, OPERATORS):
+        # Corners strictly improve and end at the ideal.
+        ma_values = [point.memory_access for point in curve.points]
+        assert ma_values == sorted(ma_values, reverse=True)
+        assert ma_values[-1] == curve.ideal
+        # The Three-NRA threshold sits in the large regime.
+        report = classify_buffer(operator, curve.three_nra_at + 1)
+        assert report.regime.value in ("medium", "large")
+        # The staircase's final corner is at/above the smallest tensor
+        # (paper: Three-NRA needs Tensor_min), within the strip allowance.
+        assert curve.points[-1].buffer_elems >= curve.three_nra_at

@@ -1,0 +1,66 @@
+"""Extension experiment: the two-level hierarchy and the 2N bound.
+
+Paper Sec. IV-B applies the principles at the register level (BS = N x N)
+to derive FuseCU's sizing rule: untiled dimensions only pay off below 2N.
+This bench runs the composed DRAM<->buffer<->register analysis on the BERT
+layer shapes and verifies the realized register-level dataflows obey the
+bound.
+"""
+
+from repro.core import (
+    optimize_two_level,
+    untiling_is_optimal_at_registers,
+)
+from repro.dataflow import NRAClass
+from repro.experiments import format_table
+from repro.workloads import BERT, representative_matmuls
+
+BUFFER = 512 * 1024
+ARRAY_N = 128
+REGISTERS = ARRAY_N * ARRAY_N
+
+
+def test_two_level_hierarchy(benchmark):
+    def run():
+        rows = []
+        for op in representative_matmuls(BERT):
+            result = optimize_two_level(op, BUFFER, REGISTERS)
+            tile = result.inner.operator
+            d_min = min(tile.dims.values())
+            rows.append(
+                [
+                    op.name,
+                    result.dram_traffic,
+                    result.buffer_traffic,
+                    f"{tile.dims['M']}x{tile.dims['K']}x{tile.dims['L']}",
+                    str(result.inner.nra_class),
+                    d_min,
+                    untiling_is_optimal_at_registers(d_min, ARRAY_N),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            [
+                "operator",
+                "DRAM traffic",
+                "buffer traffic",
+                "buffer tile",
+                "register NRA",
+                "tile Dmin",
+                "Dmin < 2N",
+            ],
+            rows,
+            title="Extension: two-level hierarchy (512 KB buffer, 128x128 regs)",
+        )
+    )
+    for row in rows:
+        # Sec. IV-B consistency: the register level untiles (Two/Three-NRA)
+        # exactly when the tile's smallest dim is under 2N.
+        untiles = row[4] in (str(NRAClass.TWO), str(NRAClass.THREE))
+        assert untiles == row[6], row
+        # Reuse shrinks up the hierarchy: register traffic >= DRAM traffic.
+        assert row[2] >= row[1]

@@ -1,0 +1,55 @@
+"""Regenerate paper Fig. 10: memory access + utilization, 7 models x 5
+platforms, and the headline averages.
+
+Paper: FuseCU saves 63.6% / 62.4% / 38.7% memory access and runs 1.33x /
+1.25x / 1.14x faster than TPUv4i / Gemmini / Planaria; UnfCU saves 42.6% /
+41.0% / 4.5%.  The reproduction checks direction and rough magnitude (our
+platform-space encodings are reconstructions; see EXPERIMENTS.md).
+"""
+
+from repro.experiments import (
+    PAPER_FUSECU_MA_SAVING,
+    PAPER_FUSECU_SPEEDUP,
+    PLATFORM_ORDER,
+    render_fig10,
+    run_fig10,
+)
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    print("\n" + render_fig10(result))
+    headline = result.headline()
+
+    # Direction: FuseCU saves against every baseline, on every model.
+    for model in result.models:
+        for platform in ("TPUv4i", "Gemmini", "Planaria", "UnfCU"):
+            assert result.normalized_ma(model, "FuseCU") <= result.normalized_ma(
+                model, platform
+            ), (model, platform)
+
+    # Magnitude: savings in the paper's ballpark (within ~20 points).
+    for base, paper_value in PAPER_FUSECU_MA_SAVING.items():
+        measured = headline["fusecu_ma_saving"][base]
+        assert abs(measured - paper_value) < 0.20, (base, measured, paper_value)
+
+    # Speedups: direction and rough magnitude.
+    for base, paper_value in PAPER_FUSECU_SPEEDUP.items():
+        measured = headline["fusecu_speedup"][base]
+        assert measured > 1.0, (base, measured)
+        assert abs(measured - paper_value) < 0.25, (base, measured, paper_value)
+
+    # UnfCU captures the intra-operator share: between baselines and FuseCU.
+    for base in ("TPUv4i", "Gemmini", "Planaria"):
+        assert 0 <= headline["unfcu_ma_saving"][base] < headline[
+            "fusecu_ma_saving"
+        ][base]
+
+
+def test_fig10_utilization_ordering(benchmark):
+    """The line chart: FuseCU's utilization leads on every model."""
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    for model in result.models:
+        fusecu_util = result.cell(model, "FuseCU").utilization
+        for platform in PLATFORM_ORDER[:-1]:
+            assert fusecu_util >= result.cell(model, platform).utilization

@@ -1,0 +1,29 @@
+"""Regenerate paper Fig. 11: LLaMA2 sensitivity to sequence length.
+
+Paper: FuseCU is robust for short and long sequences, "with greater memory
+access reduction observed for longer sequences" -- attention's S^2
+intermediates grow quadratically while fusion keeps them on-chip.
+"""
+
+from repro.experiments import render_fig11, run_fig11
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    print("\n" + render_fig11(result))
+
+    # The paper's stated trend: savings grow with sequence length.
+    savings = [result.fusecu_saving(s) for s in result.seq_lens]
+    assert savings == sorted(savings)
+    assert savings[0] > 0  # robust even at the shortest sequence
+
+    # FuseCU wins at every sequence length, against every platform.
+    for seq_len in result.seq_lens:
+        for platform in ("TPUv4i", "Gemmini", "Planaria", "UnfCU"):
+            assert result.normalized_ma(seq_len, "FuseCU") <= result.normalized_ma(
+                seq_len, platform
+            )
+
+    # Utilization stays high across the sweep.
+    for seq_len in result.seq_lens:
+        assert result.point(seq_len, "FuseCU").utilization > 0.9

@@ -1,0 +1,26 @@
+"""Regenerate paper Fig. 12: area breakdown and overheads at 28 nm.
+
+Paper headlines: +12.0% over TPUv4i (dominated by XS PE MUXes); resize
+interconnect + fusion control < 0.1%; Planaria's interconnect 12.6%.
+"""
+
+import pytest
+
+from repro.experiments import render_fig12, run_fig12
+
+
+def test_fig12(benchmark):
+    result = benchmark(run_fig12)
+    print("\n" + render_fig12(result))
+    assert result.fusecu_overhead == pytest.approx(0.12, abs=0.01)
+    assert result.interconnect_and_control_share < 0.001
+    assert result.planaria_overhead == pytest.approx(0.126, abs=0.01)
+
+    fusecu = result.breakdown("FuseCU")
+    # Base datapath (multipliers + adders + accumulators) dominates.
+    datapath = sum(
+        component.gate_equivalents
+        for component in fusecu.components
+        if component.name in ("multipliers", "adders", "accumulators")
+    )
+    assert datapath / fusecu.total_ge > 0.7

@@ -1,0 +1,44 @@
+"""Regenerate paper Tables I-III."""
+
+from repro.experiments import (
+    TABLE1_ROWS,
+    table1,
+    table2,
+    table2_rows,
+    table3,
+    table3_rows,
+)
+
+
+def test_table1(benchmark):
+    """Table I: summary of SOTA dataflow optimizers."""
+    text = benchmark(table1)
+    print("\n" + text)
+    assert TABLE1_ROWS[-1]["Optimization scheme"] == "principle-based"
+
+
+def test_table2(benchmark):
+    """Table II: transformer model parameters."""
+    text = benchmark(table2)
+    print("\n" + text)
+    rows = table2_rows()
+    assert len(rows) == 7
+    assert {row["Model"] for row in rows} == {
+        "Bert",
+        "GPT-2",
+        "Blenderbot",
+        "XLM",
+        "DeBERTa-v2",
+        "LLaMA2",
+        "ALBERT",
+    }
+
+
+def test_table3(benchmark):
+    """Table III: spatial architecture attributes."""
+    text = benchmark(table3)
+    print("\n" + text)
+    rows = {row["Platform"]: row for row in table3_rows()}
+    assert rows["FuseCU"]["Tensor Fusion"] == "yes"
+    assert rows["TPUv4i"]["Tensor Fusion"] == "no"
+    assert rows["Planaria"]["Tiling Flex."] == "high"

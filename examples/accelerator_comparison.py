@@ -1,0 +1,79 @@
+"""Compare the five platforms of paper Table III on any Table II model.
+
+For each platform (TPUv4i, Gemmini, Planaria, UnfCU, FuseCU) the workload
+graph is optimized within the platform's dataflow space and pushed through
+the performance model, reporting memory access, cycles, utilization and
+speedup -- a one-model slice of Fig. 10.
+
+Run:  python examples/accelerator_comparison.py [model] [buffer_kb]
+      python examples/accelerator_comparison.py LLaMA2 1024
+"""
+
+import sys
+
+from repro.arch import ALL_PLATFORMS, MemorySpec, evaluate_graph
+from repro.experiments import format_table
+from repro.workloads import build_layer_graph, model_by_name
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "Bert"
+    buffer_kb = int(sys.argv[2]) if len(sys.argv) > 2 else 512
+    model = model_by_name(model_name)
+    memory = MemorySpec(buffer_bytes=buffer_kb * 1024)
+    graph = build_layer_graph(model)
+
+    print(
+        f"{model.name}: heads={model.heads}, seq={model.seq_len}, "
+        f"hidden={model.hidden}, batch={model.batch}; buffer {buffer_kb} KB, "
+        f"{128}x{128}x4 PEs, 1 TB/s"
+    )
+    print()
+
+    perfs = {}
+    for factory in ALL_PLATFORMS:
+        spec = factory(memory)
+        perfs[spec.name] = evaluate_graph(graph, spec)
+
+    baseline = perfs["TPUv4i"]
+    rows = []
+    for name, perf in perfs.items():
+        rows.append(
+            [
+                name,
+                perf.total_memory_access,
+                round(perf.total_memory_access / baseline.total_memory_access, 3),
+                int(perf.total_cycles),
+                round(perf.utilization, 3),
+                f"{perf.speedup_over(baseline):.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "platform",
+                "memory access",
+                "MA (norm.)",
+                "cycles",
+                "utilization",
+                "speedup vs TPUv4i",
+            ],
+            rows,
+            title=f"Fig. 10 slice: {model.name}",
+        )
+    )
+    print()
+
+    fusecu_perf = perfs["FuseCU"]
+    print("FuseCU execution segments:")
+    for segment in fusecu_perf.segments:
+        bound = "memory" if segment.memory_bound else "compute"
+        shape = segment.array_shape or "vector unit"
+        print(
+            f"  {segment.name}: {segment.cycles:.0f} cycles ({bound}-bound, "
+            f"array {shape}, spatial util {segment.spatial_utilization:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

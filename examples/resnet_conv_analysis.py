@@ -1,0 +1,79 @@
+"""Apply the principles to convolutions (ResNet-50 layers).
+
+Demonstrates the paper's generalization claim ("Principle 1-4 can be
+extended to other tensor operators"): each conv layer is im2col-lowered to
+a matmul, classified into a buffer regime, and optimized one-shot; the
+early spatial-heavy and late channel-heavy stages land in different
+regimes and pick different NRA dataflows.
+
+Run:  python examples/resnet_conv_analysis.py [buffer_kb]
+"""
+
+import sys
+
+from repro.core import classify_buffer, optimize_intra
+from repro.experiments import bar_chart, format_table
+from repro.ir import conv2d_as_matmul
+from repro.workloads import RESNET50_LAYERS
+
+
+def main() -> None:
+    buffer_kb = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    buffer_elems = buffer_kb * 1024
+
+    rows = []
+    redundancy = {}
+    for name, shape in RESNET50_LAYERS.items():
+        op = conv2d_as_matmul(name, shape)
+        regime = classify_buffer(op, buffer_elems).regime.value
+        result = optimize_intra(op, buffer_elems)
+        rows.append(
+            [
+                name,
+                f"{shape.gemm_m}x{shape.gemm_k}x{shape.gemm_l}",
+                regime,
+                str(result.nra_class),
+                result.label,
+                result.memory_access,
+                round(result.redundancy, 2),
+                round(shape.input_traffic_correction, 1),
+            ]
+        )
+        redundancy[name] = result.redundancy
+    print(
+        format_table(
+            [
+                "layer",
+                "im2col GEMM",
+                "regime",
+                "NRA",
+                "chosen dataflow",
+                "MA",
+                "MA/ideal",
+                "im2col dup.",
+            ],
+            rows,
+            title=f"ResNet-50 conv layers at {buffer_kb} KB (batch 16)",
+        )
+    )
+    print()
+    print(
+        bar_chart(
+            redundancy,
+            title="Redundant-access factor (1.0 = communication lower bound)",
+            unit="x",
+        )
+    )
+    print()
+    print(
+        "Notes: the im2col lowering duplicates overlapping windows (last "
+        "column); accelerators with on-the-fly expansion divide the "
+        "A-tensor traffic by that factor. Early layers (huge M, small K) "
+        "reach Three-NRA easily -- the filter fits on-chip; the 7x7-input "
+        "stages are channel-bound and stay in lower regimes at small "
+        "buffers."
+    )
+
+
+if __name__ == "__main__":
+    main()

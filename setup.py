@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP 517
+editable-install path; ``pip install -e . --no-build-isolation
+--no-use-pep517`` uses this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro: principle-based dataflow optimization for tensor accelerators.
+
+A from-scratch Python reproduction of "Principle-based Dataflow
+Optimization for Communication Lower Bound in Operator-Fused Tensor
+Accelerator" (DAC 2025): the four optimization principles, the
+communication lower bounds they imply, the FuseCU architecture (functional
+simulators for the XS PE, systolic arrays and the fusion mappings),
+searching-based DSE baselines, the paper's transformer workloads, and
+harnesses regenerating every table and figure of the evaluation.
+
+Quick start::
+
+    from repro.ir import matmul
+    from repro.core import optimize_intra
+
+    op = matmul("bert_proj", 1024, 768, 768)
+    result = optimize_intra(op, buffer_elems=512 * 1024)
+    print(result.describe())
+
+Subpackages
+-----------
+``repro.ir``          tensors, operators, operator graphs
+``repro.dataflow``    tiling / scheduling / mapping + cost models
+``repro.core``        Principles 1-4, fusion planning, lower bounds
+``repro.search``      exhaustive + genetic DSE baselines (DAT stand-in)
+``repro.arch``        XS PE, systolic/FuseCU simulators, platform models
+``repro.workloads``   the seven Table II transformer models
+``repro.experiments`` per-table/figure reproduction harnesses
+"""
+
+from . import arch, core, dataflow, experiments, ir, search, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "core",
+    "dataflow",
+    "experiments",
+    "ir",
+    "search",
+    "workloads",
+    "__version__",
+]

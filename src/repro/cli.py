@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+optimize M K L      principle-optimize one matmul at a buffer size
+fuse M K L N        fusion decision for a two-matmul chain
+plan MODEL          graph-level fusion plan for a Table II model
+compare MODEL       Fig. 10-style platform comparison for one model
+explain M K L       narrate the principle decisions (add --consumer-n for fusion)
+tables              render paper Tables I-III
+fig9 / fig10 / fig11 / fig12
+                    regenerate a paper figure's rows/series
+report              run everything, emit a markdown reproduction report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .arch import ALL_PLATFORMS, MemorySpec, evaluate_graph
+from .core import decide_fusion, optimize_graph, optimize_intra
+from .experiments import (
+    format_table,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    table1,
+    table2,
+    table3,
+)
+from .ir import matmul
+from .workloads import build_layer_graph, model_by_name
+
+
+def _buffer_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--buffer-kb",
+        type=int,
+        default=512,
+        help="on-chip buffer size in KB (1-byte elements); default 512",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Principle-based dataflow optimization for operator-fused "
+            "tensor accelerators (DAC 2025 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    optimize = commands.add_parser(
+        "optimize", help="principle-optimize one matmul"
+    )
+    optimize.add_argument("m", type=int)
+    optimize.add_argument("k", type=int)
+    optimize.add_argument("l", type=int)
+    _buffer_argument(optimize)
+
+    fuse = commands.add_parser("fuse", help="fusion decision for A@B then @D")
+    fuse.add_argument("m", type=int)
+    fuse.add_argument("k", type=int)
+    fuse.add_argument("l", type=int)
+    fuse.add_argument("n", type=int)
+    fuse.add_argument(
+        "--cross", action="store_true", help="also consider cross-NRA patterns"
+    )
+    _buffer_argument(fuse)
+
+    plan = commands.add_parser("plan", help="graph fusion plan for a model")
+    plan.add_argument("model")
+    _buffer_argument(plan)
+
+    compare = commands.add_parser("compare", help="platform comparison")
+    compare.add_argument("model")
+    _buffer_argument(compare)
+
+    explain = commands.add_parser(
+        "explain", help="narrate the principle decisions for a matmul"
+    )
+    explain.add_argument("m", type=int)
+    explain.add_argument("k", type=int)
+    explain.add_argument("l", type=int)
+    explain.add_argument(
+        "--consumer-n",
+        type=int,
+        default=None,
+        help="also explain fusing with a consumer matmul of width N",
+    )
+    _buffer_argument(explain)
+
+    commands.add_parser("tables", help="render paper Tables I-III")
+    fig9 = commands.add_parser("fig9", help="principles vs search sweep")
+    fig9.add_argument(
+        "--fast", action="store_true", help="skip the genetic baseline"
+    )
+    commands.add_parser("fig10", help="7 models x 5 platforms")
+    commands.add_parser("fig11", help="LLaMA2 sequence-length sweep")
+    commands.add_parser("fig12", help="area breakdown")
+    report = commands.add_parser(
+        "report", help="run everything, emit a markdown reproduction report"
+    )
+    report.add_argument(
+        "--output", default="-", help="file path, or '-' for stdout"
+    )
+    report.add_argument(
+        "--fast", action="store_true", help="skip the genetic baseline"
+    )
+    return parser
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    op = matmul("mm", args.m, args.k, args.l)
+    result = optimize_intra(op, args.buffer_kb * 1024)
+    print(result.describe())
+    for name, entry in result.report.per_tensor.items():
+        print(f"  {name}: {entry.accesses} accesses (x{entry.multiplier})")
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    op1 = matmul("mm1", args.m, args.k, args.l)
+    op2 = matmul("mm2", args.m, args.l, args.n, a=op1.output)
+    decision = decide_fusion(
+        [op1, op2], args.buffer_kb * 1024, include_cross=args.cross
+    )
+    print(decision.describe())
+    if decision.fused is not None:
+        print("  " + decision.fused.describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    graph = build_layer_graph(model_by_name(args.model))
+    plan = optimize_graph(graph, args.buffer_kb * 1024)
+    print(plan.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    memory = MemorySpec(buffer_bytes=args.buffer_kb * 1024)
+    graph = build_layer_graph(model_by_name(args.model))
+    perfs = {
+        factory(memory).name: evaluate_graph(graph, factory(memory))
+        for factory in ALL_PLATFORMS
+    }
+    baseline = perfs["TPUv4i"]
+    rows = [
+        [
+            name,
+            perf.total_memory_access,
+            round(perf.total_memory_access / baseline.total_memory_access, 3),
+            round(perf.utilization, 3),
+            f"{perf.speedup_over(baseline):.2f}x",
+        ]
+        for name, perf in perfs.items()
+    ]
+    print(
+        format_table(
+            ["platform", "MA", "MA (norm.)", "utilization", "speedup"],
+            rows,
+            title=f"{args.model} @ {args.buffer_kb} KB",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "fuse":
+        return _cmd_fuse(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "explain":
+        from .core import explain_fusion, explain_intra
+
+        op = matmul("mm", args.m, args.k, args.l)
+        print(explain_intra(op, args.buffer_kb * 1024))
+        if args.consumer_n is not None:
+            consumer = matmul(
+                "mm2", args.m, args.l, args.consumer_n, a=op.output
+            )
+            print()
+            print(explain_fusion([op, consumer], args.buffer_kb * 1024))
+        return 0
+    if args.command == "tables":
+        print(table1())
+        print()
+        print(table2())
+        print()
+        print(table3())
+        return 0
+    if args.command == "fig9":
+        points = run_fig9(include_genetic=not args.fast)
+        print(render_fig9(points))
+        return 0 if all(p.principle_at_most_search for p in points) else 1
+    if args.command == "fig10":
+        print(render_fig10(run_fig10()))
+        return 0
+    if args.command == "fig11":
+        print(render_fig11(run_fig11()))
+        return 0
+    if args.command == "fig12":
+        print(render_fig12(run_fig12()))
+        return 0
+    if args.command == "report":
+        from .experiments.report import ReportOptions, generate_report
+
+        report = generate_report(
+            ReportOptions(include_genetic=not args.fast)
+        )
+        if args.output == "-":
+            print(report)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"wrote {args.output}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

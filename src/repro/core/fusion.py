@@ -1,0 +1,523 @@
+"""Principle-based inter-operator (fusion) optimization (paper Sec. III-B).
+
+Fused dataflows are generated from a small set of *patterns*, one per arrow
+of paper Fig. 4, expressed as a role assignment over the fused chain's
+global dimensions:
+
+====================== ======================================= ==========
+pattern                roles                                    Fig. 4
+====================== ======================================= ==========
+single-osis            common MAX/MAX, privates MIN             (a)
+two-osis[x]            common x MAX, other MIN, privates UNTILE (b)
+two-untile[u]          common u UNTILE, other MAX, privates MIN (c)
+three-untile[u]        common u UNTILE, other MIN, priv. UNTILE (d)
+three-resident         common UNTILE/UNTILE, privates MIN       (e)
+cross-*                mixed per-operator classes               red arrows
+====================== ======================================= ==========
+
+(`common` dims are the intermediate tensor's dimensions; `private` dims
+belong to a single operator, e.g. MM1's reduction K and MM2's output N.)
+
+Tile sizes for MAXIMIZE roles are solved by binary search on the exact
+fused buffer footprint -- the same one-shot construction as the intra
+candidates, no design-space search.  Every generated dataflow is validated
+through :func:`repro.dataflow.fusion_nest.fused_memory_access`, which also
+enforces the fusability requirement (non-redundant intermediates).
+
+:func:`decide_fusion` compares the best fused dataflow against the sum of
+the operators' unfused optima and reports both the measured profitability
+and the Principle 4 prediction (same NRA class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.operator import TensorOperator
+from ..dataflow.cost import PartialSumConvention, tensor_multiplier
+from ..dataflow.fusion_nest import (
+    FusedAccessReport,
+    FusedChain,
+    FusedDataflow,
+    FusionError,
+    fused_memory_access,
+    _op_with_global_dims,
+)
+from ..dataflow.spec import NRAClass
+from ..dataflow.tiling import Tiling
+from .intra import IntraResult, optimize_intra
+from .nra import max_feasible, pair_candidates
+from .principles import principle4_same_nra
+
+
+class Role(Enum):
+    """Tiling role of a global dimension inside a fused pattern."""
+
+    MAXIMIZE = "max"
+    MINIMIZE = "min"
+    UNTILE = "untile"
+
+
+class FusionMedium(Enum):
+    """Where the intermediate tensor's tile lives during fused execution.
+
+    Paper Table I's differentiator: prior fusion frameworks (Chimera, SET,
+    FLAT, DAT) keep the intermediate in the on-chip *memory* buffer; FuseCU
+    holds it in the *compute unit* (PE accumulators/registers), which frees
+    the buffer capacity the tile would have consumed -- letting the other
+    tensors take larger tiles -- at the cost of the tile having to fit the
+    register file.
+    """
+
+    MEMORY = "memory"
+    COMPUTE_UNIT = "compute_unit"
+    #: Try both media per pattern and keep the better dataflow -- FuseCU
+    #: hardware supports register-resident intermediates *in addition to*
+    #: ordinary buffered ones, so its space is the union.
+    BEST = "best"
+
+
+@dataclass(frozen=True)
+class FusedPattern:
+    """A named role assignment over a chain's global dimensions."""
+
+    label: str
+    roles: Mapping[str, Role]
+    cross_nra: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "roles", dict(self.roles))
+
+
+@dataclass(frozen=True)
+class FusedResult:
+    """Best fused dataflow found for a chain."""
+
+    chain: FusedChain
+    pattern: FusedPattern
+    dataflow: FusedDataflow
+    report: FusedAccessReport
+    per_op_nra: Tuple[NRAClass, ...]
+
+    @property
+    def memory_access(self) -> int:
+        return self.report.total
+
+    def describe(self) -> str:
+        ops = "+".join(op.name for op in self.chain.ops)
+        return (
+            f"fused[{ops}] pattern={self.pattern.label} "
+            f"MA={self.memory_access} [{self.dataflow.describe(self.chain)}]"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pattern generation
+# ----------------------------------------------------------------------
+def _chain_private_dims(chain: FusedChain) -> Tuple[str, ...]:
+    common = set(chain.common_dims)
+    privates: List[str] = []
+    for index in range(len(chain.ops)):
+        for dim in chain.op_global_dims(index):
+            if dim not in common and dim not in privates:
+                privates.append(dim)
+    return tuple(privates)
+
+
+def profitable_patterns(chain: FusedChain) -> List[FusedPattern]:
+    """The five same-NRA patterns of Fig. 4 (green arrows), both orientations."""
+    common = chain.common_dims
+    if len(common) != 2:
+        raise FusionError(
+            f"fused patterns require exactly two common dims; chain has "
+            f"{common}"
+        )
+    privates = _chain_private_dims(chain)
+    first, second = common
+    patterns: List[FusedPattern] = []
+
+    def make(label: str, common_roles: Dict[str, Role], private_role: Role) -> None:
+        roles = dict(common_roles)
+        roles.update({dim: private_role for dim in privates})
+        patterns.append(FusedPattern(label=label, roles=roles))
+
+    make(
+        "single-osis",
+        {first: Role.MAXIMIZE, second: Role.MAXIMIZE},
+        Role.MINIMIZE,
+    )
+    for maximized, minimized in ((first, second), (second, first)):
+        make(
+            f"two-osis[{maximized}]",
+            {maximized: Role.MAXIMIZE, minimized: Role.MINIMIZE},
+            Role.UNTILE,
+        )
+    for untiled, maximized in ((first, second), (second, first)):
+        make(
+            f"two-untile[{untiled}]",
+            {untiled: Role.UNTILE, maximized: Role.MAXIMIZE},
+            Role.MINIMIZE,
+        )
+    for untiled, minimized in ((first, second), (second, first)):
+        make(
+            f"three-untile[{untiled}]",
+            {untiled: Role.UNTILE, minimized: Role.MINIMIZE},
+            Role.UNTILE,
+        )
+    make(
+        "three-resident",
+        {first: Role.UNTILE, second: Role.UNTILE},
+        Role.MINIMIZE,
+    )
+    return patterns
+
+
+def cross_patterns(chain: FusedChain) -> List[FusedPattern]:
+    """Cross-NRA fusable patterns (Fig. 4 red arrows), for pairs only.
+
+    These are feasible but predicted non-profitable by Principle 4; they are
+    generated so the profitability claim can be *demonstrated* rather than
+    assumed (see ``benchmarks/test_ablation_fusion.py``).
+    """
+
+    if len(chain.ops) != 2:
+        return []
+    common = chain.common_dims
+    if len(common) != 2:
+        return []
+    first, second = common
+    producer_privates = tuple(
+        dim for dim in chain.op_global_dims(0) if dim not in common
+    )
+    consumer_privates = tuple(
+        dim for dim in chain.op_global_dims(1) if dim not in common
+    )
+    patterns: List[FusedPattern] = []
+
+    def make(label: str, roles: Dict[str, Role]) -> None:
+        patterns.append(FusedPattern(label=label, roles=roles, cross_nra=True))
+
+    # Producer Single-NRA (private dim tiled) + consumer Two-NRA (private
+    # dim untiled), and the mirror image.
+    base = {first: Role.MAXIMIZE, second: Role.MAXIMIZE}
+    make(
+        "cross-single+two",
+        {
+            **base,
+            **{dim: Role.MINIMIZE for dim in producer_privates},
+            **{dim: Role.UNTILE for dim in consumer_privates},
+        },
+    )
+    make(
+        "cross-two+single",
+        {
+            **base,
+            **{dim: Role.UNTILE for dim in producer_privates},
+            **{dim: Role.MINIMIZE for dim in consumer_privates},
+        },
+    )
+    # Producer Two-NRA untiling a common dim + consumer Three-NRA (its
+    # private dim untiled as well), and the mirror image.
+    for untiled, maximized in ((first, second), (second, first)):
+        make(
+            f"cross-two+three[{untiled}]",
+            {
+                untiled: Role.UNTILE,
+                maximized: Role.MAXIMIZE,
+                **{dim: Role.MINIMIZE for dim in producer_privates},
+                **{dim: Role.UNTILE for dim in consumer_privates},
+            },
+        )
+        make(
+            f"cross-three+two[{untiled}]",
+            {
+                untiled: Role.UNTILE,
+                maximized: Role.MAXIMIZE,
+                **{dim: Role.UNTILE for dim in producer_privates},
+                **{dim: Role.MINIMIZE for dim in consumer_privates},
+            },
+        )
+    return patterns
+
+
+# ----------------------------------------------------------------------
+# Tile solving and evaluation
+# ----------------------------------------------------------------------
+def _shared_order(chain: FusedChain, roles: Mapping[str, Role]) -> Tuple[str, ...]:
+    priority = {Role.MAXIMIZE: 0, Role.MINIMIZE: 1, Role.UNTILE: 2}
+    return tuple(
+        sorted(chain.common_dims, key=lambda dim: priority[roles[dim]])
+    )
+
+
+def _private_orders(chain: FusedChain) -> Dict[str, Tuple[str, ...]]:
+    common = set(chain.common_dims)
+    return {
+        op.name: tuple(
+            dim
+            for dim in chain.op_global_dims(index)
+            if dim not in common
+        )
+        for index, op in enumerate(chain.ops)
+    }
+
+
+def solve_pattern(
+    chain: FusedChain,
+    pattern: FusedPattern,
+    buffer_elems: int,
+    medium: FusionMedium = FusionMedium.MEMORY,
+    register_elems: Optional[int] = None,
+) -> Optional[FusedDataflow]:
+    """Resolve a pattern's MAXIMIZE tiles against the capacity constraints.
+
+    With :attr:`FusionMedium.MEMORY` every tile (intermediates included)
+    consumes buffer.  With :attr:`FusionMedium.COMPUTE_UNIT` the
+    intermediate tiles live in the PE accumulators instead: they are
+    excluded from the buffer footprint but must each fit ``register_elems``
+    (the group's accumulator count).  Returns ``None`` when even the
+    minimal tiles overflow.
+    """
+
+    if medium is FusionMedium.BEST:
+        raise FusionError(
+            "solve_pattern takes a concrete medium; BEST is resolved by "
+            "optimize_fused"
+        )
+    if medium is FusionMedium.COMPUTE_UNIT and register_elems is None:
+        raise FusionError("compute-unit fusion needs register_elems")
+    roles = pattern.roles
+    missing = set(chain.global_dims) - set(roles)
+    if missing:
+        raise FusionError(f"pattern {pattern.label!r} missing roles for {missing}")
+    fixed: Dict[str, int] = {}
+    free: List[str] = []
+    for dim, role in roles.items():
+        if role is Role.UNTILE:
+            fixed[dim] = chain.global_dims[dim]
+        elif role is Role.MINIMIZE:
+            fixed[dim] = 1
+        else:
+            free.append(dim)
+    shared_order = _shared_order(chain, roles)
+    private_orders = _private_orders(chain)
+    intermediates = tuple(t.name for t in chain.intermediates())
+    excluded = intermediates if medium is FusionMedium.COMPUTE_UNIT else ()
+
+    def build(tiles: Mapping[str, int]) -> FusedDataflow:
+        return FusedDataflow(
+            shared_order=shared_order,
+            private_orders=private_orders,
+            tiling=Tiling({**fixed, **tiles}),
+        )
+
+    def feasible(dataflow: FusedDataflow) -> bool:
+        if dataflow.buffer_footprint(chain, exclude=excluded) > buffer_elems:
+            return False
+        if medium is FusionMedium.COMPUTE_UNIT:
+            assert register_elems is not None
+            for name in intermediates:
+                if dataflow.tile_elements(chain, name) > register_elems:
+                    return False
+        return True
+
+    def capacity_footprint(dataflow: FusedDataflow) -> int:
+        """Monotone scalar for the binary searches: the binding capacity."""
+        footprint = dataflow.buffer_footprint(chain, exclude=excluded)
+        if medium is FusionMedium.COMPUTE_UNIT:
+            assert register_elems is not None
+            for name in intermediates:
+                tile = dataflow.tile_elements(chain, name)
+                if tile > register_elems:
+                    # Overflowed registers: report past the buffer budget so
+                    # the search backs off.
+                    footprint = max(footprint, buffer_elems + tile)
+        return footprint
+
+    if not free:
+        dataflow = build({})
+        return dataflow if feasible(dataflow) else None
+    if len(free) == 1:
+        dim = free[0]
+
+        def footprint(tile: int) -> int:
+            return capacity_footprint(build({dim: tile}))
+
+        tile = max_feasible(footprint, chain.global_dims[dim], buffer_elems)
+        if tile is None:
+            return None
+        dataflow = build({dim: tile})
+        return dataflow if feasible(dataflow) else None
+    if len(free) == 2:
+        dim_x, dim_y = free
+
+        def footprint2(tile_x: int, tile_y: int) -> int:
+            return capacity_footprint(build({dim_x: tile_x, dim_y: tile_y}))
+
+        pairs = pair_candidates(
+            footprint2,
+            chain.global_dims[dim_x],
+            chain.global_dims[dim_y],
+            buffer_elems,
+        )
+        if not pairs:
+            return None
+        best: Optional[Tuple[int, FusedDataflow]] = None
+        for tile_x, tile_y in pairs:
+            dataflow = build({dim_x: tile_x, dim_y: tile_y})
+            if not feasible(dataflow):
+                continue
+            report = fused_memory_access(chain, dataflow)
+            if not report.fusable:
+                continue
+            if best is None or report.total < best[0]:
+                best = (report.total, dataflow)
+        if best is None:
+            return None
+        return best[1]
+    raise FusionError(
+        f"pattern {pattern.label!r} has {len(free)} free dims; at most 2 supported"
+    )
+
+
+def per_op_nra_classes(
+    chain: FusedChain, dataflow: FusedDataflow
+) -> Tuple[NRAClass, ...]:
+    """NRA class each operator experiences inside the fused nest."""
+    classes: List[NRAClass] = []
+    for index in range(len(chain.ops)):
+        op = _op_with_global_dims(chain, index)
+        nest = dataflow.op_nest(chain, index)
+        non_redundant = sum(
+            1
+            for tensor in op.tensors
+            if tensor_multiplier(op, nest, tensor.name) == 1
+        )
+        classes.append(NRAClass(max(1, min(3, non_redundant))))
+    return tuple(classes)
+
+
+def optimize_fused(
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    include_cross: bool = False,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    medium: FusionMedium = FusionMedium.MEMORY,
+    register_elems: Optional[int] = None,
+) -> Optional[FusedResult]:
+    """Best fused dataflow for a chain, or ``None`` if none fits/fuses."""
+    chain = FusedChain.from_ops(ops)
+    if len(chain.common_dims) != 2:
+        return None
+    patterns = profitable_patterns(chain)
+    if include_cross:
+        patterns = patterns + cross_patterns(chain)
+    if medium is FusionMedium.BEST:
+        media = (FusionMedium.MEMORY, FusionMedium.COMPUTE_UNIT)
+    else:
+        media = (medium,)
+    best: Optional[FusedResult] = None
+    for pattern in patterns:
+      for active_medium in media:
+        excluded = (
+            tuple(t.name for t in chain.intermediates())
+            if active_medium is FusionMedium.COMPUTE_UNIT
+            else ()
+        )
+        dataflow = solve_pattern(
+            chain, pattern, buffer_elems, medium=active_medium,
+            register_elems=register_elems,
+        )
+        if dataflow is None:
+            continue
+        if dataflow.buffer_footprint(chain, exclude=excluded) > buffer_elems:
+            continue
+        report = fused_memory_access(chain, dataflow, convention)
+        if not report.fusable:
+            continue
+        if best is None or report.total < best.report.total:
+            best = FusedResult(
+                chain=chain,
+                pattern=pattern,
+                dataflow=dataflow,
+                report=report,
+                per_op_nra=per_op_nra_classes(chain, dataflow),
+            )
+    return best
+
+
+# ----------------------------------------------------------------------
+# Profitability
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusionDecision:
+    """Measured and predicted profitability of fusing a chain."""
+
+    ops: Tuple[TensorOperator, ...]
+    fused: Optional[FusedResult]
+    unfused: Tuple[IntraResult, ...]
+    predicted_profitable: bool
+
+    @property
+    def unfused_memory_access(self) -> int:
+        return sum(result.memory_access for result in self.unfused)
+
+    @property
+    def fused_memory_access(self) -> Optional[int]:
+        return self.fused.memory_access if self.fused else None
+
+    @property
+    def profitable(self) -> bool:
+        """Measured: does the best fused dataflow beat the unfused optima?"""
+        return (
+            self.fused is not None
+            and self.fused.memory_access < self.unfused_memory_access
+        )
+
+    @property
+    def saving(self) -> float:
+        """Fractional MA saving of fusion (0 when not profitable)."""
+        if not self.profitable:
+            return 0.0
+        assert self.fused is not None
+        return 1.0 - self.fused.memory_access / self.unfused_memory_access
+
+    def describe(self) -> str:
+        ops = "+".join(op.name for op in self.ops)
+        fused_ma = self.fused_memory_access
+        return (
+            f"fusion[{ops}]: unfused MA={self.unfused_memory_access}, "
+            f"fused MA={fused_ma}, profitable={self.profitable} "
+            f"(Principle 4 predicts {self.predicted_profitable})"
+        )
+
+
+def decide_fusion(
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    include_cross: bool = False,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    medium: FusionMedium = FusionMedium.MEMORY,
+    register_elems: Optional[int] = None,
+) -> FusionDecision:
+    """Evaluate fusing a chain: best fused vs. per-operator optima."""
+    ops = tuple(ops)
+    if len(ops) < 2:
+        raise FusionError("fusion decision needs at least two operators")
+    unfused = tuple(optimize_intra(op, buffer_elems, convention) for op in ops)
+    fused = optimize_fused(
+        ops, buffer_elems, include_cross, convention,
+        medium=medium, register_elems=register_elems,
+    )
+    predicted = all(
+        principle4_same_nra(a, b, buffer_elems, convention)
+        for a, b in zip(ops, ops[1:])
+    )
+    return FusionDecision(
+        ops=ops,
+        fused=fused,
+        unfused=unfused,
+        predicted_profitable=predicted,
+    )

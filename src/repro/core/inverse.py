@@ -1,0 +1,148 @@
+"""Inverse buffer-sizing queries on the MA(BS) lower-bound curve.
+
+The principles give, for every buffer size, the communication lower bound
+MA(BS) -- a monotone non-increasing staircase.  Architects usually ask the
+*inverse* questions:
+
+* "how much buffer do I need to hit the ideal (every tensor once)?"
+  -- :func:`minimal_buffer_for_ideal`;
+* "how much buffer do I need to get within X of the ideal?"
+  -- :func:`minimal_buffer_for`;
+* "what does the whole trade-off look like?"
+  -- :func:`pareto_curve` (the distinct (BS, MA) corner points).
+
+All answers come from binary search on the monotone curve, so they inherit
+the one-shot optimizer's exactness over the modeled space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir.operator import TensorOperator
+from ..dataflow.cost import PartialSumConvention
+from .intra import InfeasibleError, optimize_intra
+
+
+def _ma_at(
+    operator: TensorOperator,
+    buffer_elems: int,
+    convention: PartialSumConvention,
+) -> Optional[int]:
+    try:
+        return optimize_intra(operator, buffer_elems, convention).memory_access
+    except InfeasibleError:
+        return None
+
+
+def minimal_buffer_for(
+    operator: TensorOperator,
+    target_ma: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    upper_bound: Optional[int] = None,
+) -> Optional[int]:
+    """Smallest buffer (elements) whose lower bound meets ``target_ma``.
+
+    Returns ``None`` when the target is below the infinite-buffer ideal
+    (unreachable).  ``upper_bound`` defaults to the full-residency
+    footprint, beyond which MA cannot improve.
+    """
+
+    if target_ma < operator.ideal_memory_access():
+        return None
+    if upper_bound is None:
+        upper_bound = sum(tensor.size for tensor in operator.tensors)
+    achieved = _ma_at(operator, upper_bound, convention)
+    if achieved is None or achieved > target_ma:
+        return None
+    low, high = 1, upper_bound
+    while low < high:
+        mid = (low + high) // 2
+        value = _ma_at(operator, mid, convention)
+        if value is not None and value <= target_ma:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def minimal_buffer_for_ideal(
+    operator: TensorOperator,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> int:
+    """Smallest buffer achieving the infinite-buffer ideal MA.
+
+    Analytically this is the Three-NRA threshold -- the smallest tensor
+    plus its streaming strips (paper Sec. III-A3) -- and the binary search
+    recovers exactly that.
+    """
+
+    result = minimal_buffer_for(
+        operator, operator.ideal_memory_access(), convention
+    )
+    assert result is not None  # the full-residency bound always achieves it
+    return result
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One corner of the buffer-size / memory-access trade-off."""
+
+    buffer_elems: int
+    memory_access: int
+
+
+def pareto_curve(
+    operator: TensorOperator,
+    max_points: int = 32,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> List[ParetoPoint]:
+    """Corner points of MA(BS), from the minimal feasible buffer up to the
+    ideal-reaching buffer.
+
+    Recursively bisects the buffer axis until adjacent samples agree or the
+    point budget runs out, so flat regions cost one probe while staircase
+    steps are localized.
+    """
+
+    upper = minimal_buffer_for_ideal(operator, convention)
+    low = 1
+    while _ma_at(operator, low, convention) is None:
+        low *= 2
+        if low > upper:
+            low = upper
+            break
+    samples: dict = {}
+
+    def sample(buffer_elems: int) -> int:
+        if buffer_elems not in samples:
+            value = _ma_at(operator, buffer_elems, convention)
+            assert value is not None
+            samples[buffer_elems] = value
+        return samples[buffer_elems]
+
+    def refine(lo: int, hi: int) -> None:
+        if hi - lo <= 1 or len(samples) >= max_points:
+            return
+        if sample(lo) == sample(hi):
+            return
+        mid = (lo + hi) // 2
+        sample(mid)
+        refine(lo, mid)
+        refine(mid, hi)
+
+    sample(low)
+    sample(upper)
+    refine(low, upper)
+    points = [
+        ParetoPoint(buffer_elems=b, memory_access=ma)
+        for b, ma in sorted(samples.items())
+    ]
+    # Keep only corners: drop samples equal to their predecessor's MA.
+    corners: List[ParetoPoint] = []
+    for point in points:
+        if corners and corners[-1].memory_access == point.memory_access:
+            continue
+        corners.append(point)
+    return corners

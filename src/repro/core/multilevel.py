@@ -1,0 +1,114 @@
+"""Two-level memory-hierarchy optimization (paper Sec. IV-B's argument).
+
+The paper applies the principles at two boundaries: DRAM <-> on-chip buffer
+(Sec. III) and buffer <-> PE registers (Sec. IV-B, where the "buffer size"
+is the PE-array register file, ``BS = N x N``).  The register-level
+analysis yields the architecture insight that sizes FuseCU: un-tiling is
+only optimal when the smallest dimension is below ``2N``, so the array only
+needs to recombine up to ``2N``-wide shapes.
+
+:func:`optimize_two_level` composes the levels: the outer level picks the
+buffer tile with the intra-operator optimizer; the resolved tile then
+becomes a *sub-operator* whose "memory" is the buffer and whose "buffer"
+is the register file, optimized by the same principles.  Traffic at each
+boundary is reported separately (outer traffic counts once; inner traffic
+scales by the number of outer tile executions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.operator import TensorOperator, matmul
+from ..dataflow.cost import PartialSumConvention
+from .intra import IntraResult, optimize_intra
+from .nra import is_mm_like
+from .regimes import classify_buffer
+
+
+@dataclass(frozen=True)
+class TwoLevelResult:
+    """Outcome of a two-level (DRAM<->buffer, buffer<->registers) analysis."""
+
+    operator: TensorOperator
+    outer: IntraResult
+    inner: IntraResult
+    inner_executions: int
+
+    @property
+    def dram_traffic(self) -> int:
+        """DRAM <-> buffer elements (the paper's MA)."""
+        return self.outer.memory_access
+
+    @property
+    def buffer_traffic(self) -> int:
+        """Buffer <-> register-file elements, over all tile executions."""
+        return self.inner.memory_access * self.inner_executions
+
+    def describe(self) -> str:
+        return (
+            f"{self.operator.name}: DRAM traffic={self.dram_traffic} "
+            f"({self.outer.label}); buffer traffic={self.buffer_traffic} "
+            f"({self.inner.label} x {self.inner_executions} tiles)"
+        )
+
+
+def _sub_operator(operator: TensorOperator, outer: IntraResult) -> TensorOperator:
+    """The buffer tile as a standalone operator (for the register level)."""
+    if not is_mm_like(operator):
+        raise ValueError("two-level analysis currently covers MM-like operators")
+    tiling = outer.dataflow.tiling.for_operator(operator)
+    m_dim, k_dim = operator.dims_of(operator.inputs[0].name)
+    l_dim = operator.dims_of(operator.inputs[1].name)[1]
+    return matmul(
+        f"{operator.name}.tile",
+        tiling[m_dim],
+        tiling[k_dim],
+        tiling[l_dim],
+    )
+
+
+def optimize_two_level(
+    operator: TensorOperator,
+    buffer_elems: int,
+    register_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> TwoLevelResult:
+    """Optimize both memory boundaries with the principles.
+
+    ``register_elems`` is typically the PE count (``N x N`` accumulators,
+    paper Sec. IV-B).
+    """
+
+    outer = optimize_intra(operator, buffer_elems, convention)
+    sub = _sub_operator(operator, outer)
+    inner = optimize_intra(sub, register_elems, convention)
+    executions = operator.count * math.ceil(
+        operator.iteration_space / sub.iteration_space
+    )
+    return TwoLevelResult(
+        operator=operator,
+        outer=outer,
+        inner=inner,
+        inner_executions=executions,
+    )
+
+
+def max_useful_untiled_dim(array_n: int) -> int:
+    """Sec. IV-B: the widest untiled dimension worth supporting is ``2N``.
+
+    With the register file as the buffer (``BS = N^2``), un-tiling is only
+    optimal in the Two-/Three-NRA regimes, which require
+    ``BS > Dmin^2 / 4``; hence ``Dmin < 2N``.
+    """
+
+    if array_n <= 0:
+        raise ValueError("array dimension must be positive")
+    return 2 * array_n
+
+
+def untiling_is_optimal_at_registers(d_min: int, array_n: int) -> bool:
+    """Whether a register-level dataflow should untile, per the 2N bound."""
+    return d_min < max_useful_untiled_dim(array_n)

@@ -1,0 +1,404 @@
+"""Closed-form NRA dataflow constructors (paper Sec. III-A).
+
+For an MM-like operator (three loop dims, three rank-2 operands, each
+indexed by a distinct dim pair) there are exactly twelve candidate optimal
+dataflows:
+
+* 3 Single-NRA -- one per stationary-tensor choice (Principle 1),
+* 6 Two-NRA   -- one per (untiled dim, maximized dim) pair (Principle 2),
+* 3 Three-NRA -- one per fully-resident tensor choice (Principle 3).
+
+Each constructor solves its tile sizes directly from the buffer constraint
+(a one-dimensional or symmetric two-dimensional monotone problem, solved by
+binary search on the exact integer footprint -- no design-space search).
+The intra-operator optimizer evaluates the feasible candidates through the
+shared access counter and keeps the minimum; this *is* the paper's
+principle-based one-shot optimization, since the candidate count is a small
+constant independent of tensor sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..ir.operator import TensorOperator
+from ..dataflow.scheduling import Schedule, stationary_schedule
+from ..dataflow.spec import Dataflow, NRAClass
+from ..dataflow.tiling import Tiling
+
+
+class UnsupportedOperatorError(ValueError):
+    """Raised when closed-form analysis does not cover an operator shape."""
+
+
+def is_mm_like(operator: TensorOperator) -> bool:
+    """True for operators with the matmul structure the closed forms cover."""
+    if len(operator.dims) != 3 or len(operator.tensors) != 3:
+        return False
+    pairs = set()
+    for tensor in operator.tensors:
+        dims = operator.dims_of(tensor.name)
+        if len(dims) != 2 or len(set(dims)) != 2:
+            return False
+        pairs.add(frozenset(dims))
+    return len(pairs) == 3
+
+
+def is_streaming(operator: TensorOperator) -> bool:
+    """True for operators every tensor of which is indexed by every dim.
+
+    Such operators (elementwise, softmax) have no reuse to exploit: any
+    streaming tiling touches each tensor exactly once.
+    """
+
+    all_dims = set(operator.dims)
+    return all(
+        set(operator.dims_of(tensor.name)) == all_dims
+        for tensor in operator.tensors
+    ) and not operator.reduction_dims
+
+
+def _require_mm_like(operator: TensorOperator) -> None:
+    if not is_mm_like(operator):
+        raise UnsupportedOperatorError(
+            f"operator {operator.name!r} is not MM-like; use repro.search for "
+            "general shapes"
+        )
+
+
+def _evaluate(operator: TensorOperator, dataflow: Dataflow) -> int:
+    """Exact per-instance access count (used to rank integer candidates)."""
+    from ..dataflow.cost import memory_access
+
+    return memory_access(operator, dataflow).per_instance_total
+
+
+def _other_dim(operator: TensorOperator, dims: Tuple[str, ...]) -> str:
+    remaining = [d for d in operator.dim_names if d not in dims]
+    if len(remaining) != 1:
+        raise UnsupportedOperatorError(
+            f"dims {dims} do not leave a unique remaining dim in "
+            f"{operator.dim_names}"
+        )
+    return remaining[0]
+
+
+# ----------------------------------------------------------------------
+# Integer tile solvers (monotone footprint => binary search)
+# ----------------------------------------------------------------------
+def max_feasible(
+    footprint: Callable[[int], int], upper: int, budget: int
+) -> Optional[int]:
+    """Largest ``t`` in [1, upper] with ``footprint(t) <= budget``."""
+    if upper < 1 or footprint(1) > budget:
+        return None
+    low, high = 1, upper
+    while low < high:
+        mid = (low + high + 1) // 2
+        if footprint(mid) <= budget:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+def pair_candidates(
+    footprint: Callable[[int, int], int],
+    upper_x: int,
+    upper_y: int,
+    budget: int,
+    max_trip_delta: int = 4,
+) -> List[Tuple[int, int]]:
+    """Integer-refined candidate tile pairs under a footprint budget.
+
+    The continuous optimum of the Single-NRA objective (Eq. 1, minimize
+    ``1/tx + 1/ty``) is a balanced pair, but memory access depends on the
+    *ceiled* trip counts ``ceil(D/t)``; a slightly smaller tile with the
+    same trip count frees footprint that can lower the partner's trip
+    count.  This helper returns the balanced/grown solutions plus
+    trip-count-snapped perturbations of each; callers evaluate all of them
+    through the exact access counter and keep the best (still a constant
+    amount of work -- no design-space search).
+    """
+
+    def balanced(t: int) -> int:
+        return footprint(min(t, upper_x), min(t, upper_y))
+
+    base = max_feasible(balanced, max(upper_x, upper_y), budget)
+    if base is None:
+        return []
+    seeds: List[Tuple[int, int]] = []
+    tx = min(base, upper_x)
+    grown_y = max_feasible(lambda t: footprint(tx, t), upper_y, budget)
+    if grown_y is not None:
+        seeds.append((tx, grown_y))
+    ty = min(base, upper_y)
+    grown_x = max_feasible(lambda t: footprint(t, ty), upper_x, budget)
+    if grown_x is not None:
+        seeds.append((grown_x, ty))
+    if not seeds:
+        return []
+
+    candidates: set = set()
+
+    def snap(extent: int, tile: int) -> int:
+        """Smallest tile with the same trip count (minimal footprint)."""
+        return _ceil_div(extent, _ceil_div(extent, tile))
+
+    def add(tile_x: int, tile_y: int) -> None:
+        tile_x = max(1, min(tile_x, upper_x))
+        tile_y = max(1, min(tile_y, upper_y))
+        if footprint(tile_x, tile_y) <= budget:
+            candidates.add((tile_x, tile_y))
+
+    for seed_x, seed_y in seeds:
+        add(seed_x, seed_y)
+        trips_x = _ceil_div(upper_x, seed_x)
+        trips_y = _ceil_div(upper_y, seed_y)
+        for delta in range(max_trip_delta + 1):
+            # Coarsen x's trips, regrow and snap y.
+            tile_x = _ceil_div(upper_x, trips_x + delta)
+            regrown = max_feasible(
+                lambda t, tx=tile_x: footprint(tx, t), upper_y, budget
+            )
+            if regrown is not None:
+                add(tile_x, snap(upper_y, regrown))
+                add(tile_x, regrown)
+            # Coarsen y's trips, regrow and snap x.
+            tile_y = _ceil_div(upper_y, trips_y + delta)
+            regrown_x = max_feasible(
+                lambda t, ty=tile_y: footprint(t, ty), upper_x, budget
+            )
+            if regrown_x is not None:
+                add(snap(upper_x, regrown_x), tile_y)
+                add(regrown_x, tile_y)
+
+    # Exactness sweep for small problems: any optimal pair has its smaller
+    # tile bounded by the balanced edge (+1), and for a fixed tile on one
+    # dim the other is best grown to its feasible maximum; the distinct
+    # ceil-tile values of a dimension number only ~2*sqrt(D), so when that
+    # is small we can cover the whole reduced space exactly.  This closes
+    # the tiny-buffer corner where the delta window misses joint
+    # coarsen-one / grow-the-other moves (found by hypothesis against the
+    # exact branch-and-bound certifier).
+    def distinct_tiles(extent: int, cap: int):
+        """All distinct values of ``ceil(extent / n)``, largest first."""
+        values = []
+        trips = 1
+        while len(values) < cap:
+            tile = _ceil_div(extent, trips)
+            values.append(tile)
+            if tile == 1:
+                break
+            # Smallest trip count yielding a strictly smaller tile.
+            trips = _ceil_div(extent, tile - 1)
+        return values
+
+    sweep_cap = 96
+    if 2 * math.isqrt(upper_x) + 2 <= sweep_cap:
+        for tile_x in distinct_tiles(upper_x, sweep_cap):
+            grown = max_feasible(
+                lambda t, tx=tile_x: footprint(tx, t), upper_y, budget
+            )
+            if grown is not None:
+                add(tile_x, snap(upper_y, grown))
+                add(tile_x, grown)
+    if 2 * math.isqrt(upper_y) + 2 <= sweep_cap:
+        for tile_y in distinct_tiles(upper_y, sweep_cap):
+            grown_x = max_feasible(
+                lambda t, ty=tile_y: footprint(t, ty), upper_x, budget
+            )
+            if grown_x is not None:
+                add(snap(upper_x, grown_x), tile_y)
+                add(grown_x, tile_y)
+    return sorted(candidates)
+
+
+def max_feasible_pair(
+    footprint: Callable[[int, int], int],
+    upper_x: int,
+    upper_y: int,
+    budget: int,
+) -> Optional[Tuple[int, int]]:
+    """Largest balanced tile pair under a budget (continuous-objective pick).
+
+    Returns the candidate minimizing ``1/tx + 1/ty`` among
+    :func:`pair_candidates`; callers that can score exactly should iterate
+    over :func:`pair_candidates` instead.
+    """
+
+    candidates = pair_candidates(footprint, upper_x, upper_y, budget)
+    if not candidates:
+        return None
+    return min(candidates, key=lambda pair: 1 / pair[0] + 1 / pair[1])
+
+
+# ----------------------------------------------------------------------
+# Candidate constructors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NRACandidate:
+    """One closed-form candidate dataflow."""
+
+    label: str
+    nra: NRAClass
+    dataflow: Dataflow
+
+    def describe(self, operator: TensorOperator) -> str:
+        return f"{self.label}: {self.dataflow.describe(operator)}"
+
+
+def single_nra(
+    operator: TensorOperator, stationary: str, buffer_elems: int
+) -> Optional[NRACandidate]:
+    """Principle 1 dataflow with ``stationary`` (tensor name) resident.
+
+    Maximizes the stationary tensor's tile dims jointly, minimizes the
+    remaining dim's tile (Eq. 1 / Eq. 2).  Returns ``None`` when even the
+    minimal working set overflows the buffer.
+    """
+
+    _require_mm_like(operator)
+    dim_x, dim_y = operator.dims_of(stationary)
+    dim_z = _other_dim(operator, (dim_x, dim_y))
+
+    def footprint(tile_x: int, tile_y: int) -> int:
+        tiling = Tiling({dim_x: tile_x, dim_y: tile_y, dim_z: 1})
+        return tiling.buffer_footprint(operator)
+
+    pairs = pair_candidates(
+        footprint, operator.dims[dim_x], operator.dims[dim_y], buffer_elems
+    )
+    if not pairs:
+        return None
+    schedule = stationary_schedule(operator, stationary)
+    best: Optional[Tuple[int, Dataflow]] = None
+    for tile_x, tile_y in pairs:
+        dataflow = Dataflow(
+            Tiling({dim_x: tile_x, dim_y: tile_y, dim_z: 1}), schedule
+        )
+        total = _evaluate(operator, dataflow)
+        if best is None or total < best[0]:
+            best = (total, dataflow)
+    assert best is not None
+    return NRACandidate(
+        label=f"single[{stationary}]",
+        nra=NRAClass.SINGLE,
+        dataflow=best[1],
+    )
+
+
+def two_nra(
+    operator: TensorOperator,
+    untiled_dim: str,
+    maximized_dim: str,
+    buffer_elems: int,
+) -> Optional[NRACandidate]:
+    """Principle 2 dataflow: ``untiled_dim`` whole, ``maximized_dim`` grown.
+
+    The redundant tensor is the one containing ``untiled_dim`` but not
+    ``maximized_dim``; the other two are accessed exactly once (Eq. 3 /
+    Eq. 4).
+    """
+
+    _require_mm_like(operator)
+    if untiled_dim == maximized_dim:
+        raise ValueError("untiled and maximized dims must differ")
+    dim_y = _other_dim(operator, (untiled_dim, maximized_dim))
+
+    def footprint(tile_x: int) -> int:
+        tiling = Tiling(
+            {
+                untiled_dim: operator.dims[untiled_dim],
+                maximized_dim: tile_x,
+                dim_y: 1,
+            }
+        )
+        return tiling.buffer_footprint(operator)
+
+    tile_x = max_feasible(footprint, operator.dims[maximized_dim], buffer_elems)
+    if tile_x is None:
+        return None
+    tiling = Tiling(
+        {
+            untiled_dim: operator.dims[untiled_dim],
+            maximized_dim: tile_x,
+            dim_y: 1,
+        }
+    )
+    schedule = Schedule((maximized_dim, dim_y, untiled_dim))
+    return NRACandidate(
+        label=f"two[untile {untiled_dim}, max {maximized_dim}]",
+        nra=NRAClass.TWO,
+        dataflow=Dataflow(tiling, schedule),
+    )
+
+
+def three_nra(
+    operator: TensorOperator, resident: str, buffer_elems: int
+) -> Optional[NRACandidate]:
+    """Principle 3 dataflow with tensor ``resident`` held entirely on-chip.
+
+    Both of the resident tensor's dims are untiled; the remaining dim's tile
+    does not affect memory access (Principle 3: "Tiling: do not care"), so
+    the minimal footprint (tile 1) is used.
+    """
+
+    _require_mm_like(operator)
+    dim_x, dim_y = operator.dims_of(resident)
+    dim_z = _other_dim(operator, (dim_x, dim_y))
+    tiling = Tiling(
+        {
+            dim_x: operator.dims[dim_x],
+            dim_y: operator.dims[dim_y],
+            dim_z: 1,
+        }
+    )
+    if tiling.buffer_footprint(operator) > buffer_elems:
+        return None
+    schedule = Schedule((dim_z, dim_x, dim_y))
+    return NRACandidate(
+        label=f"three[resident {resident}]",
+        nra=NRAClass.THREE,
+        dataflow=Dataflow(tiling, schedule),
+    )
+
+
+def all_candidates(
+    operator: TensorOperator, buffer_elems: int
+) -> List[NRACandidate]:
+    """All feasible closed-form candidates (at most twelve)."""
+    _require_mm_like(operator)
+    candidates: List[NRACandidate] = []
+    for tensor in operator.tensors:
+        candidate = single_nra(operator, tensor.name, buffer_elems)
+        if candidate is not None:
+            candidates.append(candidate)
+    for untiled in operator.dim_names:
+        for maximized in operator.dim_names:
+            if maximized == untiled:
+                continue
+            candidate = two_nra(operator, untiled, maximized, buffer_elems)
+            if candidate is not None:
+                candidates.append(candidate)
+    for tensor in operator.tensors:
+        candidate = three_nra(operator, tensor.name, buffer_elems)
+        if candidate is not None:
+            candidates.append(candidate)
+    return candidates
+
+
+def streaming_dataflow(operator: TensorOperator) -> Dataflow:
+    """Trivial non-redundant dataflow for streaming (elementwise) operators."""
+    if not is_streaming(operator):
+        raise UnsupportedOperatorError(
+            f"operator {operator.name!r} is not a streaming operator"
+        )
+    tiling = Tiling({dim: 1 for dim in operator.dim_names})
+    return Dataflow(tiling, Schedule(tuple(operator.dim_names)))

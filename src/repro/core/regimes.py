@@ -1,0 +1,88 @@
+"""Buffer-size regimes (paper Sec. III-A4).
+
+The paper classifies buffer sizes into four categories relative to the
+operator's smallest dimension ``Dmin`` and smallest tensor ``Tensor_min``;
+each category selects (or narrows to two candidates) the optimal NRA class:
+
+====== ================================== ==================
+regime condition                          dataflow
+====== ================================== ==================
+tiny   BS <= Dmin^2 / 4                   Single-NRA
+small  Dmin^2 / 4 < BS <= Dmin^2 / 2      Single- or Two-NRA
+medium Dmin^2 / 2 < BS <= Tensor_min      Two-NRA
+large  BS > Tensor_min                    Three-NRA
+====== ================================== ==================
+
+Buffer sizes throughout the library are measured in *elements* (the paper's
+arithmetic, e.g. "BS = 512 KB > 768^2/2 = 294,912", equates bytes and
+elements for its int8 design; architecture models convert via
+``dtype_bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from ..ir.operator import TensorOperator
+from ..dataflow.spec import NRAClass
+
+
+class BufferRegime(Enum):
+    """The four buffer-size categories of paper Sec. III-A4."""
+
+    TINY = "tiny"
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: NRA classes worth considering in each regime.
+REGIME_CANDIDATES = {
+    BufferRegime.TINY: (NRAClass.SINGLE,),
+    BufferRegime.SMALL: (NRAClass.SINGLE, NRAClass.TWO),
+    BufferRegime.MEDIUM: (NRAClass.TWO,),
+    BufferRegime.LARGE: (NRAClass.THREE,),
+}
+
+
+@dataclass(frozen=True)
+class RegimeReport:
+    """Classification of a buffer size for an operator."""
+
+    regime: BufferRegime
+    buffer_elems: int
+    d_min: int
+    tensor_min: int
+
+    @property
+    def candidates(self) -> Tuple[NRAClass, ...]:
+        return REGIME_CANDIDATES[self.regime]
+
+
+def classify_buffer(operator: TensorOperator, buffer_elems: int) -> RegimeReport:
+    """Classify ``buffer_elems`` per the paper's four-regime table."""
+    if buffer_elems <= 0:
+        raise ValueError("buffer size must be positive")
+    d_min = min(operator.dims.values())
+    tensor_min = operator.smallest_tensor.size
+    threshold_tiny = d_min * d_min / 4
+    threshold_small = d_min * d_min / 2
+    if buffer_elems <= threshold_tiny:
+        regime = BufferRegime.TINY
+    elif buffer_elems <= threshold_small:
+        regime = BufferRegime.SMALL
+    elif buffer_elems <= tensor_min:
+        regime = BufferRegime.MEDIUM
+    else:
+        regime = BufferRegime.LARGE
+    return RegimeReport(
+        regime=regime,
+        buffer_elems=buffer_elems,
+        d_min=d_min,
+        tensor_min=tensor_min,
+    )

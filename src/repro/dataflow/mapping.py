@@ -1,0 +1,128 @@
+"""Spatial mapping: assigning tiles to the PE array (paper Sec. IV-A).
+
+Mapping decides which dimensions run *across PEs* (spatial) and which run
+*across time* (temporal).  The paper names the tile whose dimensions all map
+spatially the **stationary tile** and the tile with one temporal dimension
+the **moving tile** (Fig. 5).  The stationary tile must match the physical
+array shape or PEs idle; the moving tile is unconstrained.
+
+For fused chains the paper identifies two intermediate-tile shapes and one
+mapping for each:
+
+* **tile-like** intermediate (both dims sizable, Fig. 4(a)/(c)/(e)) ->
+  **tile fusion**: the intermediate is the stationary tile; the array first
+  runs the producer output-stationary, then the consumer input-stationary
+  without the intermediate ever leaving the PE registers (Fig. 5(a)).
+* **column-like** intermediate (one dim maximized, one minimized,
+  Fig. 4(b)/(d)) -> **column fusion**: the array splits into a producer half
+  (input-stationary) and a consumer half (output-stationary) with the
+  intermediate streaming between them as the moving tile (Fig. 5(b)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class MappingError(ValueError):
+    """Raised for mappings inconsistent with the array or tiles."""
+
+
+@dataclass(frozen=True)
+class ArrayShape:
+    """A (possibly reconfigured) rectangular PE array."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise MappingError(f"array shape {self.rows}x{self.cols} invalid")
+
+    @property
+    def pes(self) -> int:
+        return self.rows * self.cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rows}x{self.cols}"
+
+
+class FusedMappingKind(Enum):
+    """The two fused-dataflow mappings of paper Fig. 5."""
+
+    TILE_FUSION = "tile_fusion"
+    COLUMN_FUSION = "column_fusion"
+
+
+@dataclass(frozen=True)
+class SpatialMapping:
+    """A stationary tile placed on an array.
+
+    ``tile_rows``/``tile_cols`` are the stationary-tile dimensions mapped
+    across the array's rows/columns; the remaining operator dimension maps
+    across time.
+    """
+
+    tile_rows: int
+    tile_cols: int
+    array: ArrayShape
+
+    def __post_init__(self) -> None:
+        if self.tile_rows <= 0 or self.tile_cols <= 0:
+            raise MappingError("stationary tile dims must be positive")
+
+    @property
+    def passes(self) -> int:
+        """Array passes needed to cover the stationary tile."""
+        return math.ceil(self.tile_rows / self.array.rows) * math.ceil(
+            self.tile_cols / self.array.cols
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PE-passes doing useful work (<= 1)."""
+        return (self.tile_rows * self.tile_cols) / (self.passes * self.array.pes)
+
+
+def classify_intermediate_tile(
+    tile_shape: Tuple[int, int], column_threshold: int = 1
+) -> FusedMappingKind:
+    """Classify an intermediate tile as tile-like or column-like.
+
+    A tile with any dimension at or below ``column_threshold`` is
+    column-like (one dim was minimized per Principle 2); otherwise it is
+    tile-like (both dims maximized / untiled per Principles 1 and 3).
+    """
+
+    rows, cols = tile_shape
+    if rows <= 0 or cols <= 0:
+        raise MappingError(f"intermediate tile shape {tile_shape} invalid")
+    if min(rows, cols) <= column_threshold:
+        return FusedMappingKind.COLUMN_FUSION
+    return FusedMappingKind.TILE_FUSION
+
+
+def best_array_utilization(
+    tile_rows: int,
+    tile_cols: int,
+    shapes: Tuple[ArrayShape, ...],
+) -> Tuple[ArrayShape, float]:
+    """Pick the array shape maximizing utilization for a stationary tile.
+
+    Architectures expose the shapes they can reconfigure into (square only
+    for a fixed systolic array; square/narrow/wide for FuseCU's recombined
+    CUs; many sub-shapes for Planaria's fissioned pods).
+    """
+
+    if not shapes:
+        raise MappingError("no array shapes available")
+    best_shape = shapes[0]
+    best_util = SpatialMapping(tile_rows, tile_cols, best_shape).utilization
+    for shape in shapes[1:]:
+        util = SpatialMapping(tile_rows, tile_cols, shape).utilization
+        if util > best_util:
+            best_shape, best_util = shape, util
+    return best_shape, best_util

@@ -1,0 +1,133 @@
+"""Schedules: tiled loop orders and the stationary tensor (paper Fig. 2(b)).
+
+A :class:`Schedule` is an ordered tuple of loop dimensions, outermost first.
+The *stationary tensor* of a schedule is the tensor that stays in the buffer
+across consecutive innermost iterations: the tensor not indexed by the
+innermost *effective* (trip > 1) loop.  In the paper's terms:
+
+* loop order ``(M, L, K)`` with K innermost keeps ``C[M,L]`` stationary
+  (output-stationary, OS);
+* order ``(K, L, M)`` keeps ``B[K,L]`` stationary;
+* order ``(K, M, L)`` keeps ``A[M,K]`` stationary (input-stationary, IS,
+  also called weight-stationary WS when A holds weights).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..ir.operator import TensorOperator
+from ..ir.tensor import Tensor
+from .tiling import Tiling
+
+
+class ScheduleError(ValueError):
+    """Raised for schedules inconsistent with their operator."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Loop order over an operator's dimensions, outermost first."""
+
+    order: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+        if len(set(self.order)) != len(self.order):
+            raise ScheduleError(f"loop order repeats a dim: {self.order}")
+
+    def validate(self, operator: TensorOperator) -> None:
+        if set(self.order) != set(operator.dims):
+            raise ScheduleError(
+                f"schedule {self.order} does not cover operator dims "
+                f"{tuple(operator.dims)}"
+            )
+
+    @property
+    def innermost(self) -> str:
+        return self.order[-1]
+
+    @property
+    def outermost(self) -> str:
+        return self.order[0]
+
+    def effective_order(
+        self, operator: TensorOperator, tiling: Tiling
+    ) -> Tuple[str, ...]:
+        """Loop order with untiled (trip == 1) dims removed."""
+        self.validate(operator)
+        resolved = tiling.for_operator(operator)
+        return tuple(
+            dim for dim in self.order if resolved[dim] < operator.dims[dim]
+        )
+
+    def stationary_tensor(
+        self, operator: TensorOperator, tiling: Tiling
+    ) -> Optional[Tensor]:
+        """The tensor held across innermost iterations, if unique.
+
+        Returns the tensor not indexed by the innermost effective loop.  If
+        every dimension is untiled (everything fits), or more than one tensor
+        qualifies, returns the smallest qualifying tensor; returns ``None``
+        when no effective loops remain (degenerate fully-buffered case).
+        """
+
+        effective = self.effective_order(operator, tiling)
+        if not effective:
+            return None
+        inner = effective[-1]
+        candidates = [
+            tensor
+            for tensor in operator.tensors
+            if inner not in operator.dims_of(tensor.name)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda tensor: tensor.size)
+
+
+def all_schedules(operator: TensorOperator) -> Iterator[Schedule]:
+    """All loop-order permutations for an operator (n! schedules)."""
+    for order in itertools.permutations(operator.dim_names):
+        yield Schedule(order)
+
+
+# ----------------------------------------------------------------------
+# Named matmul schedules (paper Fig. 2(b))
+# ----------------------------------------------------------------------
+def output_stationary(operator: TensorOperator) -> Schedule:
+    """Schedule keeping the output stationary: reduction dims innermost."""
+    non_reduction = [d for d in operator.dim_names if d not in operator.reduction_dims]
+    reduction = [d for d in operator.dim_names if d in operator.reduction_dims]
+    if not reduction:
+        raise ScheduleError(
+            f"operator {operator.name!r} has no reduction dim; output is always "
+            "non-redundant"
+        )
+    return Schedule(tuple(non_reduction + reduction))
+
+
+def input_stationary(operator: TensorOperator, input_name: str) -> Schedule:
+    """Schedule keeping the named input stationary: its dims outermost.
+
+    The innermost loop walks a dim absent from the stationary input, so the
+    stationary tile is reused across it.
+    """
+
+    stationary_dims = set(operator.dims_of(input_name))
+    outer = [d for d in operator.dim_names if d in stationary_dims]
+    inner = [d for d in operator.dim_names if d not in stationary_dims]
+    if not inner:
+        raise ScheduleError(
+            f"input {input_name!r} is indexed by every dim; cannot be stationary"
+        )
+    return Schedule(tuple(outer + inner))
+
+
+def stationary_schedule(operator: TensorOperator, tensor_name: str) -> Schedule:
+    """Schedule making the named tensor (input or output) stationary."""
+    if tensor_name == operator.output.name:
+        return output_stationary(operator)
+    return input_stationary(operator, tensor_name)

@@ -1,0 +1,119 @@
+"""JSON-friendly serialization of dataflow artifacts.
+
+Optimization results need to leave the library -- into compiler toolchains,
+RTL testbenches, or experiment logs.  This module converts the core
+artifacts (tilings, schedules, dataflows, fused dataflows, access reports)
+to plain dictionaries and back, with round-trip fidelity guaranteed by the
+test suite.
+
+Only data is serialized; operators are referenced by name and must be
+reconstructed by the consumer (they are workload definitions, not results).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .cost import MemoryAccessReport
+from .fusion_nest import FusedDataflow
+from .scheduling import Schedule
+from .spec import Dataflow
+from .tiling import Tiling
+
+
+class SerializationError(ValueError):
+    """Raised for malformed serialized payloads."""
+
+
+def _require(payload: Dict[str, Any], key: str, kind: str) -> Any:
+    if key not in payload:
+        raise SerializationError(f"{kind} payload missing {key!r}")
+    return payload[key]
+
+
+# ----------------------------------------------------------------------
+# Tiling / Schedule / Dataflow
+# ----------------------------------------------------------------------
+def tiling_to_dict(tiling: Tiling) -> Dict[str, Any]:
+    return {"kind": "tiling", "tiles": dict(tiling.tiles)}
+
+
+def tiling_from_dict(payload: Dict[str, Any]) -> Tiling:
+    tiles = _require(payload, "tiles", "tiling")
+    if not isinstance(tiles, dict):
+        raise SerializationError("tiling tiles must be a mapping")
+    return Tiling({str(dim): int(tile) for dim, tile in tiles.items()})
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    return {"kind": "schedule", "order": list(schedule.order)}
+
+
+def schedule_from_dict(payload: Dict[str, Any]) -> Schedule:
+    order = _require(payload, "order", "schedule")
+    return Schedule(tuple(str(dim) for dim in order))
+
+
+def dataflow_to_dict(dataflow: Dataflow) -> Dict[str, Any]:
+    return {
+        "kind": "dataflow",
+        "tiling": tiling_to_dict(dataflow.tiling),
+        "schedule": schedule_to_dict(dataflow.schedule),
+    }
+
+
+def dataflow_from_dict(payload: Dict[str, Any]) -> Dataflow:
+    return Dataflow(
+        tiling=tiling_from_dict(_require(payload, "tiling", "dataflow")),
+        schedule=schedule_from_dict(_require(payload, "schedule", "dataflow")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fused dataflow
+# ----------------------------------------------------------------------
+def fused_dataflow_to_dict(dataflow: FusedDataflow) -> Dict[str, Any]:
+    return {
+        "kind": "fused_dataflow",
+        "shared_order": list(dataflow.shared_order),
+        "private_orders": {
+            name: list(order) for name, order in dataflow.private_orders.items()
+        },
+        "tiling": tiling_to_dict(dataflow.tiling),
+    }
+
+
+def fused_dataflow_from_dict(payload: Dict[str, Any]) -> FusedDataflow:
+    private = _require(payload, "private_orders", "fused_dataflow")
+    if not isinstance(private, dict):
+        raise SerializationError("private_orders must be a mapping")
+    return FusedDataflow(
+        shared_order=tuple(
+            str(d) for d in _require(payload, "shared_order", "fused_dataflow")
+        ),
+        private_orders={
+            str(name): tuple(str(d) for d in order)
+            for name, order in private.items()
+        },
+        tiling=tiling_from_dict(_require(payload, "tiling", "fused_dataflow")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reports (one-way: results are exported, not re-imported)
+# ----------------------------------------------------------------------
+def report_to_dict(report: MemoryAccessReport) -> Dict[str, Any]:
+    return {
+        "kind": "memory_access_report",
+        "operator": report.operator_name,
+        "count": report.count,
+        "total": report.total,
+        "per_tensor": {
+            name: {
+                "size": entry.size,
+                "multiplier": entry.multiplier,
+                "accesses": entry.accesses,
+            }
+            for name, entry in report.per_tensor.items()
+        },
+    }

@@ -1,0 +1,112 @@
+"""ASCII bar and line charts for terminal-rendered figures.
+
+The benchmark harnesses print the same *series* the paper plots; these
+helpers render them visually enough to eyeball trends (grouped bars for
+Fig. 10's normalized MA, line tracks for utilization and the Fig. 11
+sweep) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A unicode bar of ``value / scale`` of ``width`` cells."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    cells = max(0.0, value / scale) * width
+    full = int(cells)
+    frac = cells - full
+    bar = "█" * min(full, width)
+    if full < width and frac > 0:
+        bar += _BLOCKS[int(frac * 8)]
+    return bar
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per labeled value, scaled to the max."""
+    if not series:
+        return title
+    scale = max(series.values())
+    label_width = max(len(label) for label in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        lines.append(
+            f"{label.ljust(label_width)} | "
+            f"{_bar(value, scale, width).ljust(width)} {value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 32,
+) -> str:
+    """Bars grouped by outer key (e.g. model), one row per inner series."""
+    lines = [title] if title else []
+    scale = max(
+        (value for group in groups.values() for value in group.values()),
+        default=1.0,
+    )
+    label_width = max(
+        (len(label) for group in groups.values() for label in group), default=1
+    )
+    for group_name, group in groups.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            lines.append(
+                f"  {label.ljust(label_width)} | "
+                f"{_bar(value, scale, width).ljust(width)} {value:.3g}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A multi-series scatter/line plot on a character grid."""
+    if not series:
+        return title
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(xs)}:
+        raise ValueError("every series must match the x vector's length")
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, value in zip(xs, values):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = [title] if title else []
+    lines.append(f"{hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"x: {x_lo:g} .. {x_hi:g}   "
+        + "  ".join(
+            f"{markers[i % len(markers)]}={name}"
+            for i, name in enumerate(series)
+        )
+    )
+    return "\n".join(lines)

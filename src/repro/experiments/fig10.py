@@ -1,0 +1,177 @@
+"""Fig. 10: memory access + utilization across models and platforms.
+
+The paper's main result: over the seven Table II models, FuseCU reduces
+memory access by 63.6% / 62.4% / 38.7% and speeds execution by 1.33x /
+1.25x / 1.14x versus TPUv4i / Gemmini / Planaria, with UnfCU (no fusion)
+capturing the intra-operator share of the gains (42.6% / 41.0% / 4.5%).
+
+This harness evaluates every (model, platform) pair through the analytical
+platform models and reports the paper's two series: memory access
+normalized to TPUv4i (bar chart) and utilization (line chart), plus the
+aggregated headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..arch.accelerators import (
+    ALL_PLATFORMS,
+    AcceleratorSpec,
+    evaluate_graph,
+    fusecu,
+    gemmini,
+    planaria,
+    tpuv4i,
+    unfcu,
+)
+from ..arch.memory import MemorySpec, PAPER_DEFAULT_MEMORY
+from ..arch.perf import PlatformPerf
+from ..workloads.models import ModelConfig, PAPER_MODELS
+from ..workloads.transformer import build_layer_graph
+from .runner import arithmetic_mean, format_table, geometric_mean
+
+#: Platform order used throughout (TPUv4i is the normalization baseline).
+PLATFORM_ORDER = ("TPUv4i", "Gemmini", "Planaria", "UnfCU", "FuseCU")
+
+#: The paper's reported averages, for side-by-side reporting.
+PAPER_FUSECU_MA_SAVING = {"TPUv4i": 0.636, "Gemmini": 0.624, "Planaria": 0.387}
+PAPER_FUSECU_SPEEDUP = {"TPUv4i": 1.33, "Gemmini": 1.25, "Planaria": 1.14}
+PAPER_UNFCU_MA_SAVING = {"TPUv4i": 0.426, "Gemmini": 0.410, "Planaria": 0.045}
+
+
+@dataclass(frozen=True)
+class Fig10Cell:
+    """One (model, platform) evaluation."""
+
+    model: str
+    platform: str
+    memory_access: int
+    cycles: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """The full Fig. 10 grid plus aggregates."""
+
+    cells: Tuple[Fig10Cell, ...]
+
+    def cell(self, model: str, platform: str) -> Fig10Cell:
+        for candidate in self.cells:
+            if candidate.model == model and candidate.platform == platform:
+                return candidate
+        raise KeyError(f"no cell for ({model}, {platform})")
+
+    @property
+    def models(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for candidate in self.cells:
+            if candidate.model not in seen:
+                seen.append(candidate.model)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    def normalized_ma(self, model: str, platform: str) -> float:
+        """Memory access normalized to TPUv4i (the paper's bar chart)."""
+        baseline = self.cell(model, "TPUv4i").memory_access
+        return self.cell(model, platform).memory_access / baseline
+
+    def ma_saving(self, platform: str, baseline: str) -> float:
+        """Average fractional MA saving of ``platform`` over ``baseline``."""
+        savings = [
+            1.0
+            - self.cell(model, platform).memory_access
+            / self.cell(model, baseline).memory_access
+            for model in self.models
+        ]
+        return arithmetic_mean(savings)
+
+    def speedup(self, platform: str, baseline: str) -> float:
+        """Average speedup of ``platform`` over ``baseline``."""
+        speedups = [
+            self.cell(model, baseline).cycles / self.cell(model, platform).cycles
+            for model in self.models
+        ]
+        return geometric_mean(speedups)
+
+    def headline(self) -> Dict[str, Dict[str, float]]:
+        """The paper's headline aggregates for FuseCU and UnfCU."""
+        return {
+            "fusecu_ma_saving": {
+                base: self.ma_saving("FuseCU", base)
+                for base in ("TPUv4i", "Gemmini", "Planaria")
+            },
+            "fusecu_speedup": {
+                base: self.speedup("FuseCU", base)
+                for base in ("TPUv4i", "Gemmini", "Planaria")
+            },
+            "unfcu_ma_saving": {
+                base: self.ma_saving("UnfCU", base)
+                for base in ("TPUv4i", "Gemmini", "Planaria")
+            },
+        }
+
+
+def run_fig10(
+    models: Sequence[ModelConfig] = PAPER_MODELS,
+    memory: MemorySpec = PAPER_DEFAULT_MEMORY,
+    platforms: Sequence[Callable[[MemorySpec], AcceleratorSpec]] = ALL_PLATFORMS,
+) -> Fig10Result:
+    """Evaluate every (model, platform) pair."""
+    cells: List[Fig10Cell] = []
+    for model in models:
+        graph = build_layer_graph(model)
+        for factory in platforms:
+            spec = factory(memory)
+            perf: PlatformPerf = evaluate_graph(graph, spec)
+            cells.append(
+                Fig10Cell(
+                    model=model.name,
+                    platform=spec.name,
+                    memory_access=perf.total_memory_access,
+                    cycles=perf.total_cycles,
+                    utilization=perf.utilization,
+                )
+            )
+    return Fig10Result(cells=tuple(cells))
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Print the normalized-MA bars and utilization lines plus headlines."""
+    rows = []
+    for model in result.models:
+        row: List[object] = [model]
+        for platform in PLATFORM_ORDER:
+            row.append(round(result.normalized_ma(model, platform), 3))
+        for platform in PLATFORM_ORDER:
+            row.append(round(result.cell(model, platform).utilization, 3))
+        rows.append(row)
+    headers = (
+        ["model"]
+        + [f"MA:{p}" for p in PLATFORM_ORDER]
+        + [f"util:{p}" for p in PLATFORM_ORDER]
+    )
+    table = format_table(
+        headers,
+        rows,
+        title="Fig. 10: normalized memory access (bars) and utilization (lines)",
+    )
+    summary = result.headline()
+    lines = [table, "", "Headline averages (measured vs paper):"]
+    for base in ("TPUv4i", "Gemmini", "Planaria"):
+        lines.append(
+            f"  FuseCU vs {base}: MA saving "
+            f"{summary['fusecu_ma_saving'][base]:.1%} "
+            f"(paper {PAPER_FUSECU_MA_SAVING[base]:.1%}), speedup "
+            f"{summary['fusecu_speedup'][base]:.2f}x "
+            f"(paper {PAPER_FUSECU_SPEEDUP[base]:.2f}x)"
+        )
+    for base in ("TPUv4i", "Gemmini", "Planaria"):
+        lines.append(
+            f"  UnfCU  vs {base}: MA saving "
+            f"{summary['unfcu_ma_saving'][base]:.1%} "
+            f"(paper {PAPER_UNFCU_MA_SAVING[base]:.1%})"
+        )
+    return "\n".join(lines)

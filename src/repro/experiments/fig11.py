@@ -1,0 +1,107 @@
+"""Fig. 11: sensitivity to sequence length (LLaMA2, 256 .. 16K).
+
+The paper sweeps LLaMA2's sequence length and shows FuseCU sustains both
+low memory access and high utilization for short and long sequences, "with
+greater memory access reduction observed for longer sequences" (attention's
+S^2 intermediates grow quadratically while the fused dataflow keeps them
+on-chip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..arch.accelerators import ALL_PLATFORMS, AcceleratorSpec, evaluate_graph
+from ..arch.memory import MemorySpec, PAPER_DEFAULT_MEMORY
+from ..workloads.models import LLAMA2, LLAMA2_SEQ_SWEEP, ModelConfig
+from ..workloads.transformer import build_layer_graph
+from .fig10 import PLATFORM_ORDER
+from .runner import format_table
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    """One (sequence length, platform) evaluation."""
+
+    seq_len: int
+    platform: str
+    memory_access: int
+    cycles: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    points: Tuple[Fig11Point, ...]
+
+    def point(self, seq_len: int, platform: str) -> Fig11Point:
+        for candidate in self.points:
+            if candidate.seq_len == seq_len and candidate.platform == platform:
+                return candidate
+        raise KeyError(f"no point for ({seq_len}, {platform})")
+
+    @property
+    def seq_lens(self) -> Tuple[int, ...]:
+        seen: List[int] = []
+        for candidate in self.points:
+            if candidate.seq_len not in seen:
+                seen.append(candidate.seq_len)
+        return tuple(seen)
+
+    def normalized_ma(self, seq_len: int, platform: str) -> float:
+        baseline = self.point(seq_len, "TPUv4i").memory_access
+        return self.point(seq_len, platform).memory_access / baseline
+
+    def fusecu_saving(self, seq_len: int, baseline: str = "TPUv4i") -> float:
+        return 1.0 - self.point(seq_len, "FuseCU").memory_access / self.point(
+            seq_len, baseline
+        ).memory_access
+
+
+def run_fig11(
+    model: ModelConfig = LLAMA2,
+    seq_lens: Sequence[int] = LLAMA2_SEQ_SWEEP,
+    memory: MemorySpec = PAPER_DEFAULT_MEMORY,
+    platforms: Sequence[Callable[[MemorySpec], AcceleratorSpec]] = ALL_PLATFORMS,
+) -> Fig11Result:
+    """Sweep sequence length for the given model across platforms."""
+    points: List[Fig11Point] = []
+    for seq_len in seq_lens:
+        graph = build_layer_graph(model.with_seq_len(seq_len))
+        for factory in platforms:
+            spec = factory(memory)
+            perf = evaluate_graph(graph, spec)
+            points.append(
+                Fig11Point(
+                    seq_len=seq_len,
+                    platform=spec.name,
+                    memory_access=perf.total_memory_access,
+                    cycles=perf.total_cycles,
+                    utilization=perf.utilization,
+                )
+            )
+    return Fig11Result(points=tuple(points))
+
+
+def render_fig11(result: Fig11Result) -> str:
+    rows = []
+    for seq_len in result.seq_lens:
+        row: List[object] = [seq_len]
+        for platform in PLATFORM_ORDER:
+            row.append(round(result.normalized_ma(seq_len, platform), 3))
+        for platform in PLATFORM_ORDER:
+            row.append(round(result.point(seq_len, platform).utilization, 3))
+        row.append(f"{result.fusecu_saving(seq_len):.1%}")
+        rows.append(row)
+    headers = (
+        ["seq len"]
+        + [f"MA:{p}" for p in PLATFORM_ORDER]
+        + [f"util:{p}" for p in PLATFORM_ORDER]
+        + ["FuseCU saving"]
+    )
+    return format_table(
+        headers,
+        rows,
+        title="Fig. 11: LLaMA2 vs sequence length (MA normalized to TPUv4i)",
+    )

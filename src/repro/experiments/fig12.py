@@ -1,0 +1,113 @@
+"""Fig. 12: FuseCU area breakdown and overheads at 28 nm.
+
+The paper's two headlines:
+
+* FuseCU adds **12.0%** area over the TPUv4i-style baseline array, almost
+  entirely the XS PE MUX logic;
+* the FuseCU resize interconnect and fusion control contribute **< 0.1%**
+  -- far below Planaria's 12.6% interconnect cost.
+
+The area model (:mod:`repro.arch.area`) reproduces both from gate-equivalent
+estimates; this harness renders the breakdown and the comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..arch.area import (
+    AreaBreakdown,
+    fusecu_area,
+    gemmini_area,
+    planaria_area,
+    tpuv4i_area,
+    unfcu_area,
+)
+from .runner import format_dict_table, format_table
+
+#: Paper-reported reference values.
+PAPER_FUSECU_OVERHEAD = 0.120
+PAPER_INTERCONNECT_SHARE_MAX = 0.001
+PAPER_PLANARIA_OVERHEAD = 0.126
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Area breakdowns for every platform plus derived overheads."""
+
+    breakdowns: Tuple[AreaBreakdown, ...]
+
+    def breakdown(self, platform: str) -> AreaBreakdown:
+        for candidate in self.breakdowns:
+            if candidate.platform == platform:
+                return candidate
+        raise KeyError(f"no breakdown for {platform!r}")
+
+    @property
+    def fusecu_overhead(self) -> float:
+        """FuseCU area increase over the TPUv4i baseline (paper: 12.0%)."""
+        return self.breakdown("FuseCU").overhead_over(self.breakdown("TPUv4i"))
+
+    @property
+    def planaria_overhead(self) -> float:
+        """Planaria area increase over TPUv4i (paper: 12.6%)."""
+        return self.breakdown("Planaria").overhead_over(self.breakdown("TPUv4i"))
+
+    @property
+    def interconnect_and_control_share(self) -> float:
+        """FuseCU resize interconnect + control share of total (paper <0.1%)."""
+        fusecu = self.breakdown("FuseCU")
+        return fusecu.fraction("FuseCU resize interconnect") + fusecu.fraction(
+            "fusion control units"
+        )
+
+
+def run_fig12() -> Fig12Result:
+    """Build every platform's area breakdown."""
+    return Fig12Result(
+        breakdowns=(
+            tpuv4i_area(),
+            gemmini_area(),
+            planaria_area(),
+            unfcu_area(),
+            fusecu_area(),
+        )
+    )
+
+
+def render_fig12(result: Fig12Result) -> str:
+    fusecu = result.breakdown("FuseCU")
+    lines: List[str] = [
+        format_dict_table(
+            fusecu.rows(), title="Fig. 12: FuseCU area breakdown (28 nm GE model)"
+        ),
+        "",
+        f"FuseCU total: {fusecu.total_mm2:.2f} mm^2 ({fusecu.total_ge} GE)",
+        (
+            f"FuseCU overhead over TPUv4i: {result.fusecu_overhead:.1%} "
+            f"(paper {PAPER_FUSECU_OVERHEAD:.1%})"
+        ),
+        (
+            "FuseCU interconnect + control share: "
+            f"{result.interconnect_and_control_share:.3%} "
+            f"(paper < {PAPER_INTERCONNECT_SHARE_MAX:.1%})"
+        ),
+        (
+            f"Planaria interconnect overhead: {result.planaria_overhead:.1%} "
+            f"(paper {PAPER_PLANARIA_OVERHEAD:.1%})"
+        ),
+    ]
+    rows = [
+        [b.platform, b.total_ge, round(b.total_mm2, 2), f"{b.overhead_over(result.breakdown('TPUv4i')):.2%}"]
+        for b in result.breakdowns
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            ["platform", "GE", "mm^2", "overhead vs TPUv4i"],
+            rows,
+            title="Per-platform totals",
+        )
+    )
+    return "\n".join(lines)

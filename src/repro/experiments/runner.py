@@ -1,0 +1,72 @@
+"""Shared utilities for the experiment harnesses.
+
+Each ``figN``/``tables`` module computes its paper artifact and returns
+plain dataclasses; this module provides the text rendering used by the
+benchmark harnesses and example scripts to print the same rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an ASCII table (paper-style rows) for terminal output."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row} has {len(row)} cells; expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_dict_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table."""
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows], title)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the natural average for speedups)."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"non-positive value {value} in geometric mean")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,96 @@
+"""Buffer-size sweep study: the MA(BS) lower-bound curves.
+
+Complements Fig. 9: rather than sampling fixed buffer sizes, this harness
+extracts the *corner points* of each operator's MA(BS) staircase
+(:func:`repro.core.inverse.pareto_curve`), annotates the paper's regime
+boundaries (``Dmin^2/4``, ``Dmin^2/2``, ``Tensor_min``), and renders the
+normalized curves as an ASCII line chart -- the visual form of the paper's
+Sec. III-A4 classification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.inverse import ParetoPoint, pareto_curve
+from ..core.lower_bound import shift_point_band, three_nra_threshold
+from ..ir.operator import TensorOperator
+from .ascii_plots import line_chart
+from .runner import format_table
+
+
+@dataclass(frozen=True)
+class SweepCurve:
+    """One operator's lower-bound staircase plus regime annotations."""
+
+    operator: str
+    ideal: int
+    points: Tuple[ParetoPoint, ...]
+    shift_band: Tuple[float, float]
+    three_nra_at: int
+
+    def normalized(self) -> List[Tuple[int, float]]:
+        return [
+            (point.buffer_elems, point.memory_access / self.ideal)
+            for point in self.points
+        ]
+
+
+def run_sweep(
+    operators: Sequence[TensorOperator],
+    max_points: int = 24,
+) -> List[SweepCurve]:
+    """Extract every operator's MA(BS) corner curve."""
+    curves: List[SweepCurve] = []
+    for operator in operators:
+        points = pareto_curve(operator, max_points=max_points)
+        curves.append(
+            SweepCurve(
+                operator=operator.name,
+                ideal=operator.ideal_memory_access(),
+                points=tuple(points),
+                shift_band=shift_point_band(operator),
+                three_nra_at=three_nra_threshold(operator),
+            )
+        )
+    return curves
+
+
+def render_sweep(curves: Sequence[SweepCurve]) -> str:
+    """Table of corners + a log-log-ish ASCII chart per operator."""
+    blocks: List[str] = []
+    for curve in curves:
+        rows = [
+            [point.buffer_elems, point.memory_access,
+             round(point.memory_access / curve.ideal, 3)]
+            for point in curve.points
+        ]
+        blocks.append(
+            format_table(
+                ["buffer (elems)", "MA lower bound", "MA / ideal"],
+                rows,
+                title=(
+                    f"{curve.operator}: shift band "
+                    f"[{curve.shift_band[0]:.0f}, {curve.shift_band[1]:.0f}], "
+                    f"Three-NRA from ~{curve.three_nra_at} elems"
+                ),
+            )
+        )
+        xs = [math.log2(point.buffer_elems) for point in curve.points]
+        ys = {
+            "MA/ideal": [
+                point.memory_access / curve.ideal for point in curve.points
+            ]
+        }
+        blocks.append(
+            line_chart(
+                xs,
+                ys,
+                title=f"{curve.operator}: normalized MA vs log2(buffer)",
+                height=10,
+                width=56,
+            )
+        )
+    return "\n\n".join(blocks)

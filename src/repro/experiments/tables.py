@@ -1,0 +1,90 @@
+"""Paper Tables I-III as data + renderers.
+
+* Table I  -- qualitative feature matrix of dataflow optimizers.
+* Table II -- transformer model parameters (from :mod:`repro.workloads`).
+* Table III -- spatial-architecture attributes (from
+  :mod:`repro.arch.accelerators`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..arch.accelerators import ALL_PLATFORMS
+from ..workloads.models import PAPER_MODELS
+from .runner import format_dict_table
+
+#: Table I: summary of SOTA dataflow optimizers (paper Sec. II-B).
+TABLE1_ROWS: Tuple[Dict[str, str], ...] = (
+    {
+        "Framework": "Intra-operator [1,3,6,7]",
+        "Full tiling & scheduling space": "no",
+        "Optimization scheme": "searching-based",
+        "Mapping scheme": "searching with fixed patterns",
+        "Fusion medium": "no fusion",
+    },
+    {
+        "Framework": "Chimera [12]",
+        "Full tiling & scheduling space": "no",
+        "Optimization scheme": "searching-based",
+        "Mapping scheme": "replaceable micro kernels",
+        "Fusion medium": "memory",
+    },
+    {
+        "Framework": "SET [13]",
+        "Full tiling & scheduling space": "no",
+        "Optimization scheme": "searching-based",
+        "Mapping scheme": "not discussed",
+        "Fusion medium": "memory",
+    },
+    {
+        "Framework": "Flat [11]",
+        "Full tiling & scheduling space": "no",
+        "Optimization scheme": "searching-based",
+        "Mapping scheme": "not discussed",
+        "Fusion medium": "memory",
+    },
+    {
+        "Framework": "DAT [14,15]",
+        "Full tiling & scheduling space": "yes",
+        "Optimization scheme": "searching-based",
+        "Mapping scheme": "not discussed",
+        "Fusion medium": "memory",
+    },
+    {
+        "Framework": "This work",
+        "Full tiling & scheduling space": "yes",
+        "Optimization scheme": "principle-based",
+        "Mapping scheme": "principle-based",
+        "Fusion medium": "compute unit",
+    },
+)
+
+
+def table1() -> str:
+    """Render Table I."""
+    return format_dict_table(
+        list(TABLE1_ROWS), title="Table I: summary of the SOTA dataflow optimizers"
+    )
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    return [model.table_row() for model in PAPER_MODELS]
+
+
+def table2() -> str:
+    """Render Table II (transformer model parameters)."""
+    return format_dict_table(
+        table2_rows(), title="Table II: transformer model parameters (batch 16)"
+    )
+
+
+def table3_rows() -> List[Dict[str, str]]:
+    return [factory().attributes() for factory in ALL_PLATFORMS]
+
+
+def table3() -> str:
+    """Render Table III (spatial architecture attributes)."""
+    return format_dict_table(
+        table3_rows(), title="Table III: spatial architecture attributes"
+    )

@@ -1,0 +1,45 @@
+"""Tensor-operator intermediate representation.
+
+The IR layer provides the vocabulary every other subsystem builds on:
+
+* :class:`~repro.ir.tensor.Tensor` -- shaped, named tensor placeholders.
+* :class:`~repro.ir.operator.TensorOperator` -- operators as perfect loop
+  nests (with :func:`~repro.ir.operator.matmul` and friends as constructors).
+* :class:`~repro.ir.graph.OperatorGraph` -- DAGs of operators, the unit the
+  fusion optimizer partitions.
+* :class:`~repro.ir.loopnest.TiledLoop` / :class:`~repro.ir.loopnest.LoopNest`
+  -- tiled-loop primitives consumed by the cost models.
+"""
+
+from .tensor import Tensor, matrix
+from .operator import (
+    OperatorError,
+    TensorOperator,
+    batched_matmul,
+    elementwise,
+    matmul,
+    rowwise_softmax,
+)
+from .conv import Conv2DShape, conv2d, conv2d_as_matmul
+from .einsum import einsum_operator
+from .graph import GraphError, OperatorGraph
+from .loopnest import LoopNest, TiledLoop
+
+__all__ = [
+    "einsum_operator",
+    "Conv2DShape",
+    "conv2d",
+    "conv2d_as_matmul",
+    "Tensor",
+    "matrix",
+    "TensorOperator",
+    "OperatorError",
+    "matmul",
+    "batched_matmul",
+    "elementwise",
+    "rowwise_softmax",
+    "OperatorGraph",
+    "GraphError",
+    "LoopNest",
+    "TiledLoop",
+]

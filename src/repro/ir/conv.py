@@ -1,0 +1,161 @@
+"""Convolution operators, im2col-lowered to the MM analysis.
+
+The paper's principles are stated for operators whose tensors are indexed
+by subsets of the loop dimensions; a sliding-window convolution's input is
+indexed by *sums* of dimensions (``h = p*stride + r``), which that model
+cannot express directly.  The standard analytical treatment -- and what
+spatial accelerators with im2col front-ends physically do -- is to lower
+the convolution to a matrix multiplication over the im2col matrix:
+
+    O[N*P*Q, K] = Im2col[N*P*Q, C*R*S] x W[C*R*S, K]
+
+The im2col matrix is ``R*S / (stride_h*stride_w)`` times larger than the
+raw input (window overlap duplicates elements); accelerators that expand
+it on the fly from a line buffer avoid re-reading DRAM for the duplicates.
+Both accountings are provided:
+
+* :func:`conv2d_as_matmul` -- the im2col MM, with the duplicated input
+  (worst case / explicit-im2col hardware);
+* :attr:`Conv2DShape.input_traffic_correction` -- the factor to divide the
+  A-tensor traffic by for on-the-fly expansion (best case).
+
+Batch ``N`` folds into the M dimension (the filter is shared across the
+batch), exactly like the transformer projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .operator import OperatorError, TensorOperator, matmul
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class Conv2DShape:
+    """Geometry of a 2-D convolution layer."""
+
+    batch: int
+    in_channels: int
+    height: int
+    width: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "batch",
+            "in_channels",
+            "height",
+            "width",
+            "out_channels",
+            "kernel_h",
+            "kernel_w",
+            "stride",
+        ):
+            if getattr(self, name) <= 0:
+                raise OperatorError(f"conv2d {name} must be positive")
+        if self.padding < 0:
+            raise OperatorError("conv2d padding must be non-negative")
+        if self.out_height <= 0 or self.out_width <= 0:
+            raise OperatorError(
+                f"conv2d output collapses: {self.out_height}x{self.out_width}"
+            )
+
+    @property
+    def out_height(self) -> int:
+        return (self.height + 2 * self.padding - self.kernel_h) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.width + 2 * self.padding - self.kernel_w) // self.stride + 1
+
+    # ------------------------------------------------------------------
+    # im2col MM dimensions
+    # ------------------------------------------------------------------
+    @property
+    def gemm_m(self) -> int:
+        """Output spatial points (batch folded in)."""
+        return self.batch * self.out_height * self.out_width
+
+    @property
+    def gemm_k(self) -> int:
+        """Reduction: input channels x kernel window."""
+        return self.in_channels * self.kernel_h * self.kernel_w
+
+    @property
+    def gemm_l(self) -> int:
+        """Output channels."""
+        return self.out_channels
+
+    @property
+    def macs(self) -> int:
+        return self.gemm_m * self.gemm_k * self.gemm_l
+
+    @property
+    def raw_input_size(self) -> int:
+        """Elements of the un-duplicated input activation."""
+        return self.batch * self.in_channels * self.height * self.width
+
+    @property
+    def im2col_size(self) -> int:
+        """Elements of the expanded im2col matrix."""
+        return self.gemm_m * self.gemm_k
+
+    @property
+    def input_traffic_correction(self) -> float:
+        """Divide the im2col A-traffic by this for on-the-fly expansion.
+
+        Equals the duplication factor ``im2col_size / raw_input_size``
+        (ignoring padding rows, a second-order effect).
+        """
+
+        return self.im2col_size / self.raw_input_size
+
+
+def conv2d_as_matmul(
+    name: str,
+    shape: Conv2DShape,
+    count: int = 1,
+    dtype_bytes: int = 1,
+) -> TensorOperator:
+    """Lower a convolution to its im2col matrix multiplication."""
+    return matmul(
+        name,
+        shape.gemm_m,
+        shape.gemm_k,
+        shape.gemm_l,
+        count=count,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def conv2d(
+    name: str,
+    batch: int,
+    in_channels: int,
+    height: int,
+    width: int,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    count: int = 1,
+) -> Tuple[TensorOperator, Conv2DShape]:
+    """Convenience wrapper: build shape + lowered operator together."""
+    shape = Conv2DShape(
+        batch=batch,
+        in_channels=in_channels,
+        height=height,
+        width=width,
+        out_channels=out_channels,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride=stride,
+        padding=padding,
+    )
+    return conv2d_as_matmul(name, shape, count=count), shape

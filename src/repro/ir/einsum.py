@@ -1,0 +1,109 @@
+"""Einsum-notation front end for building tensor operators.
+
+Sugar over :class:`~repro.ir.operator.TensorOperator`: a contraction spec
+like ``"mk,kl->ml"`` plus dimension sizes yields the operator the
+principle engines consume.  Only the subset matching the analytical model
+is supported -- each subscript letter is one loop dimension, every operand
+is indexed by a plain subset of them (no diagonals/repeats within one
+operand, no broadcasting, no ellipsis).
+
+Examples
+--------
+>>> op = einsum_operator("mm", "mk,kl->ml", {"m": 64, "k": 32, "l": 48})
+>>> op.reduction_dims == frozenset({"k"})
+True
+>>> bmm = einsum_operator("bmm", "bmk,kl->bml", {"b": 4, "m": 8, "k": 6, "l": 5})
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .operator import OperatorError, TensorOperator
+from .tensor import Tensor
+
+
+def _parse(spec: str) -> Tuple[List[str], str]:
+    if "->" not in spec:
+        raise OperatorError(f"einsum spec {spec!r} needs an explicit '->'")
+    lhs, output = spec.split("->")
+    inputs = [term.strip() for term in lhs.split(",")]
+    output = output.strip()
+    if not inputs or any(not term for term in inputs) or not output:
+        raise OperatorError(f"malformed einsum spec {spec!r}")
+    for term in inputs + [output]:
+        if not term.isalpha():
+            raise OperatorError(
+                f"einsum term {term!r} must be letters only (no ellipsis)"
+            )
+        if len(set(term)) != len(term):
+            raise OperatorError(
+                f"einsum term {term!r} repeats a subscript (diagonals are "
+                "not in the analytical model)"
+            )
+    return inputs, output
+
+
+def einsum_operator(
+    name: str,
+    spec: str,
+    sizes: Mapping[str, int],
+    count: int = 1,
+    dtype_bytes: int = 1,
+) -> TensorOperator:
+    """Build a :class:`TensorOperator` from einsum notation.
+
+    Parameters
+    ----------
+    name:
+        Operator name; operand tensors are named ``{name}.in0``, ... and
+        ``{name}.out``.
+    spec:
+        Contraction such as ``"mk,kl->ml"``.
+    sizes:
+        Extent of every subscript appearing in the spec.
+    """
+
+    input_terms, output_term = _parse(spec)
+    letters: List[str] = []
+    for term in input_terms + [output_term]:
+        for letter in term:
+            if letter not in letters:
+                letters.append(letter)
+    missing = [letter for letter in letters if letter not in sizes]
+    if missing:
+        raise OperatorError(f"einsum spec {spec!r} missing sizes for {missing}")
+    unknown_output = set(output_term) - {
+        letter for term in input_terms for letter in term
+    }
+    if unknown_output:
+        raise OperatorError(
+            f"output subscripts {sorted(unknown_output)} never appear in inputs"
+        )
+    dims: Dict[str, int] = {letter: int(sizes[letter]) for letter in letters}
+    inputs = tuple(
+        Tensor(
+            f"{name}.in{i}",
+            tuple(dims[letter] for letter in term),
+            dtype_bytes,
+        )
+        for i, term in enumerate(input_terms)
+    )
+    output = Tensor(
+        f"{name}.out", tuple(dims[letter] for letter in output_term), dtype_bytes
+    )
+    indexing = {
+        tensor.name: tuple(term)
+        for tensor, term in zip(inputs, input_terms)
+    }
+    indexing[output.name] = tuple(output_term)
+    reduction = frozenset(set(letters) - set(output_term))
+    return TensorOperator(
+        name=name,
+        dims=dims,
+        inputs=inputs,
+        output=output,
+        indexing=indexing,
+        reduction_dims=reduction,
+        count=count,
+    )

@@ -1,0 +1,309 @@
+"""Tensor operators expressed as perfectly nested loop programs.
+
+Every tensor operator in this library is modeled the way the paper models
+them (Sec. III): as a perfect loop nest over named *loop dimensions*, where
+each tensor operand is indexed by a subset of those dimensions.  Matrix
+multiplication ``A[M,K] x B[K,L] = C[M,L]`` is the canonical example::
+
+    for m in range(M):
+      for l in range(L):
+        for k in range(K):
+          C[m, l] += A[m, k] * B[k, l]
+
+The analytical memory-access model in :mod:`repro.dataflow.cost` only needs:
+
+* the loop dimension names and extents (``dims``),
+* which dimensions index each tensor (``indexing``),
+* which dimensions are reductions (``reduction_dims``) -- these determine
+  whether an output tensor accumulates partial sums.
+
+Operators also carry an optional ``count`` multiplier: the number of
+identical instances executed back-to-back (e.g. per-head attention matrix
+multiplications repeated ``batch * heads`` times).  A repeated operator has
+``count``-times the memory traffic and MACs of a single instance; this is
+exact when no operand is reused across instances, which holds for all the
+repeated operators in the paper's transformer workloads (activation x
+activation products).  Weight-sharing operators (projections) fold the batch
+into the M dimension instead, which is also exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+from .tensor import Tensor
+
+
+class OperatorError(ValueError):
+    """Raised for malformed operator definitions."""
+
+
+@dataclass(frozen=True)
+class TensorOperator:
+    """A generic tensor operator as a perfect loop nest.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a graph.
+    dims:
+        Mapping of loop-dimension name to extent, e.g. ``{"M": 1024,
+        "K": 768, "L": 768}``.  Iteration order of this mapping is the
+        canonical (but not prescriptive) loop order.
+    inputs:
+        Input tensors.
+    output:
+        The single output tensor.
+    indexing:
+        For every tensor (by name), the ordered tuple of loop dimensions
+        indexing it.  The projected extents must match the tensor's shape.
+    reduction_dims:
+        Loop dimensions that are reduced over (do not index the output).
+    count:
+        Number of identical instances of this operator (>= 1).
+    flops_per_point:
+        Arithmetic operations per innermost loop iteration (2 for a
+        multiply-accumulate).
+    """
+
+    name: str
+    dims: Mapping[str, int]
+    inputs: Tuple[Tensor, ...]
+    output: Tensor
+    indexing: Mapping[str, Tuple[str, ...]]
+    reduction_dims: FrozenSet[str] = frozenset()
+    count: int = 1
+    flops_per_point: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", dict(self.dims))
+        object.__setattr__(self, "indexing", dict(self.indexing))
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if not self.name:
+            raise OperatorError("operator name must be non-empty")
+        if not self.dims:
+            raise OperatorError(f"operator {self.name!r} needs at least one loop dim")
+        for dim, extent in self.dims.items():
+            if not isinstance(extent, int) or extent <= 0:
+                raise OperatorError(
+                    f"operator {self.name!r} dim {dim!r} has invalid extent {extent!r}"
+                )
+        if self.count < 1:
+            raise OperatorError(f"operator {self.name!r} count must be >= 1")
+        names = [t.name for t in self.tensors]
+        if len(set(names)) != len(names):
+            raise OperatorError(f"operator {self.name!r} has duplicate tensor names")
+        for tensor in self.tensors:
+            if tensor.name not in self.indexing:
+                raise OperatorError(
+                    f"operator {self.name!r} missing indexing for tensor {tensor.name!r}"
+                )
+            index_dims = self.indexing[tensor.name]
+            if len(index_dims) != tensor.rank:
+                raise OperatorError(
+                    f"operator {self.name!r}: tensor {tensor.name!r} has rank "
+                    f"{tensor.rank} but indexing {index_dims}"
+                )
+            for axis, dim in enumerate(index_dims):
+                if dim not in self.dims:
+                    raise OperatorError(
+                        f"operator {self.name!r}: unknown dim {dim!r} indexing "
+                        f"{tensor.name!r}"
+                    )
+                if tensor.shape[axis] != self.dims[dim]:
+                    raise OperatorError(
+                        f"operator {self.name!r}: tensor {tensor.name!r} axis {axis} "
+                        f"extent {tensor.shape[axis]} != dim {dim!r} extent "
+                        f"{self.dims[dim]}"
+                    )
+        bad_reductions = set(self.reduction_dims) - set(self.dims)
+        if bad_reductions:
+            raise OperatorError(
+                f"operator {self.name!r}: unknown reduction dims {sorted(bad_reductions)}"
+            )
+        out_dims = set(self.indexing[self.output.name])
+        overlap = out_dims & set(self.reduction_dims)
+        if overlap:
+            raise OperatorError(
+                f"operator {self.name!r}: reduction dims {sorted(overlap)} must not "
+                "index the output"
+            )
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+    @property
+    def tensors(self) -> Tuple[Tensor, ...]:
+        """All operand tensors (inputs followed by the output)."""
+        return self.inputs + (self.output,)
+
+    def tensor(self, name: str) -> Tensor:
+        """Look up an operand tensor by name."""
+        for tensor in self.tensors:
+            if tensor.name == name:
+                return tensor
+        raise KeyError(f"operator {self.name!r} has no tensor {name!r}")
+
+    def dims_of(self, tensor_name: str) -> Tuple[str, ...]:
+        """Loop dimensions indexing the named tensor."""
+        return self.indexing[tensor_name]
+
+    def tensors_with_dim(self, dim: str) -> Tuple[Tensor, ...]:
+        """All operand tensors indexed by loop dimension ``dim``."""
+        return tuple(
+            tensor for tensor in self.tensors if dim in self.indexing[tensor.name]
+        )
+
+    @property
+    def dim_names(self) -> Tuple[str, ...]:
+        return tuple(self.dims)
+
+    @property
+    def iteration_space(self) -> int:
+        """Number of points in the full loop nest (one instance)."""
+        return math.prod(self.dims.values())
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count, including the ``count`` multiplier."""
+        return self.iteration_space * self.count
+
+    @property
+    def flops(self) -> int:
+        return self.macs * self.flops_per_point
+
+    @property
+    def smallest_dim(self) -> str:
+        """Name of the smallest loop dimension (ties broken by order)."""
+        return min(self.dims, key=lambda dim: (self.dims[dim], self.dim_names.index(dim)))
+
+    @property
+    def smallest_tensor(self) -> Tensor:
+        """The smallest operand tensor (ties broken by operand order)."""
+        return min(self.tensors, key=lambda tensor: tensor.size)
+
+    def ideal_memory_access(self) -> int:
+        """Lower bound with infinite buffer: every tensor touched exactly once."""
+        return self.count * sum(tensor.size for tensor in self.tensors)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(f"{d}={e}" for d, e in self.dims.items())
+        suffix = f" x{self.count}" if self.count > 1 else ""
+        return f"{type(self).__name__}({self.name}: {dims}){suffix}"
+
+
+# ----------------------------------------------------------------------
+# Concrete operator constructors
+# ----------------------------------------------------------------------
+def matmul(
+    name: str,
+    m: int,
+    k: int,
+    l: int,
+    a: Optional[Tensor] = None,
+    b: Optional[Tensor] = None,
+    c: Optional[Tensor] = None,
+    count: int = 1,
+    dtype_bytes: int = 1,
+) -> TensorOperator:
+    """Build a matrix-multiplication operator ``A[M,K] x B[K,L] = C[M,L]``.
+
+    Existing :class:`Tensor` objects may be passed for any operand so that a
+    producer's output can be re-used as a consumer's input when building
+    fusion chains; otherwise fresh tensors named ``{name}.A`` etc. are
+    created.
+    """
+
+    a = a if a is not None else Tensor(f"{name}.A", (m, k), dtype_bytes)
+    b = b if b is not None else Tensor(f"{name}.B", (k, l), dtype_bytes)
+    c = c if c is not None else Tensor(f"{name}.C", (m, l), dtype_bytes)
+    if a.shape != (m, k):
+        raise OperatorError(f"matmul {name!r}: A shape {a.shape} != ({m}, {k})")
+    if b.shape != (k, l):
+        raise OperatorError(f"matmul {name!r}: B shape {b.shape} != ({k}, {l})")
+    if c.shape != (m, l):
+        raise OperatorError(f"matmul {name!r}: C shape {c.shape} != ({m}, {l})")
+    return TensorOperator(
+        name=name,
+        dims={"M": m, "K": k, "L": l},
+        inputs=(a, b),
+        output=c,
+        indexing={a.name: ("M", "K"), b.name: ("K", "L"), c.name: ("M", "L")},
+        reduction_dims=frozenset({"K"}),
+        count=count,
+    )
+
+
+def elementwise(
+    name: str,
+    source: Tensor,
+    output: Optional[Tensor] = None,
+    count: int = 1,
+    flops_per_point: int = 1,
+) -> TensorOperator:
+    """Build a pointwise unary operator over ``source`` (e.g. activation).
+
+    The loop dims are named ``E0, E1, ...`` matching the tensor's axes.
+    """
+
+    output = output if output is not None else Tensor(
+        f"{name}.out", source.shape, source.dtype_bytes
+    )
+    if output.shape != source.shape:
+        raise OperatorError(
+            f"elementwise {name!r}: output shape {output.shape} != {source.shape}"
+        )
+    dims = {f"E{i}": extent for i, extent in enumerate(source.shape)}
+    axes = tuple(dims)
+    return TensorOperator(
+        name=name,
+        dims=dims,
+        inputs=(source,),
+        output=output,
+        indexing={source.name: axes, output.name: axes},
+        reduction_dims=frozenset(),
+        count=count,
+        flops_per_point=flops_per_point,
+    )
+
+
+def rowwise_softmax(
+    name: str,
+    source: Tensor,
+    output: Optional[Tensor] = None,
+    count: int = 1,
+) -> TensorOperator:
+    """Build a row-wise softmax over a rank-2 tensor.
+
+    Softmax normalizes each row independently; its loop nest is the same
+    elementwise sweep over ``(rows, cols)`` with a few extra flops per point
+    (exp, subtract-max, divide).  The paper's FuseCU keeps a dedicated
+    softmax unit next to the array; for the memory-traffic model the relevant
+    fact is that softmax reads and writes its tensor exactly once and fuses
+    freely into an attention chain.
+    """
+
+    if source.rank != 2:
+        raise OperatorError(f"softmax {name!r} expects a rank-2 tensor")
+    operator = elementwise(name, source, output, count=count, flops_per_point=5)
+    return operator
+
+
+def batched_matmul(
+    name: str,
+    batch: int,
+    m: int,
+    k: int,
+    l: int,
+    dtype_bytes: int = 1,
+) -> TensorOperator:
+    """Build a batch of independent matmuls as a ``count`` multiplier.
+
+    This models per-head attention products: no operand is shared across
+    batch instances, so traffic and MACs scale linearly and the per-instance
+    dataflow analysis is unchanged.
+    """
+
+    return matmul(name, m, k, l, count=batch, dtype_bytes=dtype_bytes)

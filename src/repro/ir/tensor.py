@@ -1,0 +1,79 @@
+"""Tensor objects for the operator IR.
+
+A :class:`Tensor` is a named, shaped multidimensional array *placeholder*: it
+carries no data, only the metadata the analytical dataflow models need (name,
+shape, element width).  Operators bind tensors to their loop dimensions, and
+operator graphs use shared tensor objects to express producer/consumer
+relationships (the "intermediate tensors" that operator fusion elides from
+memory traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A named tensor placeholder.
+
+    Parameters
+    ----------
+    name:
+        Unique name within an operator graph.  Operators refer to tensors by
+        identity, but the name is used in reports and error messages.
+    shape:
+        Tuple of positive dimension sizes.
+    dtype_bytes:
+        Element width in bytes.  The paper's buffer-size arithmetic treats
+        buffer capacity in *elements* (an int8 design), so the default is 1;
+        architecture models may override it.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have at least one dimension")
+        for extent in self.shape:
+            if not isinstance(extent, int) or extent <= 0:
+                raise ValueError(
+                    f"tensor {self.name!r} has invalid shape {self.shape}; "
+                    "all extents must be positive integers"
+                )
+        if self.dtype_bytes <= 0:
+            raise ValueError(f"tensor {self.name!r} dtype_bytes must be positive")
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def bytes(self) -> int:
+        """Total footprint in bytes."""
+        return self.size * self.dtype_bytes
+
+    def with_name(self, name: str) -> "Tensor":
+        """Return a copy of this tensor under a different name."""
+        return Tensor(name=name, shape=self.shape, dtype_bytes=self.dtype_bytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(extent) for extent in self.shape)
+        return f"{self.name}[{dims}]"
+
+
+def matrix(name: str, rows: int, cols: int, dtype_bytes: int = 1) -> Tensor:
+    """Convenience constructor for a rank-2 tensor."""
+    return Tensor(name=name, shape=(rows, cols), dtype_bytes=dtype_bytes)

@@ -1,0 +1,56 @@
+"""Exhaustive (brute-force) dataflow search over a discretized space.
+
+Used by the test suite as ground truth: the principle-based optimizer must
+never lose to any point exhaustive search can reach, because both are scored
+by the same access counter over the same feasible space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..ir.operator import TensorOperator
+from ..dataflow.cost import PartialSumConvention, memory_access
+from ..dataflow.scheduling import all_schedules
+from ..dataflow.spec import Dataflow
+from ..dataflow.tiling import Tiling
+from .space import SearchResult, tile_grid
+
+
+def exhaustive_search(
+    operator: TensorOperator,
+    buffer_elems: int,
+    grid: Optional[Dict[str, Tuple[int, ...]]] = None,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> Optional[SearchResult]:
+    """Minimum-MA dataflow over all (order, tile-grid) combinations.
+
+    Returns ``None`` when no grid point fits the buffer.
+    """
+
+    if grid is None:
+        grid = tile_grid(operator)
+    dims = operator.dim_names
+    best: Optional[Tuple[Dataflow, int]] = None
+    evaluations = 0
+    schedules = list(all_schedules(operator))
+    for tiles in itertools.product(*(grid[dim] for dim in dims)):
+        tiling = Tiling(dict(zip(dims, tiles)))
+        footprint = tiling.buffer_footprint(operator)
+        if footprint > buffer_elems:
+            continue
+        for schedule in schedules:
+            dataflow = Dataflow(tiling, schedule)
+            evaluations += 1
+            total = memory_access(operator, dataflow, convention).total
+            if best is None or total < best[1]:
+                best = (dataflow, total)
+    if best is None:
+        return None
+    return SearchResult(
+        dataflow=best[0],
+        memory_access=best[1],
+        evaluations=evaluations,
+        label="exhaustive",
+    )

@@ -1,0 +1,201 @@
+"""Genetic-algorithm dataflow search (the DAT-style black-box baseline).
+
+DAT [15] optimizes tiling and scheduling with mixed-integer programming and
+genetic algorithms; this module reproduces the genetic component over the
+same space as :mod:`repro.search.exhaustive` but with *continuous* integer
+tiles, so it can (and usually does) converge to the same optimum the
+principles construct in one shot -- while spending thousands of cost-model
+evaluations to get there.  The evaluation-count gap is the paper's
+"search is time-consuming" argument, quantified in
+``benchmarks/test_ablation_search.py``.
+
+The optimizer is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ir.operator import TensorOperator
+from ..dataflow.cost import PartialSumConvention, memory_access
+from ..dataflow.scheduling import Schedule
+from ..dataflow.spec import Dataflow
+from ..dataflow.tiling import Tiling
+
+
+@dataclass(frozen=True)
+class GASettings:
+    """Genetic-algorithm hyperparameters."""
+
+    population: int = 64
+    generations: int = 60
+    tournament: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.35
+    elitism: int = 2
+    seed: int = 2025
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run, with convergence history."""
+
+    dataflow: Dataflow
+    memory_access: int
+    evaluations: int
+    history: Tuple[int, ...]
+    label: str = "genetic"
+
+    def describe(self, operator: TensorOperator) -> str:
+        return (
+            f"{self.label}: MA={self.memory_access} after {self.evaluations} "
+            f"evaluations [{self.dataflow.describe(operator)}]"
+        )
+
+
+class _Genome:
+    """(loop order, integer tile vector) individual."""
+
+    __slots__ = ("order", "tiles")
+
+    def __init__(self, order: Tuple[str, ...], tiles: Tuple[int, ...]) -> None:
+        self.order = order
+        self.tiles = tiles
+
+
+class GeneticOptimizer:
+    """GA over the full tiling & scheduling space of one operator."""
+
+    def __init__(
+        self,
+        operator: TensorOperator,
+        buffer_elems: int,
+        settings: GASettings = GASettings(),
+        convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    ) -> None:
+        if buffer_elems <= 0:
+            raise ValueError("buffer size must be positive")
+        self.operator = operator
+        self.buffer_elems = buffer_elems
+        self.settings = settings
+        self.convention = convention
+        self._rng = random.Random(settings.seed)
+        self._dims = operator.dim_names
+        self._extents = tuple(operator.dims[dim] for dim in self._dims)
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _random_tile(self, extent: int) -> int:
+        """Log-uniform random tile in [1, extent]."""
+        import math
+
+        if extent == 1:
+            return 1
+        log_max = math.log2(extent)
+        return max(1, min(extent, round(2 ** self._rng.uniform(0.0, log_max))))
+
+    def _random_genome(self) -> _Genome:
+        order = list(self._dims)
+        self._rng.shuffle(order)
+        tiles = tuple(self._random_tile(extent) for extent in self._extents)
+        return _Genome(tuple(order), tiles)
+
+    def _fitness(self, genome: _Genome) -> float:
+        """Memory access, with an additive penalty for overflowing genomes."""
+        tiling = Tiling(dict(zip(self._dims, genome.tiles)))
+        footprint = tiling.buffer_footprint(self.operator)
+        dataflow = Dataflow(tiling, Schedule(genome.order))
+        self._evaluations += 1
+        total = memory_access(self.operator, dataflow, self.convention).total
+        if footprint > self.buffer_elems:
+            overflow = footprint / self.buffer_elems
+            return total * (1.0 + overflow) + self.operator.ideal_memory_access()
+        return float(total)
+
+    def _tournament(self, scored: List[Tuple[float, _Genome]]) -> _Genome:
+        contenders = self._rng.sample(
+            scored, k=min(self.settings.tournament, len(scored))
+        )
+        return min(contenders, key=lambda item: item[0])[1]
+
+    def _crossover(self, mother: _Genome, father: _Genome) -> _Genome:
+        tiles = tuple(
+            mother.tiles[i] if self._rng.random() < 0.5 else father.tiles[i]
+            for i in range(len(self._dims))
+        )
+        order = mother.order if self._rng.random() < 0.5 else father.order
+        return _Genome(order, tiles)
+
+    def _mutate(self, genome: _Genome) -> _Genome:
+        tiles = list(genome.tiles)
+        order = list(genome.order)
+        for index, extent in enumerate(self._extents):
+            if self._rng.random() < self.settings.mutation_rate:
+                choice = self._rng.random()
+                if choice < 0.25:
+                    tiles[index] = extent  # jump to untiled
+                elif choice < 0.5:
+                    tiles[index] = 1  # jump to minimal
+                else:
+                    factor = 2 ** self._rng.randint(-2, 2)
+                    tiles[index] = max(1, min(extent, int(tiles[index] * factor)))
+        if self._rng.random() < self.settings.mutation_rate:
+            a, b = self._rng.sample(range(len(order)), k=2)
+            order[a], order[b] = order[b], order[a]
+        return _Genome(tuple(order), tuple(tiles))
+
+    # ------------------------------------------------------------------
+    def run(self) -> GAResult:
+        """Run the GA; returns the best *feasible* dataflow found."""
+        population = [self._random_genome() for _ in range(self.settings.population)]
+        best: Optional[Tuple[float, _Genome]] = None
+        history: List[int] = []
+        for _ in range(self.settings.generations):
+            scored = [(self._fitness(genome), genome) for genome in population]
+            scored.sort(key=lambda item: item[0])
+            for fitness, genome in scored:
+                tiling = Tiling(dict(zip(self._dims, genome.tiles)))
+                if tiling.buffer_footprint(self.operator) > self.buffer_elems:
+                    continue
+                if best is None or fitness < best[0]:
+                    best = (fitness, genome)
+                break
+            history.append(int(best[0]) if best is not None else -1)
+            elite = [genome for _, genome in scored[: self.settings.elitism]]
+            offspring: List[_Genome] = list(elite)
+            while len(offspring) < self.settings.population:
+                mother = self._tournament(scored)
+                if self._rng.random() < self.settings.crossover_rate:
+                    father = self._tournament(scored)
+                    child = self._crossover(mother, father)
+                else:
+                    child = mother
+                offspring.append(self._mutate(child))
+            population = offspring
+        if best is None:
+            raise ValueError(
+                f"GA found no feasible dataflow for {self.operator.name!r} "
+                f"with buffer {self.buffer_elems}"
+            )
+        _, genome = best
+        tiling = Tiling(dict(zip(self._dims, genome.tiles)))
+        dataflow = Dataflow(tiling, Schedule(genome.order))
+        total = memory_access(self.operator, dataflow, self.convention).total
+        return GAResult(
+            dataflow=dataflow,
+            memory_access=total,
+            evaluations=self._evaluations,
+            history=tuple(history),
+        )
+
+
+def genetic_search(
+    operator: TensorOperator,
+    buffer_elems: int,
+    settings: GASettings = GASettings(),
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> GAResult:
+    """Convenience wrapper: build and run a :class:`GeneticOptimizer`."""
+    return GeneticOptimizer(operator, buffer_elems, settings, convention).run()

@@ -1,0 +1,48 @@
+"""CNN workloads: ResNet-50-class convolution layers.
+
+The paper evaluates attention models, but its principles are derived for
+tensor operators in general ("Principle 1-4 can be extended to other tensor
+operators"); these ResNet-50 layer shapes exercise the im2col-lowered
+convolution path (:mod:`repro.ir.conv`) across very different aspect
+ratios -- early layers are spatial-heavy (huge M, small K), late layers
+channel-heavy (small M, large K/L) -- which sweeps all four buffer regimes
+at realistic buffer sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.conv import Conv2DShape
+
+#: Representative ResNet-50 stages (batch 16, as in the paper's setup).
+RESNET50_LAYERS: Dict[str, Conv2DShape] = {
+    "conv1": Conv2DShape(
+        batch=16, in_channels=3, height=224, width=224,
+        out_channels=64, kernel_h=7, kernel_w=7, stride=2, padding=3,
+    ),
+    "conv2_3x3": Conv2DShape(
+        batch=16, in_channels=64, height=56, width=56,
+        out_channels=64, kernel_h=3, kernel_w=3, stride=1, padding=1,
+    ),
+    "conv3_3x3": Conv2DShape(
+        batch=16, in_channels=128, height=28, width=28,
+        out_channels=128, kernel_h=3, kernel_w=3, stride=1, padding=1,
+    ),
+    "conv4_3x3": Conv2DShape(
+        batch=16, in_channels=256, height=14, width=14,
+        out_channels=256, kernel_h=3, kernel_w=3, stride=1, padding=1,
+    ),
+    "conv5_3x3": Conv2DShape(
+        batch=16, in_channels=512, height=7, width=7,
+        out_channels=512, kernel_h=3, kernel_w=3, stride=1, padding=1,
+    ),
+    "conv5_1x1": Conv2DShape(
+        batch=16, in_channels=512, height=7, width=7,
+        out_channels=2048, kernel_h=1, kernel_w=1, stride=1, padding=0,
+    ),
+}
+
+
+def layer_names() -> Tuple[str, ...]:
+    return tuple(RESNET50_LAYERS)

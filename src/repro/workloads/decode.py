@@ -1,0 +1,73 @@
+"""Decode-phase (autoregressive) transformer workloads.
+
+The paper's Fig. 11 sweeps LLaMA2's *prefill* sequence length; serving
+workloads also run the *decode* phase, where each step processes one query
+token against a KV cache of ``context`` tokens.  Decode flips the operator
+shapes -- the attention products become skinny (M = 1 per head) and the
+projections GEMV-like (M = batch) -- exercising the principles' tiny-M
+corner and the platforms' utilization behavior on matrix-vector work.
+
+This is an extension study (not a paper figure); it reuses the exact same
+graph machinery.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import OperatorGraph
+from ..ir.operator import matmul, rowwise_softmax
+from .models import ModelConfig
+
+
+def build_decode_graph(
+    config: ModelConfig, context: int
+) -> OperatorGraph:
+    """One decode step over a KV cache of ``context`` tokens.
+
+    Per layer:
+
+    * q/k/v projections: ``[batch, H] x [H, H]`` (one token per sequence);
+    * attention scores: per head ``[1, d_h] x [d_h, context]``;
+    * softmax over ``[1, context]``;
+    * attention output: per head ``[1, context] x [context, d_h]``;
+    * output projection and the FFN pair, all with ``M = batch``.
+    """
+
+    if context <= 0:
+        raise ValueError("context length must be positive")
+    graph = OperatorGraph(name=f"{config.name}-decode@{context}")
+    batch = config.batch
+    hidden = config.hidden
+    head_dim = config.head_dim
+    instances = batch * config.heads
+    for name in ("q_proj", "k_proj", "v_proj"):
+        graph.add(matmul(f"{config.name}.{name}", batch, hidden, hidden))
+    qk = graph.add(
+        matmul(f"{config.name}.qk", 1, head_dim, context, count=instances)
+    )
+    softmax = graph.add(
+        rowwise_softmax(f"{config.name}.softmax", qk.output, count=instances)
+    )
+    graph.add(
+        matmul(
+            f"{config.name}.av",
+            1,
+            context,
+            head_dim,
+            a=softmax.output,
+            count=instances,
+        )
+    )
+    graph.add(matmul(f"{config.name}.out_proj", batch, hidden, hidden))
+    ffn1 = graph.add(
+        matmul(f"{config.name}.ffn1", batch, hidden, config.ffn_hidden)
+    )
+    graph.add(
+        matmul(
+            f"{config.name}.ffn2",
+            batch,
+            config.ffn_hidden,
+            hidden,
+            a=ffn1.output,
+        )
+    )
+    return graph

@@ -1,0 +1,99 @@
+"""The seven attention-based models of paper Table II.
+
+=========== ======= =========== ===========
+model       heads   seq. length hidden size
+=========== ======= =========== ===========
+Bert        12      1024        768
+GPT-2       12      2048        768
+Blenderbot  16      256         1024
+XLM         16      1024        2048
+DeBERTa-v2  24      1024        1536
+LLaMA2      32      4096        4096
+ALBERT      64      1024        4096
+=========== ======= =========== ===========
+
+Batch size 16 (Sec. V-A); LLaMA2 is additionally swept over sequence
+lengths 256..16K for Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One transformer workload configuration."""
+
+    name: str
+    heads: int
+    seq_len: int
+    hidden: int
+    batch: int = 16
+    ffn_mult: int = 4
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads != 0:
+            raise ValueError(
+                f"{self.name}: hidden {self.hidden} not divisible by heads "
+                f"{self.heads}"
+            )
+        for field_name in ("heads", "seq_len", "hidden", "batch", "ffn_mult"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        return self.hidden * self.ffn_mult
+
+    def with_seq_len(self, seq_len: int) -> "ModelConfig":
+        """Copy with a different sequence length (for Fig. 11 sweeps)."""
+        return replace(self, seq_len=seq_len)
+
+    def table_row(self) -> Dict[str, object]:
+        """Table II row for this model."""
+        return {
+            "Model": self.name,
+            "# of Heads": self.heads,
+            "Seq. Length": self.seq_len,
+            "Hidden Size": self.hidden,
+        }
+
+
+BERT = ModelConfig("Bert", heads=12, seq_len=1024, hidden=768)
+GPT2 = ModelConfig("GPT-2", heads=12, seq_len=2048, hidden=768)
+BLENDERBOT = ModelConfig("Blenderbot", heads=16, seq_len=256, hidden=1024)
+XLM = ModelConfig("XLM", heads=16, seq_len=1024, hidden=2048)
+DEBERTA_V2 = ModelConfig("DeBERTa-v2", heads=24, seq_len=1024, hidden=1536)
+LLAMA2 = ModelConfig("LLaMA2", heads=32, seq_len=4096, hidden=4096)
+ALBERT = ModelConfig("ALBERT", heads=64, seq_len=1024, hidden=4096)
+
+#: Table II, in the paper's row order.
+PAPER_MODELS: Tuple[ModelConfig, ...] = (
+    BERT,
+    GPT2,
+    BLENDERBOT,
+    XLM,
+    DEBERTA_V2,
+    LLAMA2,
+    ALBERT,
+)
+
+#: Fig. 11 sweep: LLaMA2 at sequence lengths 256 .. 16K.
+LLAMA2_SEQ_SWEEP: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look up a Table II model by (case-insensitive) name."""
+    for model in PAPER_MODELS:
+        if model.name.lower() == name.lower():
+            return model
+    raise KeyError(
+        f"unknown model {name!r}; choose from "
+        + ", ".join(model.name for model in PAPER_MODELS)
+    )

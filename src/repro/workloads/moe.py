@@ -1,0 +1,63 @@
+"""Mixture-of-experts FFN workloads (extension).
+
+A sparse-MoE block replaces the dense FFN with ``num_experts`` expert FFNs
+of which each token activates ``top_k``.  Per expert the computation is the
+same fusable ``ffn1 -> ffn2`` chain with a reduced token count
+(``tokens * top_k / num_experts`` under balanced routing), so the structure
+exercises the principles on *many small* fusable chains -- the opposite
+corner from the single large dense FFN -- plus a streaming router.
+
+This is an extension workload (not in the paper); balanced routing is
+assumed, which makes the ``count`` repetition exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.graph import OperatorGraph
+from ..ir.operator import matmul
+from .models import ModelConfig
+
+
+def build_moe_ffn_graph(
+    config: ModelConfig,
+    num_experts: int = 8,
+    top_k: int = 2,
+) -> OperatorGraph:
+    """The MoE FFN block: router + per-expert fused FFN chains.
+
+    * router: ``[B*S, H] x [H, E]`` (dense, tiny);
+    * experts: ``num_experts`` chains of ``[T_e, H] x [H, 4H]`` then
+      ``[T_e, 4H] x [4H, H]`` with ``T_e = tokens * top_k / num_experts``
+      tokens each (balanced routing), modeled as one chain with a
+      ``num_experts`` repetition count.
+    """
+
+    if num_experts <= 0 or not 1 <= top_k <= num_experts:
+        raise ValueError("need 1 <= top_k <= num_experts")
+    tokens = config.batch * config.seq_len
+    hidden = config.hidden
+    expert_tokens = max(1, math.ceil(tokens * top_k / num_experts))
+    graph = OperatorGraph(name=f"{config.name}-moe{num_experts}x{top_k}")
+    graph.add(matmul(f"{config.name}.router", tokens, hidden, num_experts))
+    ffn1 = graph.add(
+        matmul(
+            f"{config.name}.expert_ffn1",
+            expert_tokens,
+            hidden,
+            config.ffn_hidden,
+            count=num_experts,
+        )
+    )
+    graph.add(
+        matmul(
+            f"{config.name}.expert_ffn2",
+            expert_tokens,
+            config.ffn_hidden,
+            hidden,
+            a=ffn1.output,
+            count=num_experts,
+        )
+    )
+    return graph

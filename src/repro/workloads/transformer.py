@@ -1,0 +1,93 @@
+"""Transformer workload generation: Table II models as operator graphs.
+
+One encoder layer per model is generated (traffic and utilization ratios
+between platforms are layer-count invariant, so a single layer reproduces
+the paper's normalized comparisons):
+
+* ``q/k/v_proj`` -- ``[B*S, H] x [H, H]``; the batch folds into the M
+  dimension exactly because the weight matrix is shared across the batch.
+* ``qk``         -- per-head ``[S, d_h] x [d_h, S]`` repeated
+  ``batch * heads`` times (no operand shared across instances, so the
+  repetition is a ``count`` multiplier).
+* ``softmax``    -- row-wise over the ``[S, S]`` score matrix, fused freely.
+* ``av``         -- per-head ``[S, S] x [S, d_h]``.
+* ``out_proj``   -- ``[B*S, H] x [H, H]``.
+* ``ffn1/ffn2``  -- ``[B*S, H] x [H, 4H]`` then ``[B*S, 4H] x [4H, H]``,
+  a producer/consumer chain (the second fusion opportunity).
+
+The fusion-visible producer/consumer links are ``qk -> softmax -> av`` and
+``ffn1 -> ffn2``; projection outputs cross head-reshape boundaries and are
+modeled as fresh tensors (they are also *not* fusable in the paper's
+tensor-wise sense, since the per-head operators have a different repetition
+count).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir.graph import OperatorGraph
+from ..ir.operator import TensorOperator, matmul, rowwise_softmax
+from .models import ModelConfig
+
+
+def attention_operators(config: ModelConfig) -> Tuple[TensorOperator, ...]:
+    """The per-head attention chain: QK^T -> softmax -> AV."""
+    seq = config.seq_len
+    head_dim = config.head_dim
+    instances = config.batch * config.heads
+    qk = matmul(f"{config.name}.qk", seq, head_dim, seq, count=instances)
+    softmax = rowwise_softmax(f"{config.name}.softmax", qk.output, count=instances)
+    av = matmul(
+        f"{config.name}.av", seq, seq, head_dim, a=softmax.output, count=instances
+    )
+    return (qk, softmax, av)
+
+
+def projection_operators(config: ModelConfig) -> Tuple[TensorOperator, ...]:
+    """QKV and output projections (batch folded into M)."""
+    tokens = config.batch * config.seq_len
+    hidden = config.hidden
+    return tuple(
+        matmul(f"{config.name}.{name}", tokens, hidden, hidden)
+        for name in ("q_proj", "k_proj", "v_proj", "out_proj")
+    )
+
+
+def ffn_operators(config: ModelConfig) -> Tuple[TensorOperator, ...]:
+    """The two-layer feed-forward block as a fusable chain."""
+    tokens = config.batch * config.seq_len
+    hidden = config.hidden
+    ffn_hidden = config.ffn_hidden
+    ffn1 = matmul(f"{config.name}.ffn1", tokens, hidden, ffn_hidden)
+    ffn2 = matmul(f"{config.name}.ffn2", tokens, ffn_hidden, hidden, a=ffn1.output)
+    return (ffn1, ffn2)
+
+
+def build_layer_graph(config: ModelConfig) -> OperatorGraph:
+    """One full encoder layer of the model as an operator graph."""
+    graph = OperatorGraph(name=config.name)
+    graph.extend(projection_operators(config))
+    graph.extend(attention_operators(config))
+    graph.extend(ffn_operators(config))
+    return graph
+
+
+def representative_matmuls(config: ModelConfig) -> Tuple[TensorOperator, ...]:
+    """The distinct MM shapes of one layer (for per-operator validation).
+
+    Used by the Fig. 9 validation: principle-optimized MA vs. searched MA
+    per operator over a buffer-size sweep.
+    """
+
+    tokens = config.batch * config.seq_len
+    hidden = config.hidden
+    seq = config.seq_len
+    head_dim = config.head_dim
+    return (
+        matmul(f"{config.name}.proj", tokens, hidden, hidden),
+        matmul(f"{config.name}.qk", seq, head_dim, seq),
+        matmul(f"{config.name}.av", seq, seq, head_dim),
+        matmul(f"{config.name}.ffn1", tokens, hidden, config.ffn_hidden),
+        matmul(f"{config.name}.ffn2", tokens, config.ffn_hidden, hidden),
+    )

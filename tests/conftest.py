@@ -1,0 +1,46 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.ir import matmul
+
+
+@pytest.fixture
+def bert_op():
+    """The paper's worked example: A(1024,768) x B(768,768) (Sec. III-A4)."""
+    return matmul("bert", 1024, 768, 768)
+
+
+@pytest.fixture
+def small_op():
+    """A small MM convenient for exhaustive ground truth."""
+    return matmul("small", 24, 16, 20)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def mm_dims(min_dim: int = 2, max_dim: int = 96):
+    """Random (M, K, L) triples."""
+    dim = st.integers(min_value=min_dim, max_value=max_dim)
+    return st.tuples(dim, dim, dim)
+
+
+def mm_ops(min_dim: int = 2, max_dim: int = 96):
+    """Random matmul operators."""
+    return mm_dims(min_dim, max_dim).map(
+        lambda dims: matmul("op", dims[0], dims[1], dims[2])
+    )
+
+
+def buffer_sizes(min_size: int = 8, max_size: int = 1 << 16):
+    return st.integers(min_value=min_size, max_value=max_size)

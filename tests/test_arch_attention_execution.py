@@ -1,0 +1,91 @@
+"""Tests for the fused attention executor (online softmax over tiles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.attention_execution import (
+    execute_fused_attention,
+    fused_attention_traffic_model,
+    reference_attention,
+)
+
+
+def problem(seed=0, seq_q=24, seq_k=32, head_dim=8, out_dim=8):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(seq_q, head_dim)),
+        rng.normal(size=(seq_k, head_dim)),
+        rng.normal(size=(seq_k, out_dim)),
+    )
+
+
+class TestNumerics:
+    def test_exact_for_full_tiles(self):
+        q, k, v = problem()
+        result = execute_fused_attention(q, k, v, tile_m=24, tile_l=32)
+        assert np.allclose(result.output, reference_attention(q, k, v))
+
+    @pytest.mark.parametrize("tile_m,tile_l", [(1, 1), (4, 8), (7, 5), (24, 3)])
+    def test_exact_for_any_tiling(self, tile_m, tile_l):
+        """Online softmax makes every L tiling exact -- the fused dataflow
+        is not an approximation."""
+        q, k, v = problem()
+        result = execute_fused_attention(q, k, v, tile_m=tile_m, tile_l=tile_l)
+        assert np.allclose(result.output, reference_attention(q, k, v))
+
+    @given(st.integers(0, 10**6), st.integers(1, 16), st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_random(self, seed, tile_m, tile_l):
+        q, k, v = problem(seed, seq_q=13, seq_k=17, head_dim=5, out_dim=6)
+        result = execute_fused_attention(
+            q, k, v, tile_m=min(tile_m, 13), tile_l=min(tile_l, 17)
+        )
+        assert np.allclose(result.output, reference_attention(q, k, v))
+
+    def test_extreme_scores_stable(self):
+        """Large score magnitudes: the running-max rescaling must not
+        overflow (the reason online softmax subtracts the max)."""
+        q, k, v = problem()
+        q = q * 50.0
+        result = execute_fused_attention(q, k, v, tile_m=6, tile_l=8)
+        assert np.allclose(result.output, reference_attention(q, k, v))
+
+    def test_invalid_shapes(self):
+        q, k, v = problem()
+        with pytest.raises(ValueError, match="inconsistent"):
+            execute_fused_attention(q, k[:, :4], v, 4, 4)
+        with pytest.raises(ValueError, match="tile"):
+            execute_fused_attention(q, k, v, 0, 4)
+
+
+class TestTraffic:
+    def test_scores_never_travel(self):
+        q, k, v = problem()
+        result = execute_fused_attention(q, k, v, tile_m=6, tile_l=8)
+        assert result.score_traffic == 0
+
+    def test_traffic_matches_model(self):
+        seq_q, seq_k, head_dim, out_dim = 24, 32, 8, 8
+        q, k, v = problem(0, seq_q, seq_k, head_dim, out_dim)
+        for tile_m in (4, 6, 24):
+            result = execute_fused_attention(q, k, v, tile_m=tile_m, tile_l=8)
+            model = fused_attention_traffic_model(
+                seq_q, seq_k, head_dim, out_dim, tile_m
+            )
+            assert result.traffic.reads["Q"] == model["Q"]
+            assert result.traffic.reads["K"] == model["K"]
+            assert result.traffic.reads["V"] == model["V"]
+            assert result.traffic.writes["O"] == model["O"]
+
+    def test_fused_traffic_beats_unfused_intermediates(self):
+        """The fused execution's total traffic is far below what writing
+        and re-reading the S x S score/probability matrices would cost."""
+        seq = 64
+        q, k, v = problem(0, seq, seq, 8, 8)
+        result = execute_fused_attention(q, k, v, tile_m=16, tile_l=16)
+        fused_total = sum(result.traffic.reads.values()) + sum(
+            result.traffic.writes.values()
+        )
+        intermediate_round_trips = 2 * seq * seq * 2  # S and P, write+read
+        assert fused_total < intermediate_round_trips

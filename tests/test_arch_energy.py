@@ -1,0 +1,80 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.arch import (
+    ALL_PLATFORMS,
+    EnergyModel,
+    EnergyReport,
+    energy_of,
+    evaluate_graph,
+    fusecu,
+    tpuv4i,
+)
+from repro.workloads import BLENDERBOT, build_layer_graph
+
+
+@pytest.fixture(scope="module")
+def perfs():
+    graph = build_layer_graph(BLENDERBOT)
+    return {
+        factory().name: evaluate_graph(graph, factory())
+        for factory in ALL_PLATFORMS
+    }
+
+
+class TestEnergyModel:
+    def test_defaults_valid(self):
+        model = EnergyModel()
+        assert model.dram_pj > model.sram_pj > model.mac_pj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj=0)
+        with pytest.raises(ValueError):
+            EnergyModel(mac_pj=-1)
+
+
+class TestEnergyReports:
+    def test_decomposition_sums(self, perfs):
+        report = energy_of(perfs["TPUv4i"])
+        assert report.total_pj == pytest.approx(
+            report.dram_pj + report.buffer_pj + report.compute_pj
+        )
+
+    def test_dram_share_meaningful(self, perfs):
+        report = energy_of(perfs["TPUv4i"])
+        assert 0 < report.dram_share < 1
+
+    def test_ma_saving_translates_to_energy_saving(self, perfs):
+        """The paper's motivation: memory access drives energy."""
+        fusecu_energy = energy_of(perfs["FuseCU"])
+        tpu_energy = energy_of(perfs["TPUv4i"])
+        saving = fusecu_energy.saving_over(tpu_energy)
+        assert saving > 0
+        # Energy saving is bounded by the MA saving (compute is constant).
+        ma_saving = 1 - (
+            perfs["FuseCU"].total_memory_access
+            / perfs["TPUv4i"].total_memory_access
+        )
+        assert saving <= ma_saving + 1e-9
+
+    def test_compute_energy_platform_invariant(self, perfs):
+        reports = {name: energy_of(perf) for name, perf in perfs.items()}
+        compute = {round(report.compute_pj) for report in reports.values()}
+        assert len(compute) == 1  # same MACs everywhere
+
+    def test_custom_model_scales_dram(self, perfs):
+        cheap = energy_of(perfs["TPUv4i"], EnergyModel(dram_pj=1.0))
+        pricey = energy_of(perfs["TPUv4i"], EnergyModel(dram_pj=100.0))
+        assert pricey.dram_pj == pytest.approx(100 * cheap.dram_pj)
+
+    def test_saving_over_requires_positive(self):
+        zero = EnergyReport("x", "w", 0.0, 0.0, 0.0)
+        other = EnergyReport("y", "w", 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            other.saving_over(zero)
+
+    def test_total_mj_unit(self, perfs):
+        report = energy_of(perfs["TPUv4i"])
+        assert report.total_mj == pytest.approx(report.total_pj / 1e9)

@@ -1,0 +1,174 @@
+"""Tests for the FuseCU functional model (tile & column fusion mappings)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import FuseCUArray, FuseCUConfig
+from repro.dataflow import ArrayShape
+
+
+def chain_shapes(max_dim=12):
+    dims = st.integers(min_value=1, max_value=max_dim)
+    return st.tuples(dims, dims, dims, dims, st.integers(0, 2 ** 31 - 1))
+
+
+class TestFuseCUConfig:
+    def test_total_pes(self):
+        assert FuseCUConfig(n=128, cus=4).total_pes == 128 * 128 * 4
+
+    def test_max_untiled_is_2n(self):
+        """Sec. IV-B: the widest untiled dimension worth supporting is 2N."""
+        assert FuseCUConfig(n=128).max_untiled == 256
+
+    def test_array_shapes(self):
+        shapes = FuseCUConfig(n=128, cus=4).array_shapes()
+        assert ArrayShape(128, 128) in shapes
+        assert ArrayShape(256, 128) in shapes
+        assert ArrayShape(128, 256) in shapes
+        assert ArrayShape(256, 256) in shapes
+
+    def test_single_cu_shapes(self):
+        assert FuseCUConfig(n=64, cus=1).array_shapes() == (ArrayShape(64, 64),)
+
+    def test_invalid_cus(self):
+        with pytest.raises(ValueError):
+            FuseCUConfig(n=64, cus=3)
+
+
+class TestTileFusion:
+    @given(chain_shapes())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_chain(self, spec):
+        m, k, l, n, seed = spec
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        d = rng.normal(size=(l, n))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.tile_fusion(a, b, d)
+        assert np.allclose(run.result, (a @ b) @ d)
+
+    def test_intermediate_never_leaves_array(self):
+        rng = np.random.default_rng(1)
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.tile_fusion(
+            rng.normal(size=(8, 6)), rng.normal(size=(6, 10)), rng.normal(size=(10, 5))
+        )
+        assert run.intermediate_traffic == 0
+        assert run.fused_on_chip
+        assert run.stats.stationary_loads == 0  # C promoted in place
+
+    def test_oversized_intermediate_rejected(self):
+        fusecu = FuseCUArray(FuseCUConfig(n=4))
+        with pytest.raises(ValueError, match="exceeds"):
+            fusecu.tile_fusion(
+                np.ones((8, 3)), np.ones((3, 4)), np.ones((4, 2))
+            )
+
+    def test_shape_mismatch_rejected(self):
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        with pytest.raises(ValueError, match="mismatch"):
+            fusecu.tile_fusion(np.ones((4, 3)), np.ones((5, 4)), np.ones((4, 2)))
+
+
+class TestColumnFusion:
+    @given(chain_shapes())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_chain(self, spec):
+        m, k, l, n, seed = spec
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        d = rng.normal(size=(l, n))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.column_fusion(a, b, d)
+        assert np.allclose(run.result, (a @ b) @ d)
+
+    def test_intermediate_on_wire(self):
+        rng = np.random.default_rng(2)
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.column_fusion(
+            rng.normal(size=(8, 6)), rng.normal(size=(6, 10)), rng.normal(size=(10, 5))
+        )
+        assert run.intermediate_traffic == 0
+
+    def test_pipelining_beats_unfused_cycles(self):
+        """Fused executions avoid the intermediate round trip and overlap
+        the two operators, so they take fewer cycles than two passes."""
+        rng = np.random.default_rng(3)
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        a = rng.normal(size=(12, 10))
+        b = rng.normal(size=(10, 14))
+        d = rng.normal(size=(14, 9))
+        fused = fusecu.column_fusion(a, b, d)
+        unfused = fusecu.unfused_reference(a, b, d)
+        assert fused.stats.cycles < unfused.stats.cycles
+
+
+class TestUnfusedReference:
+    def test_matches_numpy_and_counts_traffic(self):
+        rng = np.random.default_rng(4)
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        a = rng.normal(size=(20, 6))
+        b = rng.normal(size=(6, 18))
+        d = rng.normal(size=(18, 7))
+        run = fusecu.unfused_reference(a, b, d)
+        assert np.allclose(run.result, (a @ b) @ d)
+        assert run.intermediate_traffic == 2 * 20 * 18
+        assert not run.fused_on_chip
+
+
+class TestPipelinedColumnFusion:
+    """Cycle-locked co-simulation of the two halves (Fig. 7(e) wiring)."""
+
+    @given(chain_shapes())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_chain(self, spec):
+        m, k, l, n, seed = spec
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        d = rng.normal(size=(l, n))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.column_fusion_pipelined(a, b, d)
+        assert np.allclose(run.result, (a @ b) @ d)
+        assert run.fused_on_chip
+
+    def test_pipeline_latency_formula(self):
+        """Total latency = consumer lag (k) + OS wavefront (l+m+n-2) + drain."""
+        rng = np.random.default_rng(0)
+        m, k, l, n = 8, 6, 10, 7
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        d = rng.normal(size=(l, n))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        run = fusecu.column_fusion_pipelined(a, b, d)
+        assert run.stats.cycles == k + (l + m + n - 2) + n
+
+    def test_pipelining_beats_sequential_passes(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(12, 10))
+        b = rng.normal(size=(10, 14))
+        d = rng.normal(size=(14, 9))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        pipelined = fusecu.column_fusion_pipelined(a, b, d)
+        sequential = fusecu.unfused_reference(a, b, d)
+        assert pipelined.stats.cycles < sequential.stats.cycles
+
+    def test_agrees_with_functional_shortcut(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(9, 7))
+        b = rng.normal(size=(7, 11))
+        d = rng.normal(size=(11, 8))
+        fusecu = FuseCUArray(FuseCUConfig(n=16))
+        pipelined = fusecu.column_fusion_pipelined(a, b, d)
+        functional = fusecu.column_fusion(a, b, d)
+        assert np.allclose(pipelined.result, functional.result)
+
+    def test_oversized_rejected(self):
+        fusecu = FuseCUArray(FuseCUConfig(n=4))
+        with pytest.raises(ValueError, match="exceed"):
+            fusecu.column_fusion_pipelined(
+                np.ones((8, 3)), np.ones((3, 4)), np.ones((4, 2))
+            )

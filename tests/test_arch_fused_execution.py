@@ -1,0 +1,99 @@
+"""Tests for the fused execution engine (Sec. III-B made operational)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import execute_fused_pair, validate_fused_against_analytical
+from repro.core import optimize_fused, profitable_patterns, solve_pattern
+from repro.dataflow import FusedChain
+from repro.ir import matmul
+
+
+def chain_problem(seed=0, m=16, k=8, l=12, n=10):
+    rng = np.random.default_rng(seed)
+    op1 = matmul("mm1", m, k, l)
+    op2 = matmul("mm2", m, l, n, a=op1.output)
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, l))
+    d = rng.normal(size=(l, n))
+    return op1, op2, a, b, d
+
+
+class TestFusedNumerics:
+    def test_all_feasible_patterns_exact(self):
+        op1, op2, a, b, d = chain_problem()
+        chain = FusedChain.from_ops([op1, op2])
+        reference = (a @ b) @ d
+        checked = 0
+        for budget in (120, 400, 2000):
+            for pattern in profitable_patterns(chain):
+                dataflow = solve_pattern(chain, pattern, budget)
+                if dataflow is None:
+                    continue
+                result = execute_fused_pair(op1, op2, dataflow, a, b, d)
+                assert np.allclose(result.output, reference), pattern.label
+                checked += 1
+        assert checked >= 10
+
+    def test_shape_mismatch_rejected(self):
+        op1, op2, a, b, d = chain_problem()
+        chain = FusedChain.from_ops([op1, op2])
+        dataflow = solve_pattern(chain, profitable_patterns(chain)[0], 400)
+        with pytest.raises(ValueError, match="mismatch"):
+            execute_fused_pair(op1, op2, dataflow, a.T, b, d)
+
+
+class TestFusedTraffic:
+    def test_intermediate_never_moves(self):
+        op1, op2, a, b, d = chain_problem()
+        chain = FusedChain.from_ops([op1, op2])
+        for pattern in profitable_patterns(chain):
+            dataflow = solve_pattern(chain, pattern, 400)
+            if dataflow is None:
+                continue
+            result = execute_fused_pair(op1, op2, dataflow, a, b, d)
+            assert result.intermediate_traffic == 0, pattern.label
+
+    def test_traffic_matches_analytical_per_pattern(self):
+        op1, op2, a, b, d = chain_problem()
+        chain = FusedChain.from_ops([op1, op2])
+        for budget in (120, 400, 2000):
+            for pattern in profitable_patterns(chain):
+                dataflow = solve_pattern(chain, pattern, budget)
+                if dataflow is None:
+                    continue
+                matches, comparison = validate_fused_against_analytical(
+                    op1, op2, dataflow, a, b, d
+                )
+                assert matches, (pattern.label, budget, comparison)
+
+    def test_optimizer_result_realized(self):
+        """The best fused dataflow's predicted MA is exactly realized."""
+        op1, op2, a, b, d = chain_problem(m=24, k=12, l=20, n=16)
+        result = optimize_fused([op1, op2], 600)
+        assert result is not None
+        matches, comparison = validate_fused_against_analytical(
+            op1, op2, result.dataflow, a, b, d
+        )
+        assert matches, comparison
+        measured_total = sum(measured for measured, _ in comparison.values())
+        assert measured_total == result.report.per_instance_total
+
+    @given(st.integers(0, 10**6), st.integers(60, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_chains(self, seed, budget):
+        rng = np.random.default_rng(seed)
+        m, k, l, n = (int(v) for v in rng.integers(2, 20, size=4))
+        op1, op2, a, b, d = chain_problem(seed, m, k, l, n)
+        chain = FusedChain.from_ops([op1, op2])
+        for pattern in profitable_patterns(chain):
+            dataflow = solve_pattern(chain, pattern, budget)
+            if dataflow is None:
+                continue
+            result = execute_fused_pair(op1, op2, dataflow, a, b, d)
+            assert np.allclose(result.output, (a @ b) @ d)
+            matches, comparison = validate_fused_against_analytical(
+                op1, op2, dataflow, a, b, d
+            )
+            assert matches, (pattern.label, (m, k, l, n), budget, comparison)

@@ -1,0 +1,155 @@
+"""Tests for the memory spec and the analytical performance model."""
+
+import pytest
+
+from repro.arch import (
+    KIB,
+    MIB,
+    MemorySpec,
+    PAPER_BUFFER_SWEEP_BYTES,
+    PAPER_DEFAULT_MEMORY,
+    PlatformPerf,
+    SegmentPerf,
+    fill_efficiency,
+    matmul_segment_perf,
+    spatial_efficiency,
+    streaming_segment_perf,
+)
+from repro.dataflow import ArrayShape
+
+
+class TestMemorySpec:
+    def test_defaults_match_paper(self):
+        assert PAPER_DEFAULT_MEMORY.buffer_bytes == 512 * KIB
+        assert PAPER_DEFAULT_MEMORY.bandwidth_gbps == 1000.0
+
+    def test_buffer_elems(self):
+        assert MemorySpec(buffer_bytes=1024, dtype_bytes=2).buffer_elems == 512
+
+    def test_bytes_per_cycle(self):
+        spec = MemorySpec(bandwidth_gbps=1000.0, frequency_ghz=1.0)
+        assert spec.bytes_per_cycle == 1000.0
+
+    def test_with_buffer(self):
+        spec = PAPER_DEFAULT_MEMORY.with_buffer(64 * KIB)
+        assert spec.buffer_bytes == 64 * KIB
+        assert spec.bandwidth_gbps == PAPER_DEFAULT_MEMORY.bandwidth_gbps
+
+    def test_sweep_range(self):
+        assert PAPER_BUFFER_SWEEP_BYTES[0] == 32 * KIB
+        assert PAPER_BUFFER_SWEEP_BYTES[-1] == 32 * MIB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySpec(buffer_bytes=0)
+        with pytest.raises(ValueError):
+            MemorySpec(dtype_bytes=0)
+        with pytest.raises(ValueError):
+            MemorySpec(bandwidth_gbps=0)
+
+
+class TestSpatialAndFill:
+    def test_spatial_efficiency_picks_best_shape(self):
+        shapes = (ArrayShape(128, 128), ArrayShape(64, 256))
+        shape, utilization = spatial_efficiency((64, 1024), shapes)
+        assert utilization == 1.0
+        assert (shape.rows, shape.cols) == (64, 256)
+
+    def test_fill_efficiency(self):
+        assert fill_efficiency(ArrayShape(128, 128), 768) == pytest.approx(
+            768 / (768 + 256)
+        )
+        with pytest.raises(ValueError):
+            fill_efficiency(ArrayShape(4, 4), 0)
+
+
+class TestSegmentPerf:
+    def make(self, macs=10**7, ma=10**5, dims=(128, 128), stream=512, **kw):
+        return matmul_segment_perf(
+            name="seg",
+            macs=macs,
+            ma_elems=ma,
+            stationary_dims=dims,
+            stream_len=stream,
+            shapes=(ArrayShape(128, 128),),
+            total_pes=128 * 128,
+            memory=PAPER_DEFAULT_MEMORY,
+            **kw,
+        )
+
+    def test_cycles_is_max_of_compute_memory(self):
+        seg = self.make()
+        assert seg.cycles == max(seg.compute_cycles, seg.memory_cycles)
+
+    def test_memory_bound_detection(self):
+        bound = self.make(macs=10**4, ma=10**8)
+        assert bound.memory_bound
+        compute = self.make(macs=10**9, ma=10)
+        assert not compute.memory_bound
+
+    def test_small_tile_halves_utilization(self):
+        full = self.make(dims=(128, 128))
+        half = self.make(dims=(64, 128))
+        assert half.spatial_utilization == pytest.approx(0.5)
+        assert half.compute_cycles > full.compute_cycles
+
+    def test_overlap_fill_cheaper_than_serialized(self):
+        overlapped = self.make(stream=32, overlap_fill=True)
+        serialized = self.make(stream=32, overlap_fill=False)
+        assert overlapped.compute_cycles < serialized.compute_cycles
+
+    def test_streaming_segment(self):
+        seg = streaming_segment_perf(
+            name="softmax",
+            points=10**6,
+            ma_elems=2 * 10**6,
+            total_pes=128 * 128,
+            memory=PAPER_DEFAULT_MEMORY,
+        )
+        assert seg.memory_bound
+        assert seg.array_shape is None
+
+
+class TestPlatformPerf:
+    def make_platform(self, cycles_scale=1.0):
+        segments = tuple(
+            SegmentPerf(
+                name=f"s{i}",
+                macs=10**6,
+                ma_elems=10**4,
+                compute_cycles=1000.0 * cycles_scale,
+                memory_cycles=500.0,
+                spatial_utilization=1.0,
+                array_shape=None,
+            )
+            for i in range(3)
+        )
+        return PlatformPerf(
+            platform="X", workload="w", segments=segments, total_pes=1000
+        )
+
+    def test_totals(self):
+        perf = self.make_platform()
+        assert perf.total_macs == 3 * 10**6
+        assert perf.total_memory_access == 3 * 10**4
+        assert perf.total_cycles == 3000.0
+
+    def test_utilization(self):
+        perf = self.make_platform()
+        assert perf.utilization == pytest.approx(3 * 10**6 / (1000 * 3000.0))
+
+    def test_speedup(self):
+        fast = self.make_platform(1.0)
+        slow = self.make_platform(2.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_workload(self):
+        fast = self.make_platform()
+        other = PlatformPerf(
+            platform="Y",
+            workload="w",
+            segments=fast.segments[:2],
+            total_pes=1000,
+        )
+        with pytest.raises(ValueError, match="identical workloads"):
+            fast.speedup_over(other)

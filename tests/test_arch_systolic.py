@@ -1,0 +1,173 @@
+"""Tests for the XS PE and the cycle-driven systolic-array simulator.
+
+The simulator is the RTL stand-in, so it gets the strongest checks:
+numerics against numpy for every mode and shape (hypothesis), and the
+vectorized array cross-checked against a grid of scalar reference PEs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import PEMode, RunStats, SystolicArray, XSPE
+
+
+def random_arrays(max_dim=12):
+    dims = st.integers(min_value=1, max_value=max_dim)
+    return st.tuples(dims, dims, dims, st.integers(0, 2 ** 31 - 1))
+
+
+class TestXSPE:
+    def test_os_accumulates(self):
+        pe = XSPE(PEMode.OS)
+        pe.step(2.0, 3.0)
+        pe.step(4.0, 5.0)
+        assert pe.acc == 26.0
+
+    def test_os_forwards_operands(self):
+        pe = XSPE(PEMode.OS)
+        out = pe.step(2.0, 3.0)
+        assert out.right == 2.0
+        assert out.down == 3.0
+
+    def test_ws_multiplies_stationary(self):
+        pe = XSPE(PEMode.WS)
+        pe.load_stationary(10.0)
+        out = pe.step(3.0, 5.0)
+        assert out.down == 35.0
+        assert out.right == 3.0
+
+    def test_forward_result_mux(self):
+        """The column-fusion MUX emits the accumulator instead of the
+        pass-through activation (paper Fig. 6)."""
+        pe = XSPE(PEMode.OS, forward_result=True)
+        pe.step(2.0, 3.0)
+        out = pe.step(4.0, 5.0)
+        assert out.right == pe.acc
+
+    def test_promote_acc_for_tile_fusion(self):
+        pe = XSPE(PEMode.OS)
+        pe.step(2.0, 3.0)
+        pe.configure(PEMode.IS)
+        pe.promote_acc()
+        out = pe.step(7.0, 0.0)
+        assert out.down == 42.0  # 6 (promoted C) * 7 (streamed D)
+
+    def test_clear(self):
+        pe = XSPE(PEMode.OS)
+        pe.step(2.0, 3.0)
+        pe.clear()
+        assert pe.acc == 0.0 and pe.stationary == 0.0
+
+
+class TestSystolicModes:
+    @given(random_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_os_matches_numpy(self, spec):
+        m, k, l, seed = spec
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        array = SystolicArray(max(m, 1), max(l, 1))
+        result, _stats = array.run_os(a, b)
+        assert np.allclose(result, a @ b)
+
+    @given(random_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_ws_matches_numpy(self, spec):
+        m, k, l, seed = spec
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(k, l))
+        act = rng.normal(size=(m, k))
+        array = SystolicArray(k, l)
+        result, _stats = array.run_ws(w, act)
+        assert np.allclose(result, act @ w)
+
+    @given(random_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_is_matches_numpy(self, spec):
+        m, k, l, seed = spec
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        array = SystolicArray(k, m)
+        result, _stats = array.run_is(a, b)
+        assert np.allclose(result, a @ b)
+
+    def test_os_rejects_oversized_tile(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError, match="exceeds"):
+            array.run_os(np.ones((5, 3)), np.ones((3, 4)))
+
+    def test_ws_rejects_oversized_tile(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError, match="exceeds"):
+            array.run_ws(np.ones((5, 4)), np.ones((3, 5)))
+
+    def test_dim_mismatch_rejected(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError, match="mismatch"):
+            array.run_os(np.ones((4, 3)), np.ones((2, 4)))
+
+    def test_os_cycle_count(self):
+        """OS latency: k + m + l - 2 compute beats plus an l-beat drain."""
+        array = SystolicArray(8, 8)
+        _, stats = array.run_os(np.ones((6, 10)), np.ones((10, 7)))
+        assert stats.cycles == 10 + 6 + 7 - 2 + 7
+
+
+class TestSystolicVsScalarPEs:
+    def test_os_matches_pe_grid(self):
+        """Vectorized OS == literal grid of scalar XS PEs."""
+        rng = np.random.default_rng(0)
+        m = l = 3
+        k = 4
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, l))
+        pes = [[XSPE(PEMode.OS) for _ in range(l)] for _ in range(m)]
+        a_wire = np.zeros((m, l))
+        b_wire = np.zeros((m, l))
+        for t in range(k + m + l - 2):
+            new_a = np.zeros((m, l))
+            new_b = np.zeros((m, l))
+            for i in range(m):
+                for j in range(l):
+                    left = (
+                        a[i, t - i] if j == 0 and 0 <= t - i < k else (
+                            a_wire[i, j - 1] if j > 0 else 0.0
+                        )
+                    )
+                    top = (
+                        b[t - j, j] if i == 0 and 0 <= t - j < k else (
+                            b_wire[i - 1, j] if i > 0 else 0.0
+                        )
+                    )
+                    out = pes[i][j].step(left, top)
+                    new_a[i, j] = out.right
+                    new_b[i, j] = out.down
+            a_wire, b_wire = new_a, new_b
+        grid_result = np.array([[pes[i][j].acc for j in range(l)] for i in range(m)])
+        vector_result, _ = SystolicArray(m, l).run_os(a, b)
+        assert np.allclose(grid_result, a @ b)
+        assert np.allclose(grid_result, vector_result)
+
+
+class TestTiledMatmul:
+    @pytest.mark.parametrize("mode", ["os", "ws", "is"])
+    def test_arbitrary_sizes(self, mode, rng):
+        array = SystolicArray(8, 8)
+        a = rng.normal(size=(19, 13))
+        b = rng.normal(size=(13, 21))
+        result, stats = array.matmul(a, b, mode)
+        assert np.allclose(result, a @ b)
+        assert stats.cycles > 0
+
+    def test_unknown_mode(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError, match="unknown mode"):
+            array.matmul(np.ones((4, 4)), np.ones((4, 4)), "xx")
+
+    def test_stats_merge(self):
+        merged = RunStats(1, 2, 3, 4).merge(RunStats(10, 20, 30, 40))
+        assert (merged.cycles, merged.input_words, merged.output_words,
+                merged.stationary_loads) == (11, 22, 33, 44)

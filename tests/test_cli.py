@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_args(self):
+        args = build_parser().parse_args(["optimize", "64", "32", "48"])
+        assert (args.m, args.k, args.l) == (64, 32, 48)
+        assert args.buffer_kb == 512
+
+    def test_buffer_override(self):
+        args = build_parser().parse_args(
+            ["optimize", "64", "32", "48", "--buffer-kb", "64"]
+        )
+        assert args.buffer_kb == 64
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_optimize(self, capsys):
+        assert main(["optimize", "1024", "768", "768"]) == 0
+        out = capsys.readouterr().out
+        assert "Two-NRA" in out
+
+    def test_fuse(self, capsys):
+        assert main(["fuse", "64", "32", "48", "40", "--buffer-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "profitable" in out
+
+    def test_fuse_with_cross(self, capsys):
+        assert main(["fuse", "64", "32", "48", "40", "--cross"]) == 0
+
+    def test_plan(self, capsys):
+        assert main(["plan", "Blenderbot", "--buffer-kb", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "fused[" in out
+
+    def test_plan_unknown_model(self):
+        with pytest.raises(KeyError):
+            main(["plan", "NotAModel"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "Blenderbot"]) == 0
+        out = capsys.readouterr().out
+        assert "FuseCU" in out and "speedup" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out and "Table III" in out
+
+    def test_fig12(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out

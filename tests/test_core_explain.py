@@ -1,0 +1,79 @@
+"""Tests for the explanation generator and scalability edge cases."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    explain_fusion,
+    explain_intra,
+    optimize_intra,
+)
+from repro.ir import matmul
+
+
+class TestExplainIntra:
+    def test_paper_example_narrative(self):
+        op = matmul("bert", 1024, 768, 768)
+        text = explain_intra(op, 512 * 1024)
+        assert "medium" in text
+        assert "Two-NRA" in text
+        assert "untiled dims: K" in text
+        assert "redundant tensor" in text
+
+    def test_tiny_regime_narrative(self):
+        op = matmul("big", 2048, 2048, 2048)
+        text = explain_intra(op, 1000)
+        assert "tiny" in text
+        assert "Principle 1" in text
+
+    def test_large_regime_narrative(self):
+        op = matmul("small", 64, 48, 56)
+        text = explain_intra(op, 10**6)
+        assert "large" in text
+        assert "ideal" in text
+
+    def test_mentions_every_tensor(self):
+        op = matmul("mm", 64, 48, 56)
+        text = explain_intra(op, 1000)
+        for tensor in op.tensors:
+            assert tensor.name in text
+
+
+class TestExplainFusion:
+    def test_profitable_chain(self):
+        op1 = matmul("mm1", 64, 32, 64)
+        op2 = matmul("mm2", 64, 64, 32, a=op1.output)
+        text = explain_fusion([op1, op2], 5000)
+        assert "Unfused optima" in text
+        assert "fusion is profitable" in text
+        assert "mm1.C" in text  # the elided intermediate
+
+    def test_reports_pattern(self):
+        op1 = matmul("mm1", 64, 32, 64)
+        op2 = matmul("mm2", 64, 64, 32, a=op1.output)
+        text = explain_fusion([op1, op2], 5000)
+        assert "pattern=" in text
+
+
+class TestScalability:
+    def test_huge_dims_optimize_fast(self):
+        """One-shot means one-shot: no dependence on dimension sizes."""
+        op = matmul("huge", 10**6, 10**6, 10**6)
+        start = time.perf_counter()
+        result = optimize_intra(op, 64 * 1024 * 1024)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert result.memory_access >= op.ideal_memory_access()
+
+    def test_degenerate_dims(self):
+        """Extent-1 dimensions (GEMV corners) are handled throughout."""
+        for dims in ((1, 64, 64), (64, 1, 64), (64, 64, 1), (1, 1, 64)):
+            op = matmul("thin", *dims)
+            result = optimize_intra(op, 500)
+            assert result.memory_access >= op.ideal_memory_access()
+
+    def test_unit_matmul(self):
+        op = matmul("one", 1, 1, 1)
+        result = optimize_intra(op, 3)
+        assert result.memory_access == 3  # each scalar once

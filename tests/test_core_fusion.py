@@ -1,0 +1,223 @@
+"""Tests for inter-operator fusion optimization (paper Sec. III-B, Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    cross_patterns,
+    decide_fusion,
+    optimize_fused,
+    optimize_intra,
+    per_op_nra_classes,
+    profitable_patterns,
+    solve_pattern,
+)
+from repro.dataflow import FusedChain, NRAClass, fused_memory_access
+from repro.ir import matmul, rowwise_softmax
+from repro.search import exhaustive_fused_search
+
+
+def mm_pair(m=64, k=32, l=48, n=40, count=1):
+    op1 = matmul("mm1", m, k, l, count=count)
+    op2 = matmul("mm2", m, l, n, a=op1.output, count=count)
+    return op1, op2
+
+
+class TestPatternGeneration:
+    def test_profitable_pattern_count(self):
+        """Fig. 4 green arrows: 1 single + 2 two-osis + 2 two-untile +
+        2 three-untile + 1 three-resident = 8 orientation-expanded."""
+        chain = FusedChain.from_ops(mm_pair())
+        assert len(profitable_patterns(chain)) == 8
+
+    def test_cross_pattern_count(self):
+        chain = FusedChain.from_ops(mm_pair())
+        patterns = cross_patterns(chain)
+        assert len(patterns) == 6
+        assert all(p.cross_nra for p in patterns)
+
+    def test_cross_patterns_pairs_only(self):
+        op1, op2 = mm_pair()
+        sm = rowwise_softmax("sm", op2.output)
+        triple = FusedChain.from_ops([op1, op2, sm])
+        assert cross_patterns(triple) == []
+
+    def test_patterns_cover_all_dims(self):
+        chain = FusedChain.from_ops(mm_pair())
+        for pattern in profitable_patterns(chain) + cross_patterns(chain):
+            assert set(pattern.roles) == set(chain.global_dims)
+
+
+class TestSolvePattern:
+    def test_solutions_fit_buffer(self):
+        chain = FusedChain.from_ops(mm_pair())
+        for budget in (50, 500, 5000, 50000):
+            for pattern in profitable_patterns(chain):
+                dataflow = solve_pattern(chain, pattern, budget)
+                if dataflow is not None:
+                    assert dataflow.buffer_footprint(chain) <= budget
+
+    def test_untile_roles_resolved(self):
+        chain = FusedChain.from_ops(mm_pair())
+        pattern = next(
+            p for p in profitable_patterns(chain) if p.label == "three-resident"
+        )
+        dataflow = solve_pattern(chain, pattern, 10**6)
+        tiling = dataflow.resolved_tiling(chain)
+        assert tiling["M"] == 64 and tiling["L"] == 48
+
+    def test_infeasible_returns_none(self):
+        chain = FusedChain.from_ops(mm_pair())
+        pattern = next(
+            p for p in profitable_patterns(chain) if p.label == "three-resident"
+        )
+        assert solve_pattern(chain, pattern, 10) is None
+
+
+class TestOptimizeFused:
+    def test_result_is_fusable(self):
+        result = optimize_fused(mm_pair(), 2000)
+        assert result is not None
+        assert result.report.fusable
+
+    def test_monotone_in_buffer(self):
+        previous = None
+        for budget in (100, 400, 1600, 6400, 25600):
+            result = optimize_fused(mm_pair(), budget)
+            if result is None:
+                continue
+            if previous is not None:
+                assert result.memory_access <= previous
+            previous = result.memory_access
+
+    def test_large_buffer_reaches_fused_ideal(self):
+        op1, op2 = mm_pair()
+        chain = FusedChain.from_ops([op1, op2])
+        result = optimize_fused([op1, op2], 10**6)
+        assert result.memory_access == chain.ideal_memory_access()
+
+    def test_never_loses_to_fused_search(self):
+        for budget in (500, 2000, 10000, 50000):
+            ops = mm_pair()
+            principled = optimize_fused(ops, budget)
+            searched = exhaustive_fused_search(ops, budget)
+            if searched is not None:
+                assert principled is not None
+                assert principled.memory_access <= searched.memory_access
+
+    def test_per_op_nra_classes_reported(self):
+        result = optimize_fused(mm_pair(), 2000)
+        assert len(result.per_op_nra) == 2
+        assert all(isinstance(c, NRAClass) for c in result.per_op_nra)
+
+    def test_three_op_chain_with_softmax(self):
+        op1 = matmul("qk", 32, 8, 32, count=4)
+        sm = rowwise_softmax("sm", op1.output, count=4)
+        op2 = matmul("av", 32, 32, 8, a=sm.output, count=4)
+        result = optimize_fused([op1, sm, op2], 3000)
+        assert result is not None
+        assert result.report.fusable
+        # Intermediates (scores and probabilities) travel for free.
+        assert result.report.per_tensor["qk.C"].accesses == 0
+        assert result.report.per_tensor["sm.out"].accesses == 0
+
+    def test_count_scaling(self):
+        single = optimize_fused(mm_pair(count=1), 2000)
+        repeated = optimize_fused(mm_pair(count=5), 2000)
+        assert repeated.memory_access == 5 * single.memory_access
+
+
+class TestProfitability:
+    def test_same_nra_fusion_profitable(self):
+        """Paper Principle 4, positive direction: same-NRA pairs win.
+
+        Budgets chosen so both operators' optimal intra dataflows share a
+        class (both Three-NRA here).
+        """
+        for budget in (5000, 100000):
+            decision = decide_fusion(mm_pair(), budget)
+            assert decision.predicted_profitable
+            assert decision.profitable
+
+    def test_fusion_eliminates_intermediate_traffic(self):
+        op1, op2 = mm_pair()
+        decision = decide_fusion([op1, op2], 5000)
+        unfused_c = sum(
+            r.report.per_tensor.get(
+                "mm1.C",
+                type("z", (), {"accesses": 0}),
+            ).accesses
+            for r in decision.unfused
+        )
+        assert unfused_c > 0
+        assert decision.fused.report.per_tensor["mm1.C"].accesses == 0
+
+    def test_cross_patterns_never_optimal(self):
+        """Paper Principle 4, negative direction (red arrows of Fig. 4).
+
+        The principle prescribes *how* to fuse: within a fused nest, give
+        every operator the same NRA dataflow.  Verified here as: the best
+        fused dataflow is never a cross-NRA pattern, across a spread of
+        shapes and buffer sizes.
+        """
+        shapes = [
+            (32, 32, 32, 32),
+            (64, 16, 64, 16),
+            (48, 48, 24, 48),
+            (96, 32, 96, 32),
+            (1024, 1024, 1024, 16),
+        ]
+        checked = 0
+        for shape in shapes:
+            for budget in (400, 1600, 6400, 25600):
+                result = optimize_fused(mm_pair(*shape), budget, include_cross=True)
+                if result is None:
+                    continue
+                checked += 1
+                assert not result.pattern.cross_nra, (shape, budget, result.pattern)
+        assert checked > 10
+
+    def test_symmetric_pairs_predicted_and_measured_profitable(self):
+        """For same-shape chains (the paper's qk/av, ffn1/ffn2 style) the
+        Principle 4 prediction and the measured comparison agree."""
+        for shape in ((32, 32, 32, 32), (64, 16, 64, 16), (96, 32, 96, 32)):
+            for budget in (1600, 6400, 25600):
+                decision = decide_fusion(mm_pair(*shape), budget, include_cross=True)
+                assert decision.predicted_profitable, (shape, budget)
+                assert decision.profitable, (shape, budget)
+
+    def test_reproduction_finding_fusion_can_beat_prediction(self):
+        """Documented deviation: with exact integer costing and the full
+        pattern set, fusing a Single-NRA producer with a (nominally)
+        Two-NRA consumer can still pay off -- the consumer simply runs in
+        the producer's class and the intermediate's elimination dominates.
+        Principle 4 remains correct about *which fused dataflow* to use
+        (see test_cross_patterns_never_optimal); its binary fuse/don't-fuse
+        reading is conservative.  Recorded in EXPERIMENTS.md.
+        """
+        op1 = matmul("mm1", 1024, 1024, 1024)
+        op2 = matmul("mm2", 1024, 1024, 16, a=op1.output)
+        decision = decide_fusion([op1, op2], 4000, include_cross=True)
+        assert not decision.predicted_profitable
+        assert decision.profitable
+        assert not decision.fused.pattern.cross_nra
+
+    def test_saving_zero_when_fusion_unavailable(self):
+        from repro.core import FusionDecision
+
+        op1, op2 = mm_pair()
+        unfused = (optimize_intra(op1, 5000), optimize_intra(op2, 5000))
+        decision = FusionDecision(
+            ops=(op1, op2), fused=None, unfused=unfused, predicted_profitable=False
+        )
+        assert decision.saving == 0.0
+        assert decision.fused_memory_access is None
+
+    def test_saving_positive_when_profitable(self):
+        decision = decide_fusion(mm_pair(), 5000)
+        assert 0 < decision.saving < 1
+
+    def test_describe_runs(self):
+        decision = decide_fusion(mm_pair(), 5000)
+        text = decision.describe()
+        assert "profitable=True" in text

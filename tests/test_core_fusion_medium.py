@@ -1,0 +1,110 @@
+"""Tests for the fusion-medium distinction (paper Table I, last row)."""
+
+import pytest
+
+from repro.core import FusionMedium, optimize_fused, profitable_patterns, solve_pattern
+from repro.dataflow import FusedChain
+from repro.dataflow.fusion_nest import FusionError
+from repro.ir import matmul
+
+
+def mm_pair(m=128, k=64, l=128, n=64):
+    op1 = matmul("mm1", m, k, l)
+    op2 = matmul("mm2", m, l, n, a=op1.output)
+    return op1, op2
+
+
+class TestMediumSemantics:
+    def test_compute_unit_frees_buffer(self):
+        """With the intermediate in the PE accumulators the same buffer
+        affords larger tiles, so compute-unit MA <= memory MA whenever the
+        intermediate tile fits the registers."""
+        ops = mm_pair()
+        for budget in (2000, 8000, 32000):
+            memory_result = optimize_fused(
+                ops, budget, medium=FusionMedium.MEMORY
+            )
+            cu_result = optimize_fused(
+                ops,
+                budget,
+                medium=FusionMedium.COMPUTE_UNIT,
+                register_elems=128 * 128,
+            )
+            if memory_result is None or cu_result is None:
+                continue
+            assert cu_result.memory_access <= memory_result.memory_access
+
+    def test_register_capacity_binds(self):
+        """A tiny register file forces small intermediate tiles."""
+        ops = mm_pair()
+        roomy = optimize_fused(
+            ops, 32000, medium=FusionMedium.COMPUTE_UNIT, register_elems=16384
+        )
+        cramped = optimize_fused(
+            ops, 32000, medium=FusionMedium.COMPUTE_UNIT, register_elems=64
+        )
+        assert roomy is not None
+        if cramped is not None:
+            assert cramped.memory_access >= roomy.memory_access
+
+    def test_best_is_union(self):
+        """BEST never loses to either concrete medium."""
+        ops = mm_pair()
+        for budget in (2000, 8000, 32000, 128000):
+            best = optimize_fused(
+                ops, budget, medium=FusionMedium.BEST, register_elems=16384
+            )
+            for medium in (FusionMedium.MEMORY, FusionMedium.COMPUTE_UNIT):
+                concrete = optimize_fused(
+                    ops, budget, medium=medium, register_elems=16384
+                )
+                if concrete is not None:
+                    assert best is not None
+                    assert best.memory_access <= concrete.memory_access
+
+    def test_compute_unit_needs_register_size(self):
+        ops = mm_pair()
+        chain = FusedChain.from_ops(ops)
+        pattern = profitable_patterns(chain)[0]
+        with pytest.raises(FusionError, match="register_elems"):
+            solve_pattern(
+                chain, pattern, 1000, medium=FusionMedium.COMPUTE_UNIT
+            )
+
+    def test_best_rejected_by_solve_pattern(self):
+        ops = mm_pair()
+        chain = FusedChain.from_ops(ops)
+        pattern = profitable_patterns(chain)[0]
+        with pytest.raises(FusionError, match="BEST"):
+            solve_pattern(chain, pattern, 1000, medium=FusionMedium.BEST)
+
+    def test_intermediate_tile_fits_registers(self):
+        """Compute-unit solutions respect the register capacity."""
+        ops = mm_pair()
+        registers = 4096
+        result = optimize_fused(
+            ops, 32000, medium=FusionMedium.COMPUTE_UNIT, register_elems=registers
+        )
+        assert result is not None
+        intermediate = result.chain.intermediates()[0]
+        tile = result.dataflow.tile_elements(result.chain, intermediate.name)
+        assert tile <= registers
+
+    def test_huge_intermediate_falls_back_to_memory_under_best(self):
+        """An S x S intermediate beyond the register file still fuses under
+        BEST -- via the memory medium (the attention three-resident case)."""
+        op1 = matmul("mm1", 512, 16, 512)
+        op2 = matmul("mm2", 512, 512, 16, a=op1.output)
+        budget = 300000  # fits the full 512x512 intermediate in buffer
+        best = optimize_fused(
+            [op1, op2], budget, medium=FusionMedium.BEST, register_elems=1024
+        )
+        cu_only = optimize_fused(
+            [op1, op2],
+            budget,
+            medium=FusionMedium.COMPUTE_UNIT,
+            register_elems=1024,
+        )
+        assert best is not None
+        if cu_only is not None:
+            assert best.memory_access <= cu_only.memory_access

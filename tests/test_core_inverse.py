@@ -1,0 +1,73 @@
+"""Tests for inverse buffer-sizing queries."""
+
+import pytest
+
+from repro.core import (
+    intra_lower_bound,
+    minimal_buffer_for,
+    minimal_buffer_for_ideal,
+    pareto_curve,
+    three_nra_threshold,
+)
+from repro.ir import matmul
+
+
+class TestMinimalBuffer:
+    def test_ideal_threshold_is_tensor_min_plus_strips(self):
+        """Sec. III-A3: Three-NRA needs the smallest tensor plus one strip
+        of each streaming operand."""
+        op = matmul("mm", 128, 96, 112)
+        minimal = minimal_buffer_for_ideal(op)
+        assert minimal == three_nra_threshold(op) + 96 + 112
+
+    def test_minimality(self):
+        """One element less no longer achieves the ideal."""
+        op = matmul("mm", 64, 48, 56)
+        minimal = minimal_buffer_for_ideal(op)
+        assert intra_lower_bound(op, minimal) == op.ideal_memory_access()
+        assert intra_lower_bound(op, minimal - 1) > op.ideal_memory_access()
+
+    def test_target_below_ideal_unreachable(self):
+        op = matmul("mm", 64, 48, 56)
+        assert minimal_buffer_for(op, op.ideal_memory_access() - 1) is None
+
+    def test_looser_target_needs_less_buffer(self):
+        op = matmul("mm", 128, 96, 112)
+        ideal = op.ideal_memory_access()
+        tight = minimal_buffer_for(op, ideal)
+        loose = minimal_buffer_for(op, 2 * ideal)
+        assert loose is not None and tight is not None
+        assert loose <= tight
+
+    def test_answer_achieves_target(self):
+        op = matmul("mm", 96, 64, 80)
+        for factor in (1.0, 1.5, 3.0, 10.0):
+            target = int(op.ideal_memory_access() * factor)
+            buffer_elems = minimal_buffer_for(op, target)
+            assert buffer_elems is not None
+            assert intra_lower_bound(op, buffer_elems) <= target
+
+
+class TestParetoCurve:
+    def test_monotone_decreasing(self):
+        op = matmul("mm", 96, 64, 80)
+        curve = pareto_curve(op)
+        for earlier, later in zip(curve, curve[1:]):
+            assert later.buffer_elems > earlier.buffer_elems
+            assert later.memory_access < earlier.memory_access
+
+    def test_endpoints(self):
+        op = matmul("mm", 96, 64, 80)
+        curve = pareto_curve(op)
+        assert curve[-1].memory_access == op.ideal_memory_access()
+        assert curve[0].memory_access >= curve[-1].memory_access
+
+    def test_point_budget_respected(self):
+        op = matmul("mm", 128, 96, 112)
+        curve = pareto_curve(op, max_points=8)
+        assert len(curve) <= 9
+
+    def test_points_are_achievable(self):
+        op = matmul("mm", 64, 48, 56)
+        for point in pareto_curve(op, max_points=12):
+            assert intra_lower_bound(op, point.buffer_elems) == point.memory_access

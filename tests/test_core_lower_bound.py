@@ -1,0 +1,79 @@
+"""Tests for communication lower bounds and the MA(BS) curve."""
+
+import pytest
+
+from repro.core import (
+    BufferRegime,
+    closed_form_curve,
+    intra_lower_bound,
+    shift_point_band,
+    three_nra_threshold,
+)
+from repro.ir import matmul
+
+
+class TestIntraLowerBound:
+    def test_matches_optimizer(self):
+        from repro.core import optimize_intra
+
+        op = matmul("mm", 96, 64, 80)
+        assert intra_lower_bound(op, 2000) == optimize_intra(op, 2000).memory_access
+
+    def test_floor_is_ideal(self):
+        op = matmul("mm", 96, 64, 80)
+        assert intra_lower_bound(op, 10**7) == op.ideal_memory_access()
+
+
+class TestCurve:
+    def test_curve_monotone_nonincreasing(self):
+        op = matmul("mm", 128, 96, 112)
+        sweep = [2 ** i for i in range(6, 18)]
+        points = closed_form_curve(op, sweep)
+        for earlier, later in zip(points, points[1:]):
+            assert later.memory_access <= earlier.memory_access
+
+    def test_curve_regimes_progress(self):
+        op = matmul("mm", 128, 96, 112)
+        sweep = [2 ** i for i in range(6, 18)]
+        points = closed_form_curve(op, sweep)
+        order = [
+            BufferRegime.TINY,
+            BufferRegime.SMALL,
+            BufferRegime.MEDIUM,
+            BufferRegime.LARGE,
+        ]
+        indices = [order.index(p.regime) for p in points]
+        assert indices == sorted(indices)
+        assert points[-1].regime is BufferRegime.LARGE
+
+    def test_curve_flat_after_tensor_min(self):
+        """Beyond the Three-NRA threshold MA stays at the ideal."""
+        op = matmul("mm", 128, 96, 112)
+        threshold = three_nra_threshold(op)
+        points = closed_form_curve(op, [threshold * 2, threshold * 8])
+        assert points[0].memory_access == points[1].memory_access
+        assert points[0].memory_access == op.ideal_memory_access()
+
+
+class TestShiftPoints:
+    def test_band_formula(self):
+        op = matmul("mm", 128, 96, 112)
+        low, high = shift_point_band(op)
+        assert low == 96 * 96 / 4
+        assert high == 96 * 96 / 2
+
+    def test_three_nra_threshold_is_smallest_tensor(self):
+        op = matmul("mm", 128, 96, 112)
+        assert three_nra_threshold(op) == 96 * 112  # B
+
+    def test_single_dominates_below_band_two_above(self):
+        """Sec. III-A4: the Single->Two shift lies inside the band."""
+        from repro.core import optimize_intra
+        from repro.dataflow import NRAClass
+
+        op = matmul("mm", 128, 96, 112)
+        low, high = shift_point_band(op)
+        below = optimize_intra(op, int(low * 0.3)).nra_class
+        above = optimize_intra(op, int(high * 1.5)).nra_class
+        assert below is NRAClass.SINGLE
+        assert above in (NRAClass.TWO, NRAClass.THREE)

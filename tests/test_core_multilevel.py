@@ -1,0 +1,101 @@
+"""Tests for the two-level hierarchy analysis and the 2N bound (Sec. IV-B)."""
+
+import pytest
+
+from repro.core import (
+    classify_buffer,
+    max_useful_untiled_dim,
+    optimize_two_level,
+    untiling_is_optimal_at_registers,
+)
+from repro.dataflow import NRAClass
+from repro.ir import matmul
+
+
+class TestTwoLevel:
+    def test_traffic_hierarchy(self):
+        """Buffer<->register traffic exceeds DRAM<->buffer traffic (reuse
+        shrinks going up the hierarchy)."""
+        op = matmul("mm", 1024, 768, 768)
+        result = optimize_two_level(op, 512 * 1024, 128 * 128)
+        assert result.buffer_traffic >= result.dram_traffic
+
+    def test_dram_traffic_matches_single_level(self):
+        from repro.core import optimize_intra
+
+        op = matmul("mm", 1024, 768, 768)
+        result = optimize_two_level(op, 512 * 1024, 128 * 128)
+        assert result.dram_traffic == optimize_intra(op, 512 * 1024).memory_access
+
+    def test_inner_operator_is_the_buffer_tile(self):
+        op = matmul("mm", 1024, 768, 768)
+        result = optimize_two_level(op, 512 * 1024, 128 * 128)
+        outer_tiling = result.outer.dataflow.tiling.for_operator(op)
+        assert result.inner.operator.dims == {
+            "M": outer_tiling["M"],
+            "K": outer_tiling["K"],
+            "L": outer_tiling["L"],
+        }
+
+    def test_executions_cover_iteration_space(self):
+        op = matmul("mm", 512, 384, 448)
+        result = optimize_two_level(op, 64 * 1024, 64 * 64)
+        sub_space = result.inner.operator.iteration_space
+        assert result.inner_executions * sub_space >= op.iteration_space
+
+    def test_count_scales_executions(self):
+        op1 = matmul("mm", 256, 192, 224)
+        op4 = matmul("mm", 256, 192, 224, count=4)
+        r1 = optimize_two_level(op1, 32 * 1024, 64 * 64)
+        r4 = optimize_two_level(op4, 32 * 1024, 64 * 64)
+        assert r4.inner_executions == 4 * r1.inner_executions
+
+    def test_describe(self):
+        op = matmul("mm", 256, 192, 224)
+        text = optimize_two_level(op, 32 * 1024, 64 * 64).describe()
+        assert "DRAM traffic" in text and "buffer traffic" in text
+
+    def test_non_mm_rejected(self):
+        from repro.ir import Tensor, rowwise_softmax
+
+        op = rowwise_softmax("sm", Tensor("x", (8, 8)))
+        with pytest.raises(ValueError):
+            optimize_two_level(op, 1000, 100)
+
+
+class TestTwoNBound:
+    def test_max_useful_untiled_dim(self):
+        assert max_useful_untiled_dim(128) == 256
+        with pytest.raises(ValueError):
+            max_useful_untiled_dim(0)
+
+    def test_untiling_predicate(self):
+        assert untiling_is_optimal_at_registers(255, 128)
+        assert not untiling_is_optimal_at_registers(256, 128)
+
+    def test_bound_matches_regime_table(self):
+        """Sec. IV-B's derivation: with BS = N^2, the Two-NRA regimes
+        (BS > Dmin^2/4) are reachable exactly when Dmin < 2N."""
+        n = 64
+        registers = n * n
+        # Dmin just below 2N: register-level regime allows untiling.
+        op_small = matmul("t", 512, 2 * n - 1, 512)
+        report = classify_buffer(op_small, registers)
+        assert report.regime.value in ("small", "medium", "large")
+        # Dmin at 2N: stuck in the tiny regime (Single-NRA, no untiling).
+        op_big = matmul("t", 512, 2 * n, 512)
+        report_big = classify_buffer(op_big, registers)
+        assert report_big.regime.value == "tiny"
+
+    def test_register_level_dataflow_untiling_behavior(self):
+        """The realized register-level dataflow obeys the 2N bound."""
+        from repro.core import optimize_intra
+
+        n = 64
+        registers = n * n
+        # Small head dim (64 < 2N): the optimal register dataflow untiles it.
+        small = optimize_intra(matmul("t", 512, 64, 512), registers)
+        assert small.nra_class in (NRAClass.TWO, NRAClass.THREE)
+        # Large dims (>= 2N everywhere): Single-NRA only.
+        large = optimize_intra(matmul("t", 512, 512, 512), registers)
+        assert large.nra_class is NRAClass.SINGLE

@@ -1,0 +1,81 @@
+"""Tests for the Principle records and Principle 4 predicate."""
+
+import pytest
+
+from repro.core import (
+    optimal_nra_class,
+    principle1,
+    principle2,
+    principle3,
+    principle4,
+    principle4_same_nra,
+    regime_summary,
+)
+from repro.dataflow import NRAClass
+from repro.ir import Tensor, matmul, rowwise_softmax
+
+
+class TestPrincipleRecords:
+    def test_numbers(self):
+        op = matmul("mm", 64, 32, 48)
+        assert principle1(op).number == 1
+        assert principle2(op).number == 2
+        assert principle3(op).number == 3
+        assert principle4().number == 4
+
+    def test_principle1_recommends_smallest_tensor(self):
+        op = matmul("mm", 64, 32, 48)  # B = 32x48 = 1536 is smallest
+        assert "mm.B" in principle1(op).recommendation
+
+    def test_principle2_recommends_smallest_dim(self):
+        op = matmul("mm", 64, 32, 48)
+        assert "K" in principle2(op).recommendation
+
+    def test_principle3_recommends_smallest_tensor(self):
+        op = matmul("mm", 64, 32, 48)
+        assert "mm.B" in principle3(op).recommendation
+
+    def test_principle4_text(self):
+        assert "same NRA" in principle4().scheduling_rule
+
+    def test_regime_summary_mentions_regime(self):
+        op = matmul("mm", 64, 32, 48)
+        assert "tiny" in regime_summary(op, 100)
+
+
+class TestOptimalNRAClass:
+    def test_grows_with_buffer(self):
+        op = matmul("mm", 64, 64, 64)
+        tiny = optimal_nra_class(op, 200)
+        large = optimal_nra_class(op, 10**6)
+        assert tiny is NRAClass.SINGLE
+        assert large is NRAClass.THREE
+
+    def test_streaming_is_neutral(self):
+        op = rowwise_softmax("sm", Tensor("x", (8, 8)))
+        assert optimal_nra_class(op, 100) is None
+
+
+class TestPrinciple4Predicate:
+    def test_same_shape_same_class(self):
+        op1 = matmul("mm1", 64, 64, 64)
+        op2 = matmul("mm2", 64, 64, 64, a=op1.output)
+        assert principle4_same_nra(op1, op2, 500)
+        assert principle4_same_nra(op1, op2, 10**6)
+
+    def test_different_classes_blocked(self):
+        # op1 huge (tiny regime -> Single-NRA); op2's skinny output dim puts
+        # it in the medium regime -> Two-NRA.
+        op1 = matmul("mm1", 1024, 1024, 1024)
+        op2 = matmul("mm2", 1024, 1024, 16, a=op1.output)
+        budget = 4000
+        class1 = optimal_nra_class(op1, budget)
+        class2 = optimal_nra_class(op2, budget)
+        assert class1 != class2
+        assert not principle4_same_nra(op1, op2, budget)
+
+    def test_streaming_never_blocks(self):
+        op1 = matmul("mm1", 64, 32, 64)
+        sm = rowwise_softmax("sm", op1.output)
+        assert principle4_same_nra(op1, sm, 100)
+        assert principle4_same_nra(sm, op1, 100)

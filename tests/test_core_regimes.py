@@ -1,0 +1,76 @@
+"""Unit tests for buffer-regime classification (paper Sec. III-A4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import mm_ops, buffer_sizes
+from repro.core import BufferRegime, classify_buffer
+from repro.dataflow import NRAClass
+from repro.ir import matmul
+
+
+class TestRegimeBoundaries:
+    """Dmin = 64 -> tiny <= 1024 < small <= 2048 < medium <= Tensor_min."""
+
+    def setup_method(self):
+        self.op = matmul("mm", 128, 64, 256)  # Dmin=64, Tensor_min=A=8192
+
+    def test_tiny(self):
+        assert classify_buffer(self.op, 1024).regime is BufferRegime.TINY
+
+    def test_small_lower_edge(self):
+        assert classify_buffer(self.op, 1025).regime is BufferRegime.SMALL
+
+    def test_small_upper_edge(self):
+        assert classify_buffer(self.op, 2048).regime is BufferRegime.SMALL
+
+    def test_medium(self):
+        assert classify_buffer(self.op, 2049).regime is BufferRegime.MEDIUM
+        assert classify_buffer(self.op, 8192).regime is BufferRegime.MEDIUM
+
+    def test_large(self):
+        assert classify_buffer(self.op, 8193).regime is BufferRegime.LARGE
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            classify_buffer(self.op, 0)
+
+    def test_report_fields(self):
+        report = classify_buffer(self.op, 4096)
+        assert report.d_min == 64
+        assert report.tensor_min == 128 * 64
+        assert report.buffer_elems == 4096
+
+
+class TestRegimeCandidates:
+    def test_candidate_classes(self):
+        op = matmul("mm", 128, 64, 256)
+        assert classify_buffer(op, 100).candidates == (NRAClass.SINGLE,)
+        assert classify_buffer(op, 1500).candidates == (
+            NRAClass.SINGLE,
+            NRAClass.TWO,
+        )
+        assert classify_buffer(op, 4096).candidates == (NRAClass.TWO,)
+        assert classify_buffer(op, 100000).candidates == (NRAClass.THREE,)
+
+
+class TestRegimeMonotonicity:
+    @given(mm_ops(max_dim=64), buffer_sizes())
+    @settings(max_examples=60, deadline=None)
+    def test_growing_buffer_never_lowers_regime(self, op, buffer_elems):
+        order = [
+            BufferRegime.TINY,
+            BufferRegime.SMALL,
+            BufferRegime.MEDIUM,
+            BufferRegime.LARGE,
+        ]
+        small = classify_buffer(op, buffer_elems).regime
+        big = classify_buffer(op, buffer_elems * 2).regime
+        assert order.index(big) >= order.index(small)
+
+    def test_paper_example_regime(self):
+        """Sec. III-A4 example: BERT MM at 512 KB is medium -> Two-NRA."""
+        op = matmul("bert", 1024, 768, 768)
+        report = classify_buffer(op, 512 * 1024)
+        assert report.regime is BufferRegime.MEDIUM
+        assert report.candidates == (NRAClass.TWO,)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.dataflow.mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow import (
+    ArrayShape,
+    FusedMappingKind,
+    MappingError,
+    SpatialMapping,
+    best_array_utilization,
+    classify_intermediate_tile,
+)
+
+
+class TestArrayShape:
+    def test_pes(self):
+        assert ArrayShape(128, 128).pes == 16384
+
+    def test_invalid(self):
+        with pytest.raises(MappingError):
+            ArrayShape(0, 128)
+
+
+class TestSpatialMapping:
+    def test_perfect_fit(self):
+        mapping = SpatialMapping(128, 128, ArrayShape(128, 128))
+        assert mapping.passes == 1
+        assert mapping.utilization == 1.0
+
+    def test_half_rows(self):
+        mapping = SpatialMapping(64, 128, ArrayShape(128, 128))
+        assert mapping.utilization == 0.5
+
+    def test_multi_pass_full_utilization(self):
+        mapping = SpatialMapping(256, 256, ArrayShape(128, 128))
+        assert mapping.passes == 4
+        assert mapping.utilization == 1.0
+
+    def test_ragged_tile(self):
+        mapping = SpatialMapping(129, 128, ArrayShape(128, 128))
+        assert mapping.passes == 2
+        assert mapping.utilization == pytest.approx(129 / 256)
+
+    def test_invalid_tile(self):
+        with pytest.raises(MappingError):
+            SpatialMapping(0, 4, ArrayShape(4, 4))
+
+    @given(
+        st.integers(1, 512),
+        st.integers(1, 512),
+        st.integers(1, 64),
+        st.integers(1, 64),
+    )
+    def test_utilization_bounds(self, tr, tc, ar, ac):
+        utilization = SpatialMapping(tr, tc, ArrayShape(ar, ac)).utilization
+        assert 0 < utilization <= 1.0
+
+
+class TestFusedMappingClassification:
+    def test_tile_like(self):
+        assert (
+            classify_intermediate_tile((128, 128))
+            is FusedMappingKind.TILE_FUSION
+        )
+
+    def test_column_like(self):
+        assert (
+            classify_intermediate_tile((128, 1))
+            is FusedMappingKind.COLUMN_FUSION
+        )
+        assert (
+            classify_intermediate_tile((1, 128))
+            is FusedMappingKind.COLUMN_FUSION
+        )
+
+    def test_threshold(self):
+        assert (
+            classify_intermediate_tile((4, 128), column_threshold=4)
+            is FusedMappingKind.COLUMN_FUSION
+        )
+
+    def test_invalid_shape(self):
+        with pytest.raises(MappingError):
+            classify_intermediate_tile((0, 4))
+
+
+class TestBestArrayUtilization:
+    def test_prefers_matching_aspect(self):
+        shapes = (ArrayShape(128, 128), ArrayShape(64, 256))
+        shape, utilization = best_array_utilization(64, 1024, shapes)
+        assert (shape.rows, shape.cols) == (64, 256)
+        assert utilization == 1.0
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(MappingError):
+            best_array_utilization(4, 4, ())
+
+    def test_fusecu_narrow_wide_beats_fixed_square(self):
+        """The Sec. IV-B motivation: untiled dims up to 2N need non-square
+        arrays; a 256-wide tile wastes half a fixed 128x128 array."""
+        fixed = best_array_utilization(64, 256, (ArrayShape(128, 128),))[1]
+        flexible = best_array_utilization(
+            64, 256, (ArrayShape(128, 128), ArrayShape(64, 256))
+        )[1]
+        assert flexible == 1.0
+        assert fixed == 0.5

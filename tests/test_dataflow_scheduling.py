@@ -1,0 +1,88 @@
+"""Unit tests for repro.dataflow.scheduling."""
+
+import pytest
+
+from repro.dataflow import (
+    Schedule,
+    ScheduleError,
+    Tiling,
+    all_schedules,
+    input_stationary,
+    output_stationary,
+    stationary_schedule,
+)
+from repro.ir import matmul
+
+
+class TestScheduleBasics:
+    def test_order_preserved(self):
+        assert Schedule(("M", "L", "K")).order == ("M", "L", "K")
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(ScheduleError, match="repeats"):
+            Schedule(("M", "M", "K"))
+
+    def test_validate_coverage(self):
+        op = matmul("mm", 4, 5, 6)
+        with pytest.raises(ScheduleError, match="cover"):
+            Schedule(("M", "K")).validate(op)
+
+    def test_innermost_outermost(self):
+        schedule = Schedule(("M", "L", "K"))
+        assert schedule.innermost == "K"
+        assert schedule.outermost == "M"
+
+    def test_all_schedules_count(self):
+        op = matmul("mm", 4, 5, 6)
+        assert len(list(all_schedules(op))) == 6
+
+
+class TestStationaryDerivation:
+    def test_output_stationary_reduction_innermost(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = output_stationary(op)
+        assert schedule.innermost == "K"
+
+    def test_output_stationary_tensor_is_c(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = output_stationary(op)
+        tiling = Tiling({"M": 2, "K": 1, "L": 2})
+        assert schedule.stationary_tensor(op, tiling).name == "mm.C"
+
+    def test_input_stationary_tensor_is_a(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = input_stationary(op, "mm.A")
+        tiling = Tiling({"M": 2, "K": 2, "L": 1})
+        assert schedule.stationary_tensor(op, tiling).name == "mm.A"
+
+    def test_weight_stationary_tensor_is_b(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = stationary_schedule(op, "mm.B")
+        tiling = Tiling({"M": 1, "K": 2, "L": 2})
+        assert schedule.stationary_tensor(op, tiling).name == "mm.B"
+
+    def test_effective_order_drops_untiled(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = Schedule(("M", "L", "K"))
+        tiling = Tiling({"M": 2, "K": 5, "L": 2})
+        assert schedule.effective_order(op, tiling) == ("M", "L")
+
+    def test_fully_buffered_has_no_stationary(self):
+        op = matmul("mm", 4, 5, 6)
+        schedule = Schedule(("M", "L", "K"))
+        tiling = Tiling({"M": 4, "K": 5, "L": 6})
+        assert schedule.stationary_tensor(op, tiling) is None
+
+    def test_output_stationary_needs_reduction(self):
+        from repro.ir import Tensor, elementwise
+
+        op = elementwise("ew", Tensor("x", (4, 5)))
+        with pytest.raises(ScheduleError, match="reduction"):
+            output_stationary(op)
+
+    def test_input_stationary_all_dims_rejected(self):
+        from repro.ir import Tensor, elementwise
+
+        op = elementwise("ew", Tensor("x", (4, 5)))
+        with pytest.raises(ScheduleError, match="every dim"):
+            input_stationary(op, op.inputs[0].name)

@@ -1,0 +1,109 @@
+"""Tests for dataflow serialization (round trips through JSON)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import mm_ops
+from repro.core import optimize_fused, optimize_intra
+from repro.dataflow import (
+    SerializationError,
+    dataflow_from_dict,
+    dataflow_to_dict,
+    fused_dataflow_from_dict,
+    fused_dataflow_to_dict,
+    memory_access,
+    report_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    tiling_from_dict,
+    tiling_to_dict,
+)
+from repro.ir import matmul
+
+
+def json_round_trip(payload):
+    """Force the payload through an actual JSON encode/decode."""
+    return json.loads(json.dumps(payload))
+
+
+class TestRoundTrips:
+    def test_tiling(self):
+        op = matmul("mm", 8, 6, 10)
+        result = optimize_intra(op, 60)
+        payload = json_round_trip(tiling_to_dict(result.dataflow.tiling))
+        assert tiling_from_dict(payload).tiles == result.dataflow.tiling.tiles
+
+    def test_schedule(self):
+        op = matmul("mm", 8, 6, 10)
+        result = optimize_intra(op, 60)
+        payload = json_round_trip(schedule_to_dict(result.dataflow.schedule))
+        assert schedule_from_dict(payload).order == result.dataflow.schedule.order
+
+    def test_dataflow_preserves_cost(self):
+        """The decisive check: a round-tripped dataflow costs the same."""
+        op = matmul("mm", 64, 48, 56)
+        result = optimize_intra(op, 2000)
+        payload = json_round_trip(dataflow_to_dict(result.dataflow))
+        restored = dataflow_from_dict(payload)
+        assert memory_access(op, restored).total == result.memory_access
+
+    def test_fused_dataflow(self):
+        op1 = matmul("mm1", 32, 16, 24)
+        op2 = matmul("mm2", 32, 24, 20, a=op1.output)
+        result = optimize_fused([op1, op2], 2000)
+        payload = json_round_trip(fused_dataflow_to_dict(result.dataflow))
+        restored = fused_dataflow_from_dict(payload)
+        assert restored.shared_order == result.dataflow.shared_order
+        assert restored.private_orders == result.dataflow.private_orders
+        from repro.dataflow import FusedChain, fused_memory_access
+
+        chain = FusedChain.from_ops([op1, op2])
+        assert (
+            fused_memory_access(chain, restored).total == result.memory_access
+        )
+
+    @given(mm_ops(max_dim=32), st.integers(20, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_dataflows_round_trip(self, op, budget):
+        from repro.core import InfeasibleError
+
+        try:
+            result = optimize_intra(op, budget)
+        except InfeasibleError:
+            return
+        payload = json_round_trip(dataflow_to_dict(result.dataflow))
+        restored = dataflow_from_dict(payload)
+        assert memory_access(op, restored).total == result.memory_access
+
+
+class TestReportExport:
+    def test_report_dict_shape(self):
+        op = matmul("mm", 8, 6, 10, count=3)
+        result = optimize_intra(op, 60)
+        payload = json_round_trip(report_to_dict(result.report))
+        assert payload["operator"] == "mm"
+        assert payload["count"] == 3
+        assert payload["total"] == result.memory_access
+        assert set(payload["per_tensor"]) == {"mm.A", "mm.B", "mm.C"}
+
+
+class TestValidation:
+    def test_missing_key(self):
+        with pytest.raises(SerializationError, match="missing"):
+            tiling_from_dict({"kind": "tiling"})
+
+    def test_wrong_type(self):
+        with pytest.raises(SerializationError, match="mapping"):
+            tiling_from_dict({"tiles": [1, 2, 3]})
+
+    def test_fused_private_orders_type(self):
+        with pytest.raises(SerializationError, match="mapping"):
+            fused_dataflow_from_dict(
+                {
+                    "shared_order": ["M"],
+                    "private_orders": ["K"],
+                    "tiling": {"tiles": {"M": 1}},
+                }
+            )

@@ -1,0 +1,83 @@
+"""Unit tests for repro.dataflow.tiling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import mm_ops
+from repro.dataflow import UNTILED, Tiling, TilingError, full_tiling, unit_tiling
+from repro.ir import matmul
+
+
+class TestTilingResolution:
+    def test_untiled_sentinel_resolves_to_extent(self):
+        op = matmul("mm", 4, 5, 6)
+        tiling = Tiling({"M": UNTILED, "K": 2, "L": 3}).for_operator(op)
+        assert tiling["M"] == 4
+
+    def test_missing_dim_rejected(self):
+        op = matmul("mm", 4, 5, 6)
+        with pytest.raises(TilingError, match="missing"):
+            Tiling({"M": 2, "K": 2}).for_operator(op)
+
+    def test_extra_dim_rejected(self):
+        op = matmul("mm", 4, 5, 6)
+        with pytest.raises(TilingError, match="unknown"):
+            Tiling({"M": 2, "K": 2, "L": 2, "Z": 1}).for_operator(op)
+
+    def test_oversized_tile_rejected(self):
+        op = matmul("mm", 4, 5, 6)
+        with pytest.raises(TilingError, match="out of range"):
+            Tiling({"M": 9, "K": 2, "L": 2}).for_operator(op)
+
+    def test_zero_tile_rejected(self):
+        op = matmul("mm", 4, 5, 6)
+        with pytest.raises(TilingError, match="out of range"):
+            Tiling({"M": 0, "K": 2, "L": 2}).for_operator(op)
+
+    def test_untiled_dims_query(self):
+        op = matmul("mm", 4, 5, 6)
+        tiling = Tiling({"M": 4, "K": 2, "L": UNTILED})
+        assert tiling.untiled_dims(op.dims) == ("M", "L")
+
+
+class TestFootprints:
+    def test_paper_eq2_footprint(self):
+        """Eq. 2: T_M*T_K + T_K*T_L + T_M*T_L."""
+        op = matmul("mm", 100, 100, 100)
+        tiling = Tiling({"M": 10, "K": 5, "L": 7})
+        assert tiling.buffer_footprint(op) == 10 * 5 + 5 * 7 + 10 * 7
+
+    def test_tile_footprint_per_tensor(self):
+        op = matmul("mm", 100, 100, 100)
+        tiling = Tiling({"M": 10, "K": 5, "L": 7})
+        assert tiling.tile_footprint(op, "mm.A") == 50
+        assert tiling.tile_footprint(op, "mm.B") == 35
+        assert tiling.tile_footprint(op, "mm.C") == 70
+
+    def test_full_tiling_footprint_is_total_size(self):
+        op = matmul("mm", 4, 5, 6)
+        assert full_tiling(op).buffer_footprint(op) == 20 + 30 + 24
+
+    def test_unit_tiling_footprint(self):
+        op = matmul("mm", 4, 5, 6)
+        assert unit_tiling(op).buffer_footprint(op) == 3
+
+    @given(mm_ops(max_dim=32), st.data())
+    def test_footprint_monotone_in_tiles(self, op, data):
+        tiles_a = {
+            dim: data.draw(st.integers(1, extent), label=dim)
+            for dim, extent in op.dims.items()
+        }
+        tiles_b = {
+            dim: data.draw(st.integers(tiles_a[dim], extent), label=f"{dim}b")
+            for dim, extent in op.dims.items()
+        }
+        assert Tiling(tiles_a).buffer_footprint(op) <= Tiling(
+            tiles_b
+        ).buffer_footprint(op)
+
+    @given(mm_ops(max_dim=32))
+    def test_footprint_bounded_by_tensor_sizes(self, op):
+        assert full_tiling(op).buffer_footprint(op) == sum(
+            t.size for t in op.tensors
+        )

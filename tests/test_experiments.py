@@ -1,0 +1,156 @@
+"""Tests for the experiment harnesses (small-scale runs of every artifact)."""
+
+import pytest
+
+from repro.arch import MemorySpec
+from repro.experiments import (
+    PLATFORM_ORDER,
+    TABLE1_ROWS,
+    arithmetic_mean,
+    format_dict_table,
+    format_table,
+    geometric_mean,
+    render_fig9,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    table1,
+    table2,
+    table2_rows,
+    table3,
+    table3_rows,
+)
+from repro.ir import matmul
+from repro.workloads import BLENDERBOT, LLAMA2
+
+
+class TestRunnerUtilities:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert "T" in text and "a" in text and "3" in text
+
+    def test_format_table_validates_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_dict_table(self):
+        text = format_dict_table([{"x": 1, "y": 2}])
+        assert "x" in text and "1" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+
+
+class TestTables:
+    def test_table1_has_this_work(self):
+        assert TABLE1_ROWS[-1]["Framework"] == "This work"
+        assert "principle-based" in table1()
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        assert rows[0]["Model"] == "Bert"
+        assert "LLaMA2" in table2()
+
+    def test_table3_rows(self):
+        rows = table3_rows()
+        assert [row["Platform"] for row in rows] == list(PLATFORM_ORDER)
+        assert "FuseCU" in table3()
+
+
+class TestFig9:
+    def test_small_sweep(self):
+        op = matmul("t", 64, 48, 56)
+        points = run_fig9(
+            operators=[op],
+            buffer_sweep_bytes=[256, 2048, 16384],
+            include_genetic=False,
+        )
+        assert len(points) == 3
+        assert all(p.principle_at_most_search for p in points)
+
+    def test_normalization(self):
+        op = matmul("t", 64, 48, 56)
+        (point,) = run_fig9(
+            operators=[op], buffer_sweep_bytes=[10**6], include_genetic=False
+        )
+        assert point.principle_normalized == pytest.approx(1.0)
+
+    def test_render(self):
+        op = matmul("t", 64, 48, 56)
+        points = run_fig9(
+            operators=[op], buffer_sweep_bytes=[2048], include_genetic=False
+        )
+        assert "principle" in render_fig9(points)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(models=[BLENDERBOT])
+
+    def test_grid_complete(self, result):
+        assert len(result.cells) == 5
+        assert result.models == ("Blenderbot",)
+
+    def test_normalized_baseline_is_one(self, result):
+        assert result.normalized_ma("Blenderbot", "TPUv4i") == 1.0
+
+    def test_fusecu_saves(self, result):
+        assert result.ma_saving("FuseCU", "TPUv4i") > 0
+
+    def test_headline_structure(self, result):
+        headline = result.headline()
+        assert set(headline) == {
+            "fusecu_ma_saving",
+            "fusecu_speedup",
+            "unfcu_ma_saving",
+        }
+
+    def test_render(self, result):
+        text = render_fig10(result)
+        assert "paper" in text and "FuseCU" in text
+
+    def test_missing_cell(self, result):
+        with pytest.raises(KeyError):
+            result.cell("Blenderbot", "Nonexistent")
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig11(model=LLAMA2, seq_lens=(256, 1024, 4096))
+
+    def test_seq_lens(self, result):
+        assert result.seq_lens == (256, 1024, 4096)
+
+    def test_saving_grows_with_seq_len(self, result):
+        """The paper: greater MA reduction for longer sequences."""
+        savings = [result.fusecu_saving(s) for s in result.seq_lens]
+        assert savings == sorted(savings)
+
+    def test_render(self, result):
+        assert "seq len" in render_fig11(result)
+
+
+class TestFig12:
+    def test_headlines(self):
+        result = run_fig12()
+        assert result.fusecu_overhead == pytest.approx(0.12, abs=0.01)
+        assert result.interconnect_and_control_share < 0.001
+        assert result.planaria_overhead == pytest.approx(0.126, abs=0.01)
+
+    def test_render(self):
+        text = render_fig12(run_fig12())
+        assert "area breakdown" in text

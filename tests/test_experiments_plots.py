@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.experiments import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_values(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "1" in text
+
+    def test_max_bar_is_full_width(self):
+        text = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        rows = text.splitlines()
+        assert rows[0].count("█") == 10
+        assert rows[1].count("█") == 5
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_unit_suffix(self):
+        text = bar_chart({"a": 3.0}, unit="x")
+        assert "3x" in text
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart(
+            {"g1": {"a": 1.0, "b": 0.5}, "g2": {"a": 0.25}}, title="grid"
+        )
+        assert "g1:" in text and "g2:" in text
+        assert "grid" in text
+
+
+class TestLineChart:
+    def test_basic_plot(self):
+        text = line_chart(
+            [0, 1, 2, 3],
+            {"up": [0.0, 1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0, 0.0]},
+            title="lines",
+            height=5,
+            width=20,
+        )
+        assert "lines" in text
+        assert "o=up" in text and "x=down" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_constant_series(self):
+        text = line_chart([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in text
+
+    def test_empty(self):
+        assert line_chart([], {}, title="t") == "t"

@@ -1,0 +1,67 @@
+"""Tests for the reproduction-report generator and remaining CLI paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ReportOptions, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small sweep, no GA: keeps the test fast while exercising every
+    # section of the report.
+    return generate_report(
+        ReportOptions(
+            include_genetic=False,
+            fig9_buffer_sweep=[64 * 1024, 1024 * 1024],
+        )
+    )
+
+
+class TestReportGeneration:
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# Reproduction report",
+            "## Tables I-III",
+            "## Fig. 9",
+            "## Fig. 10",
+            "## Fig. 11",
+            "## Fig. 12",
+        ):
+            assert heading in report
+
+    def test_contains_paper_comparisons(self, report):
+        assert "| quantity | paper | measured |" in report
+        assert "FuseCU MA saving vs TPUv4i" in report
+
+    def test_fig9_all_points_pass(self, report):
+        # "N/N sampled points" with N == total.
+        import re
+
+        match = re.search(r"\*\*(\d+)/(\d+)\*\*", report)
+        assert match is not None
+        assert match.group(1) == match.group(2)
+
+    def test_markdown_tables_balanced(self, report):
+        fences = report.count("```")
+        assert fences % 2 == 0
+
+
+class TestReportCLI:
+    def test_report_to_file(self, tmp_path, report):
+        target = tmp_path / "report.md"
+        target.write_text(report, encoding="utf-8")
+        assert target.read_text(encoding="utf-8").startswith(
+            "# Reproduction report"
+        )
+
+    def test_fig10_command(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline averages" in out
+
+    def test_fig11_command(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "seq len" in out

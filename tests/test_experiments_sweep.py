@@ -1,0 +1,54 @@
+"""Unit tests for the MA(BS) sweep harness."""
+
+import pytest
+
+from repro.core import three_nra_threshold
+from repro.experiments import render_sweep, run_sweep
+from repro.ir import matmul
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        ops = [matmul("a", 96, 64, 80), matmul("b", 256, 32, 256)]
+        return run_sweep(ops, max_points=12), ops
+
+    def test_one_curve_per_operator(self, curves):
+        result, ops = curves
+        assert [curve.operator for curve in result] == [op.name for op in ops]
+
+    def test_corners_strictly_improve(self, curves):
+        result, _ops = curves
+        for curve in result:
+            values = [p.memory_access for p in curve.points]
+            assert values == sorted(values, reverse=True)
+            assert len(set(values)) == len(values)
+
+    def test_final_corner_is_ideal(self, curves):
+        result, ops = curves
+        for curve, op in zip(result, ops):
+            assert curve.points[-1].memory_access == op.ideal_memory_access()
+            assert curve.ideal == op.ideal_memory_access()
+
+    def test_annotations(self, curves):
+        result, ops = curves
+        for curve, op in zip(result, ops):
+            d_min = min(op.dims.values())
+            assert curve.shift_band == (d_min ** 2 / 4, d_min ** 2 / 2)
+            assert curve.three_nra_at == three_nra_threshold(op)
+
+    def test_normalized(self, curves):
+        result, _ops = curves
+        for curve in result:
+            normalized = curve.normalized()
+            assert normalized[-1][1] == pytest.approx(1.0)
+            assert all(value >= 1.0 for _b, value in normalized)
+
+
+class TestRenderSweep:
+    def test_render_contains_charts_and_tables(self):
+        curves = run_sweep([matmul("op", 64, 48, 56)], max_points=8)
+        text = render_sweep(curves)
+        assert "shift band" in text
+        assert "MA lower bound" in text
+        assert "normalized MA vs log2(buffer)" in text

@@ -1,0 +1,75 @@
+"""Tests for the einsum front end."""
+
+import pytest
+
+from repro.core import is_mm_like, optimize_generic, optimize_intra
+from repro.ir import OperatorError, einsum_operator, matmul
+
+
+class TestParsing:
+    def test_matmul_spec(self):
+        op = einsum_operator("mm", "mk,kl->ml", {"m": 64, "k": 32, "l": 48})
+        assert op.dims == {"m": 64, "k": 32, "l": 48}
+        assert op.reduction_dims == frozenset({"k"})
+        assert is_mm_like(op)
+
+    def test_batched_spec(self):
+        op = einsum_operator(
+            "bmm", "bmk,kl->bml", {"b": 4, "m": 8, "k": 6, "l": 5}
+        )
+        assert op.dims_of("bmm.in0") == ("b", "m", "k")
+        assert op.dims_of("bmm.out") == ("b", "m", "l")
+        assert op.reduction_dims == frozenset({"k"})
+
+    def test_three_operand_contraction(self):
+        op = einsum_operator(
+            "c3", "ij,jk,kl->il", {"i": 8, "j": 6, "k": 5, "l": 7}
+        )
+        assert len(op.inputs) == 3
+        assert op.reduction_dims == frozenset({"j", "k"})
+
+    def test_missing_arrow(self):
+        with pytest.raises(OperatorError, match="->"):
+            einsum_operator("x", "mk,kl", {"m": 2, "k": 2, "l": 2})
+
+    def test_missing_size(self):
+        with pytest.raises(OperatorError, match="missing sizes"):
+            einsum_operator("x", "mk,kl->ml", {"m": 2, "k": 2})
+
+    def test_repeated_subscript_rejected(self):
+        with pytest.raises(OperatorError, match="repeats"):
+            einsum_operator("x", "mm->m", {"m": 4})
+
+    def test_output_only_subscript_rejected(self):
+        with pytest.raises(OperatorError, match="never appear"):
+            einsum_operator("x", "mk->mz", {"m": 2, "k": 2, "z": 3})
+
+    def test_non_alpha_rejected(self):
+        with pytest.raises(OperatorError, match="letters"):
+            einsum_operator("x", "m1,1l->ml", {"m": 2, "1": 2, "l": 2})
+
+
+class TestOptimization:
+    def test_einsum_matmul_matches_constructor(self):
+        via_einsum = einsum_operator(
+            "mm", "mk,kl->ml", {"m": 96, "k": 64, "l": 80}
+        )
+        via_ctor = matmul("mm", 96, 64, 80)
+        for budget in (100, 1000, 10000):
+            assert (
+                optimize_intra(via_einsum, budget).memory_access
+                == optimize_intra(via_ctor, budget).memory_access
+            )
+
+    def test_generic_path_for_higher_rank(self):
+        op = einsum_operator(
+            "bmm", "bmk,kl->bml", {"b": 4, "m": 16, "k": 12, "l": 20}
+        )
+        result = optimize_generic(op, 10**6)
+        assert result.memory_access == op.ideal_memory_access()
+
+    def test_count_passthrough(self):
+        op = einsum_operator(
+            "mm", "mk,kl->ml", {"m": 8, "k": 8, "l": 8}, count=5
+        )
+        assert op.macs == 5 * 512

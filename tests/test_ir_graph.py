@@ -1,0 +1,170 @@
+"""Unit tests for repro.ir.graph."""
+
+import pytest
+
+from repro.ir import GraphError, OperatorGraph, matmul, rowwise_softmax
+
+
+def chain_graph():
+    """mm1 -> mm2 -> mm3 linear chain."""
+    graph = OperatorGraph("chain")
+    mm1 = graph.add(matmul("mm1", 4, 5, 6))
+    mm2 = graph.add(matmul("mm2", 4, 6, 7, a=mm1.output))
+    mm3 = graph.add(matmul("mm3", 4, 7, 8, a=mm2.output))
+    return graph, (mm1, mm2, mm3)
+
+
+class TestGraphConstruction:
+    def test_add_and_len(self):
+        graph, _ = chain_graph()
+        assert len(graph) == 3
+
+    def test_duplicate_name_rejected(self):
+        graph = OperatorGraph()
+        graph.add(matmul("mm", 4, 5, 6))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add(matmul("mm", 4, 5, 6))
+
+    def test_duplicate_producer_rejected(self):
+        graph = OperatorGraph()
+        mm1 = graph.add(matmul("mm1", 4, 5, 6))
+        bad = matmul("mm2", 4, 5, 6, c=mm1.output)
+        with pytest.raises(GraphError, match="produced"):
+            graph.add(bad)
+
+    def test_operator_lookup(self):
+        graph, ops = chain_graph()
+        assert graph.operator("mm2") is ops[1]
+        with pytest.raises(GraphError):
+            graph.operator("missing")
+
+    def test_contains(self):
+        graph, _ = chain_graph()
+        assert "mm1" in graph
+        assert "zzz" not in graph
+
+
+class TestGraphStructure:
+    def test_producer_consumer(self):
+        graph, ops = chain_graph()
+        mm1, mm2, _ = ops
+        assert graph.producer(mm1.output.name) is mm1
+        assert graph.consumers(mm1.output.name) == (mm2,)
+        assert graph.producer("mm1.A") is None
+
+    def test_predecessors_successors(self):
+        graph, ops = chain_graph()
+        mm1, mm2, mm3 = ops
+        assert graph.predecessors(mm2) == (mm1,)
+        assert graph.successors(mm2) == (mm3,)
+        assert graph.predecessors(mm1) == ()
+        assert graph.successors(mm3) == ()
+
+    def test_intermediates(self):
+        graph, ops = chain_graph()
+        names = {t.name for t in graph.intermediate_tensors()}
+        assert names == {"mm1.C", "mm2.C"}
+
+    def test_external_tensors(self):
+        graph, _ = chain_graph()
+        names = {t.name for t in graph.external_tensors()}
+        assert names == {"mm1.A", "mm1.B", "mm2.B", "mm3.B", "mm3.C"}
+
+    def test_topological_order(self):
+        graph, ops = chain_graph()
+        order = [op.name for op in graph.topological_order()]
+        assert order.index("mm1") < order.index("mm2") < order.index("mm3")
+
+    def test_topological_covers_all(self):
+        graph, _ = chain_graph()
+        assert len(graph.topological_order()) == len(graph)
+
+
+class TestChains:
+    def test_linear_chain_detected(self):
+        graph, ops = chain_graph()
+        chains = graph.chains()
+        assert len(chains) == 1
+        assert [op.name for op in chains[0]] == ["mm1", "mm2", "mm3"]
+
+    def test_chains_partition_operators(self):
+        graph, _ = chain_graph()
+        graph.add(matmul("lonely", 3, 3, 3))
+        names = [op.name for chain in graph.chains() for op in chain]
+        assert sorted(names) == sorted(op.name for op in graph)
+
+    def test_fanout_breaks_chain(self):
+        graph = OperatorGraph()
+        mm1 = graph.add(matmul("mm1", 4, 5, 6))
+        graph.add(matmul("mm2", 4, 6, 7, a=mm1.output))
+        graph.add(matmul("mm3", 4, 6, 8, a=mm1.output))
+        chains = {tuple(op.name for op in chain) for chain in graph.chains()}
+        assert ("mm1",) in chains  # two consumers -> mm1 alone
+
+    def test_count_mismatch_breaks_chain(self):
+        graph = OperatorGraph()
+        mm1 = graph.add(matmul("mm1", 4, 5, 6, count=2))
+        graph.add(matmul("mm2", 4, 6, 7, a=mm1.output, count=3))
+        chains = {tuple(op.name for op in chain) for chain in graph.chains()}
+        assert ("mm1",) in chains and ("mm2",) in chains
+
+    def test_softmax_in_chain(self):
+        graph = OperatorGraph()
+        mm1 = graph.add(matmul("mm1", 4, 5, 6))
+        sm = graph.add(rowwise_softmax("sm", mm1.output))
+        graph.add(matmul("mm2", 4, 6, 7, a=sm.output))
+        chains = graph.chains()
+        assert len(chains) == 1
+        assert [op.name for op in chains[0]] == ["mm1", "sm", "mm2"]
+
+
+class TestGraphAggregates:
+    def test_macs_sum(self):
+        graph, ops = chain_graph()
+        assert graph.macs == sum(op.macs for op in ops)
+
+    def test_ideal_memory_access_excludes_intermediates(self):
+        graph, ops = chain_graph()
+        mm1, mm2, mm3 = ops
+        expected = (
+            mm1.inputs[0].size
+            + mm1.inputs[1].size
+            + mm2.inputs[1].size
+            + mm3.inputs[1].size
+            + mm3.output.size
+        )
+        assert graph.ideal_memory_access() == expected
+
+    def test_ideal_memory_access_scales_count(self):
+        graph = OperatorGraph()
+        graph.add(matmul("mm", 4, 5, 6, count=5))
+        assert graph.ideal_memory_access() == 5 * (20 + 30 + 24)
+
+
+class TestCycles:
+    def test_cyclic_graph_detected(self):
+        """A handcrafted producer cycle is caught by topological_order."""
+        from repro.ir import Tensor, TensorOperator
+
+        t1 = Tensor("c1", (4, 4))
+        t2 = Tensor("c2", (4, 4))
+        x = Tensor("x", (4, 4))
+        op1 = TensorOperator(
+            name="op1",
+            dims={"M": 4, "L": 4},
+            inputs=(t2, x),
+            output=t1,
+            indexing={"c2": ("M", "L"), "x": ("M", "L"), "c1": ("M", "L")},
+        )
+        op2 = TensorOperator(
+            name="op2",
+            dims={"M": 4, "L": 4},
+            inputs=(t1,),
+            output=t2,
+            indexing={"c1": ("M", "L"), "c2": ("M", "L")},
+        )
+        graph = OperatorGraph("cyclic")
+        graph.add(op1)
+        graph.add(op2)
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topological_order()

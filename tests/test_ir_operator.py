@@ -1,0 +1,188 @@
+"""Unit tests for repro.ir.operator."""
+
+import pytest
+from hypothesis import given
+
+from conftest import mm_dims
+from repro.ir import (
+    OperatorError,
+    Tensor,
+    TensorOperator,
+    batched_matmul,
+    elementwise,
+    matmul,
+    rowwise_softmax,
+)
+
+
+class TestMatmulConstruction:
+    def test_dims(self):
+        op = matmul("mm", 4, 5, 6)
+        assert op.dims == {"M": 4, "K": 5, "L": 6}
+
+    def test_tensor_shapes(self):
+        op = matmul("mm", 4, 5, 6)
+        assert op.inputs[0].shape == (4, 5)
+        assert op.inputs[1].shape == (5, 6)
+        assert op.output.shape == (4, 6)
+
+    def test_indexing(self):
+        op = matmul("mm", 4, 5, 6)
+        assert op.dims_of(op.inputs[0].name) == ("M", "K")
+        assert op.dims_of(op.inputs[1].name) == ("K", "L")
+        assert op.dims_of(op.output.name) == ("M", "L")
+
+    def test_reduction_dim(self):
+        op = matmul("mm", 4, 5, 6)
+        assert op.reduction_dims == frozenset({"K"})
+
+    def test_shared_tensor_for_chains(self):
+        op1 = matmul("mm1", 4, 5, 6)
+        op2 = matmul("mm2", 4, 6, 3, a=op1.output)
+        assert op2.inputs[0] is op1.output
+
+    def test_mismatched_tensor_rejected(self):
+        wrong = Tensor("x", (9, 9))
+        with pytest.raises(OperatorError, match="shape"):
+            matmul("mm", 4, 5, 6, a=wrong)
+
+    def test_default_tensor_names(self):
+        op = matmul("mm", 4, 5, 6)
+        assert {t.name for t in op.tensors} == {"mm.A", "mm.B", "mm.C"}
+
+
+class TestOperatorValidation:
+    def test_zero_dim_rejected(self):
+        # The tensor constructor rejects the zero extent first; a handcrafted
+        # operator with a zero loop dim is caught by the operator itself.
+        with pytest.raises(ValueError):
+            matmul("mm", 0, 5, 6)
+        a = Tensor("a", (4, 5))
+        c = Tensor("c", (4, 5))
+        with pytest.raises(OperatorError, match="extent"):
+            TensorOperator(
+                name="bad",
+                dims={"M": 4, "K": 5, "Z": 0},
+                inputs=(a,),
+                output=c,
+                indexing={"a": ("M", "K"), "c": ("M", "K")},
+            )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(OperatorError, match="count"):
+            matmul("mm", 4, 5, 6, count=0)
+
+    def test_duplicate_tensor_names_rejected(self):
+        a = Tensor("same", (4, 5))
+        b = Tensor("same", (5, 6))
+        with pytest.raises(OperatorError, match="duplicate"):
+            matmul("mm", 4, 5, 6, a=a, b=b)
+
+    def test_reduction_dim_must_not_index_output(self):
+        a = Tensor("a", (4, 5))
+        c = Tensor("c", (4, 5))
+        with pytest.raises(OperatorError, match="reduction"):
+            TensorOperator(
+                name="bad",
+                dims={"M": 4, "K": 5},
+                inputs=(a,),
+                output=c,
+                indexing={"a": ("M", "K"), "c": ("M", "K")},
+                reduction_dims=frozenset({"K"}),
+            )
+
+    def test_unknown_indexing_dim_rejected(self):
+        a = Tensor("a", (4, 5))
+        c = Tensor("c", (4, 5))
+        with pytest.raises(OperatorError, match="unknown dim"):
+            TensorOperator(
+                name="bad",
+                dims={"M": 4, "K": 5},
+                inputs=(a,),
+                output=c,
+                indexing={"a": ("M", "Z"), "c": ("M", "K")},
+            )
+
+    def test_extent_mismatch_rejected(self):
+        a = Tensor("a", (4, 6))
+        c = Tensor("c", (4, 5))
+        with pytest.raises(OperatorError, match="extent"):
+            TensorOperator(
+                name="bad",
+                dims={"M": 4, "K": 5},
+                inputs=(a,),
+                output=c,
+                indexing={"a": ("M", "K"), "c": ("M", "K")},
+            )
+
+
+class TestOperatorQueries:
+    def test_macs(self):
+        assert matmul("mm", 4, 5, 6).macs == 120
+
+    def test_macs_with_count(self):
+        assert matmul("mm", 4, 5, 6, count=3).macs == 360
+
+    def test_flops_are_two_per_mac(self):
+        assert matmul("mm", 4, 5, 6).flops == 240
+
+    def test_smallest_dim(self):
+        assert matmul("mm", 10, 3, 6).smallest_dim == "K"
+
+    def test_smallest_tensor(self):
+        op = matmul("mm", 10, 3, 6)
+        assert op.smallest_tensor is op.inputs[1]  # B is 3x6 = 18
+
+    def test_ideal_memory_access(self):
+        op = matmul("mm", 4, 5, 6)
+        assert op.ideal_memory_access() == 4 * 5 + 5 * 6 + 4 * 6
+
+    def test_ideal_memory_access_scales_with_count(self):
+        assert (
+            matmul("mm", 4, 5, 6, count=2).ideal_memory_access()
+            == 2 * matmul("mm", 4, 5, 6).ideal_memory_access()
+        )
+
+    def test_tensors_with_dim(self):
+        op = matmul("mm", 4, 5, 6)
+        names = {t.name for t in op.tensors_with_dim("K")}
+        assert names == {"mm.A", "mm.B"}
+
+    def test_tensor_lookup_missing(self):
+        with pytest.raises(KeyError):
+            matmul("mm", 4, 5, 6).tensor("nope")
+
+    @given(mm_dims())
+    def test_iteration_space(self, dims):
+        m, k, l = dims
+        assert matmul("mm", m, k, l).iteration_space == m * k * l
+
+
+class TestElementwiseAndSoftmax:
+    def test_elementwise_shapes(self):
+        source = Tensor("x", (4, 6))
+        op = elementwise("relu", source)
+        assert op.output.shape == (4, 6)
+        assert op.dims == {"E0": 4, "E1": 6}
+
+    def test_elementwise_no_reduction(self):
+        op = elementwise("relu", Tensor("x", (4, 6)))
+        assert not op.reduction_dims
+
+    def test_elementwise_output_shape_checked(self):
+        with pytest.raises(OperatorError, match="shape"):
+            elementwise("relu", Tensor("x", (4, 6)), output=Tensor("y", (6, 4)))
+
+    def test_softmax_requires_rank2(self):
+        with pytest.raises(OperatorError, match="rank-2"):
+            rowwise_softmax("sm", Tensor("x", (4,)))
+
+    def test_softmax_chains_with_matmul(self):
+        mm = matmul("mm", 4, 5, 6)
+        sm = rowwise_softmax("sm", mm.output)
+        assert sm.inputs[0] is mm.output
+
+    def test_batched_matmul_is_count(self):
+        op = batched_matmul("bmm", 8, 4, 5, 6)
+        assert op.count == 8
+        assert op.macs == 8 * 4 * 5 * 6

@@ -1,0 +1,82 @@
+"""Unit tests for repro.ir.tensor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Tensor, matrix
+
+
+class TestTensorConstruction:
+    def test_basic(self):
+        tensor = Tensor("a", (4, 5))
+        assert tensor.name == "a"
+        assert tensor.shape == (4, 5)
+        assert tensor.dtype_bytes == 1
+
+    def test_rank(self):
+        assert Tensor("a", (4,)).rank == 1
+        assert Tensor("a", (4, 5, 6)).rank == 3
+
+    def test_size(self):
+        assert Tensor("a", (4, 5)).size == 20
+        assert Tensor("a", (7,)).size == 7
+
+    def test_bytes_scaled_by_dtype(self):
+        assert Tensor("a", (4, 5), dtype_bytes=2).bytes == 40
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Tensor("", (4,))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            Tensor("a", ())
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Tensor("a", (4, 0))
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Tensor("a", (-1, 4))
+
+    def test_non_integer_extent_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Tensor("a", (4, 2.5))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            Tensor("a", (4,), dtype_bytes=0)
+
+    def test_frozen(self):
+        tensor = Tensor("a", (4,))
+        with pytest.raises(AttributeError):
+            tensor.name = "b"
+
+
+class TestTensorHelpers:
+    def test_with_name(self):
+        tensor = Tensor("a", (4, 5), dtype_bytes=2)
+        renamed = tensor.with_name("b")
+        assert renamed.name == "b"
+        assert renamed.shape == tensor.shape
+        assert renamed.dtype_bytes == tensor.dtype_bytes
+
+    def test_matrix_constructor(self):
+        tensor = matrix("w", 3, 7)
+        assert tensor.shape == (3, 7)
+        assert tensor.rank == 2
+
+    def test_str_rendering(self):
+        assert str(Tensor("a", (4, 5))) == "a[4x5]"
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=4))
+    def test_size_is_product_of_shape(self, dims):
+        import math
+
+        tensor = Tensor("t", tuple(dims))
+        assert tensor.size == math.prod(dims)
+
+    def test_equality_by_value(self):
+        assert Tensor("a", (4, 5)) == Tensor("a", (4, 5))
+        assert Tensor("a", (4, 5)) != Tensor("a", (5, 4))

@@ -1,0 +1,65 @@
+"""Tests for the simulated-annealing baseline."""
+
+import pytest
+
+from repro.core import optimize_intra
+from repro.ir import matmul
+from repro.search import AnnealingSettings, annealing_search, exhaustive_search
+
+
+class TestSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingSettings(steps=0)
+        with pytest.raises(ValueError):
+            AnnealingSettings(cooling=1.5)
+        with pytest.raises(ValueError):
+            AnnealingSettings(initial_temperature=0)
+
+
+class TestAnnealingSearch:
+    def test_deterministic(self):
+        op = matmul("mm", 48, 32, 40)
+        settings = AnnealingSettings(steps=500, seed=11)
+        a = annealing_search(op, 500, settings)
+        b = annealing_search(op, 500, settings)
+        assert a.memory_access == b.memory_access
+
+    def test_feasible(self):
+        op = matmul("mm", 48, 32, 40)
+        result = annealing_search(op, 500, AnnealingSettings(steps=500))
+        assert result.dataflow.buffer_footprint(op) <= 500
+
+    def test_counts_evaluations(self):
+        op = matmul("mm", 48, 32, 40)
+        result = annealing_search(op, 500, AnnealingSettings(steps=300))
+        assert result.evaluations >= 300
+
+    def test_reasonable_quality(self):
+        op = matmul("mm", 48, 32, 40)
+        annealed = annealing_search(op, 500, AnnealingSettings(steps=1500))
+        searched = exhaustive_search(op, 500)
+        assert annealed.memory_access <= 1.5 * searched.memory_access
+
+    def test_principles_never_lose(self):
+        """Fig. 9, third comparator."""
+        for dims in ((48, 32, 40), (96, 64, 80), (128, 32, 64)):
+            op = matmul("mm", *dims)
+            for budget in (200, 2000, 20000):
+                annealed = annealing_search(
+                    op, budget, AnnealingSettings(steps=1200)
+                )
+                principled = optimize_intra(op, budget)
+                assert principled.memory_access <= annealed.memory_access, (
+                    dims,
+                    budget,
+                )
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ValueError):
+            annealing_search(matmul("mm", 4, 4, 4), 0)
+
+    def test_describe(self):
+        op = matmul("mm", 16, 16, 16)
+        result = annealing_search(op, 200, AnnealingSettings(steps=200))
+        assert "annealing" in result.describe(op)

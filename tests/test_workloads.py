@@ -1,0 +1,114 @@
+"""Tests for the transformer workload models (paper Table II)."""
+
+import pytest
+
+from repro.workloads import (
+    BERT,
+    LLAMA2,
+    LLAMA2_SEQ_SWEEP,
+    PAPER_MODELS,
+    ModelConfig,
+    attention_operators,
+    build_layer_graph,
+    ffn_operators,
+    model_by_name,
+    projection_operators,
+    representative_matmuls,
+)
+
+
+class TestModelConfigs:
+    def test_table2_values(self):
+        rows = {model.name: model for model in PAPER_MODELS}
+        assert rows["Bert"].heads == 12
+        assert rows["Bert"].seq_len == 1024
+        assert rows["Bert"].hidden == 768
+        assert rows["GPT-2"].seq_len == 2048
+        assert rows["Blenderbot"].hidden == 1024
+        assert rows["XLM"].hidden == 2048
+        assert rows["DeBERTa-v2"].heads == 24
+        assert rows["LLaMA2"].seq_len == 4096
+        assert rows["ALBERT"].heads == 64
+
+    def test_seven_models(self):
+        assert len(PAPER_MODELS) == 7
+
+    def test_batch_16_everywhere(self):
+        assert all(model.batch == 16 for model in PAPER_MODELS)
+
+    def test_head_dim(self):
+        assert BERT.head_dim == 64
+        assert LLAMA2.head_dim == 128
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig("bad", heads=7, seq_len=128, hidden=100)
+
+    def test_with_seq_len(self):
+        longer = BERT.with_seq_len(4096)
+        assert longer.seq_len == 4096
+        assert longer.hidden == BERT.hidden
+
+    def test_seq_sweep_range(self):
+        assert LLAMA2_SEQ_SWEEP[0] == 256
+        assert LLAMA2_SEQ_SWEEP[-1] == 16384
+
+    def test_model_by_name(self):
+        assert model_by_name("bert") is BERT
+        with pytest.raises(KeyError):
+            model_by_name("nope")
+
+
+class TestOperatorGeneration:
+    def test_attention_shapes(self):
+        qk, sm, av = attention_operators(BERT)
+        assert qk.dims == {"M": 1024, "K": 64, "L": 1024}
+        assert av.dims == {"M": 1024, "K": 1024, "L": 64}
+        assert qk.count == 16 * 12
+
+    def test_attention_chain_links(self):
+        qk, sm, av = attention_operators(BERT)
+        assert sm.inputs[0] is qk.output
+        assert av.inputs[0] is sm.output
+
+    def test_projections_fold_batch(self):
+        ops = projection_operators(BERT)
+        assert all(op.dims["M"] == 16 * 1024 for op in ops)
+        assert len(ops) == 4
+
+    def test_ffn_chain(self):
+        ffn1, ffn2 = ffn_operators(BERT)
+        assert ffn1.dims["L"] == 4 * 768
+        assert ffn2.inputs[0] is ffn1.output
+
+    def test_layer_graph_structure(self):
+        graph = build_layer_graph(BERT)
+        assert len(graph) == 9
+        chain_sets = {tuple(op.name for op in c) for c in graph.chains()}
+        assert ("Bert.qk", "Bert.softmax", "Bert.av") in chain_sets
+        assert ("Bert.ffn1", "Bert.ffn2") in chain_sets
+
+    def test_layer_macs_formula(self):
+        """Total MACs: 4 projections + attention + FFN."""
+        graph = build_layer_graph(BERT)
+        tokens = 16 * 1024
+        h = 768
+        s = 1024
+        heads = 16 * 12
+        expected = (
+            4 * tokens * h * h
+            + heads * (s * 64 * s + s * s * 64)
+            + 2 * tokens * h * 4 * h
+            + heads * s * s  # softmax points
+        )
+        assert graph.macs == expected
+
+    def test_representative_matmuls_cover_shapes(self):
+        ops = representative_matmuls(BERT)
+        names = {op.name.split(".")[-1] for op in ops}
+        assert names == {"proj", "qk", "av", "ffn1", "ffn2"}
+
+    def test_graphs_scale_with_seq_len(self):
+        short = build_layer_graph(LLAMA2.with_seq_len(256))
+        long = build_layer_graph(LLAMA2.with_seq_len(4096))
+        assert long.macs > short.macs
