@@ -26,9 +26,10 @@ Subpackages
 ``repro.arch``        XS PE, systolic/FuseCU simulators, platform models
 ``repro.workloads``   the seven Table II transformer models
 ``repro.experiments`` per-table/figure reproduction harnesses
+``repro.service``     batch analysis engine (parallel + cached + metered)
 """
 
-from . import arch, core, dataflow, experiments, ir, search, workloads
+from . import arch, core, dataflow, experiments, ir, search, service, workloads
 
 __version__ = "1.0.0"
 
@@ -39,6 +40,7 @@ __all__ = [
     "experiments",
     "ir",
     "search",
+    "service",
     "workloads",
     "__version__",
 ]

@@ -7,6 +7,8 @@ fuse M K L N        fusion decision for a two-matmul chain
 plan MODEL          graph-level fusion plan for a Table II model
 compare MODEL       Fig. 10-style platform comparison for one model
 explain M K L       narrate the principle decisions (add --consumer-n for fusion)
+batch FILE          evaluate JSON-lines analysis requests through the
+                    batch engine (``--jobs``, ``--cache-file``, ``--stats``)
 tables              render paper Tables I-III
 fig9 / fig10 / fig11 / fig12
                     regenerate a paper figure's rows/series
@@ -98,6 +100,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _buffer_argument(explain)
 
+    batch = commands.add_parser(
+        "batch",
+        help="evaluate JSON-lines analysis requests (one JSON object per "
+        "line) through the parallel, cached batch engine",
+    )
+    batch.add_argument(
+        "requests", help="JSON-lines request file, or '-' for stdin"
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker pool size (default 1: in-process serial)",
+    )
+    batch.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache bound in entries (default 4096)",
+    )
+    batch.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="pool flavor for --jobs > 1 (default thread)",
+    )
+    batch.add_argument(
+        "--cache-file",
+        default=None,
+        help="persistent cache: warmed from this JSON file if it exists, "
+        "saved back after the run",
+    )
+    batch.add_argument(
+        "--output",
+        default="-",
+        help="JSON-lines results file, or '-' for stdout (default)",
+    )
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metered batch summary (cache/pool/timing) to stderr",
+    )
+
     commands.add_parser("tables", help="render paper Tables I-III")
     fig9 = commands.add_parser("fig9", help="principles vs search sweep")
     fig9.add_argument(
@@ -174,6 +219,67 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_batch_payloads(source: str) -> List[object]:
+    """Parse a JSON-lines request stream; undecodable lines pass through
+    as raw strings so the engine records a structured per-line error."""
+    import json
+
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    payloads: List[object] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except ValueError:
+            payloads.append(line)
+    return payloads
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import BatchEngine, EngineConfig
+
+    payloads = _read_batch_payloads(args.requests)
+    engine = BatchEngine(
+        EngineConfig(
+            jobs=args.jobs,
+            cache_size=args.cache_size,
+            executor=args.executor,
+        )
+    )
+    if args.cache_file and os.path.exists(args.cache_file):
+        try:
+            engine.load_cache(args.cache_file)
+        except (ValueError, OSError, KeyError, TypeError) as exc:
+            # The cache is an optimization: a corrupt or unreadable file
+            # must not abort the batch. Start cold and overwrite on save.
+            print(
+                "warning: ignoring unreadable cache file %s (%s)"
+                % (args.cache_file, exc),
+                file=sys.stderr,
+            )
+    report = engine.run_batch(payloads)
+    results = report.to_jsonl()
+    if args.output == "-":
+        if results:
+            print(results)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(results + ("\n" if results else ""))
+    if args.cache_file:
+        engine.save_cache(args.cache_file)
+    if args.stats:
+        print(report.render_text(), file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "optimize":
@@ -184,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_plan(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "explain":
         from .core import explain_fusion, explain_intra
 

@@ -3,13 +3,41 @@
 Each ``figN``/``tables`` module computes its paper artifact and returns
 plain dataclasses; this module provides the text rendering used by the
 benchmark harnesses and example scripts to print the same rows/series the
-paper reports.
+paper reports, plus :func:`run_grid` -- the one place experiment grids are
+submitted to the batch engine (:mod:`repro.service`), so every harness
+shares its result cache, pool, and metering.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..service.engine import BatchEngine, EngineConfig
+from ..service.report import BatchReport
+from ..service.requests import AnalysisRequest
+
+
+def run_grid(
+    requests: Sequence[AnalysisRequest],
+    jobs: int = 1,
+    cache_size: int = 4096,
+    executor: str = "thread",
+    engine: Optional[BatchEngine] = None,
+) -> BatchReport:
+    """Submit an experiment grid through the batch engine.
+
+    Pass an existing ``engine`` to share its warm cache across grids (e.g.
+    a buffer sweep followed by a platform comparison reuses every
+    intra-operator optimum already computed); otherwise a fresh engine is
+    configured from the remaining arguments.
+    """
+
+    if engine is None:
+        engine = BatchEngine(
+            EngineConfig(jobs=jobs, cache_size=cache_size, executor=executor)
+        )
+    return engine.run_batch(requests)
 
 
 def format_table(

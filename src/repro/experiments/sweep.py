@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..arch.memory import PAPER_BUFFER_SWEEP_BYTES
 from ..core.inverse import ParetoPoint, pareto_curve
 from ..core.lower_bound import shift_point_band, three_nra_threshold
 from ..ir.operator import TensorOperator
+from ..service.engine import BatchEngine
+from ..service.requests import AnalysisRequest, sweep_point_request
 from .ascii_plots import line_chart
-from .runner import format_table
+from .runner import format_table, run_grid
 
 
 @dataclass(frozen=True)
@@ -94,3 +97,109 @@ def render_sweep(curves: Sequence[SweepCurve]) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Fixed-grid sweep through the batch engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepGridPoint:
+    """One (operator, buffer size) sample of a fixed-grid sweep."""
+
+    operator: str
+    buffer_bytes: int
+    memory_access: Optional[int]
+    normalized: Optional[float]
+    regime: Optional[str]
+    error: Optional[str] = None
+
+
+def sweep_grid_requests(
+    operators: Sequence[TensorOperator],
+    buffer_sweep_bytes: Sequence[int] = PAPER_BUFFER_SWEEP_BYTES,
+) -> List[AnalysisRequest]:
+    """The (operator x buffer) grid as batch-engine requests."""
+    requests: List[AnalysisRequest] = []
+    for operator in operators:
+        dims = dict(operator.dims)
+        if set(dims) != {"M", "K", "L"}:
+            raise ValueError(
+                f"sweep grid needs M/K/L matmul operators, got "
+                f"{operator.name!r} with dims {sorted(dims)}"
+            )
+        for buffer_bytes in buffer_sweep_bytes:
+            # 1-byte elements: buffer bytes == buffer elements (paper
+            # accounting, as in the Fig. 9 harness).
+            requests.append(
+                sweep_point_request(
+                    dims["M"], dims["K"], dims["L"], buffer_bytes
+                )
+            )
+    return requests
+
+
+def run_sweep_grid(
+    operators: Sequence[TensorOperator],
+    buffer_sweep_bytes: Sequence[int] = PAPER_BUFFER_SWEEP_BYTES,
+    engine: Optional[BatchEngine] = None,
+    jobs: int = 1,
+) -> List[SweepGridPoint]:
+    """Evaluate the MA(BS) grid through the batch engine.
+
+    Unlike :func:`run_sweep` (which bisects out the exact staircase
+    corners), this samples a *fixed* buffer grid -- the shape of workload a
+    serving deployment sees -- so repeats hit the engine's result cache and
+    independent points fan out across its pool.  Infeasible points come
+    back as error records, not exceptions.
+    """
+
+    requests = sweep_grid_requests(operators, buffer_sweep_bytes)
+    report = run_grid(requests, jobs=jobs, engine=engine)
+    points: List[SweepGridPoint] = []
+    per_op = len(tuple(buffer_sweep_bytes))
+    for position, entry in enumerate(report.entries):
+        operator = operators[position // per_op]
+        buffer_bytes = tuple(buffer_sweep_bytes)[position % per_op]
+        if entry.ok:
+            result = entry.record["result"]
+            points.append(
+                SweepGridPoint(
+                    operator=operator.name,
+                    buffer_bytes=buffer_bytes,
+                    memory_access=result["memory_access"],
+                    normalized=result["normalized"],
+                    regime=result["regime"],
+                )
+            )
+        else:
+            points.append(
+                SweepGridPoint(
+                    operator=operator.name,
+                    buffer_bytes=buffer_bytes,
+                    memory_access=None,
+                    normalized=None,
+                    regime=None,
+                    error=entry.record["error"]["message"],
+                )
+            )
+    return points
+
+
+def render_sweep_grid(points: Sequence[SweepGridPoint]) -> str:
+    """Table of the fixed-grid sweep (one row per sample)."""
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.operator,
+                point.buffer_bytes // 1024,
+                "-" if point.memory_access is None else point.memory_access,
+                "-" if point.normalized is None else round(point.normalized, 4),
+                point.regime or (point.error or "-"),
+            ]
+        )
+    return format_table(
+        ["operator", "buffer (KB)", "MA", "MA / ideal", "regime"],
+        rows,
+        title="MA(BS) fixed-grid sweep (batch engine)",
+    )

@@ -1,0 +1,78 @@
+"""Batch analysis engine: parallel, cached, metered evaluation service.
+
+The serving substrate over the analysis layers below it: structured
+requests (:mod:`~repro.service.requests`) are content-addressed, answered
+from a bounded LRU result cache (:mod:`~repro.service.cache`), fanned out
+across a thread/process pool with deterministic ordering and per-request
+error capture (:mod:`~repro.service.engine` / :mod:`~repro.service.workers`),
+and metered end to end (:mod:`~repro.service.metrics`,
+:mod:`~repro.service.report`).  :mod:`~repro.service.intra_cache` shares
+intra-operator optima process-wide so sweeps and DSE baselines stop
+recomputing identical (dims, buffer) problems.
+
+Quick start::
+
+    from repro.service import BatchEngine, EngineConfig, intra_request
+
+    engine = BatchEngine(EngineConfig(jobs=4))
+    report = engine.run_batch(
+        [intra_request(1024, 768, 768, buffer_elems=64 << 10)]
+    )
+    print(report.render_text())
+"""
+
+from .cache import CacheStats, LRUCache
+from .engine import EXECUTORS, BatchEngine, EngineConfig
+from .intra_cache import (
+    DEFAULT_INTRA_CACHE_SIZE,
+    cached_optimize_intra,
+    clear_intra_cache,
+    configure_intra_cache,
+    intra_cache_stats,
+    operator_signature,
+)
+from .metrics import CounterRegistry, Stopwatch
+from .report import BatchEntry, BatchReport
+from .requests import (
+    REQUEST_KINDS,
+    AnalysisRequest,
+    RequestError,
+    fusion_request,
+    graph_plan_request,
+    intra_request,
+    parse_request,
+    platform_compare_request,
+    request_key,
+    sweep_point_request,
+)
+from .workers import execute_request, run_payload
+
+__all__ = [
+    "AnalysisRequest",
+    "BatchEngine",
+    "BatchEntry",
+    "BatchReport",
+    "CacheStats",
+    "CounterRegistry",
+    "DEFAULT_INTRA_CACHE_SIZE",
+    "EngineConfig",
+    "EXECUTORS",
+    "LRUCache",
+    "REQUEST_KINDS",
+    "RequestError",
+    "Stopwatch",
+    "cached_optimize_intra",
+    "clear_intra_cache",
+    "configure_intra_cache",
+    "execute_request",
+    "fusion_request",
+    "graph_plan_request",
+    "intra_cache_stats",
+    "intra_request",
+    "operator_signature",
+    "parse_request",
+    "platform_compare_request",
+    "request_key",
+    "run_payload",
+    "sweep_point_request",
+]

@@ -1,0 +1,141 @@
+"""Bounded LRU result cache with hit/miss/eviction accounting.
+
+The batch engine content-addresses every analysis request
+(:func:`repro.service.requests.request_key`) and answers repeats from this
+cache.  The cache is thread-safe (the engine's thread pool shares one
+instance) and persistence-friendly: :meth:`LRUCache.items` /
+:meth:`LRUCache.load` round-trip the entries in LRU order so a warm cache
+can be saved to and restored from a JSON file between CLI invocations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters.
+
+    ``hits``/``misses`` count lookups (a duplicated request in one batch
+    counts once per occurrence); ``evictions`` counts entries dropped by the
+    LRU bound.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with stats counters.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts or
+    refreshes and evicts the least-recently-used entry past ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing recency and counting hit/miss."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up without touching recency or counters (for tests/tools)."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def keys(self) -> List[Hashable]:
+        """Keys in LRU order (least recent first)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def items(self) -> List[Tuple[Hashable, Any]]:
+        """Entries in LRU order, for persistence."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def load(self, pairs: Iterable[Tuple[Hashable, Any]]) -> int:
+        """Warm the cache from ``(key, value)`` pairs; returns count loaded."""
+        loaded = 0
+        with self._lock:
+            for key, value in pairs:
+                self.put(key, value)
+                loaded += 1
+        return loaded
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )

@@ -1,0 +1,251 @@
+"""The batch analysis engine: cache + pool + metering.
+
+:class:`BatchEngine` turns a stream of analysis requests into a
+:class:`~repro.service.report.BatchReport`:
+
+1. **Canonicalize** every request (:mod:`repro.service.requests`); malformed
+   requests become structured error entries without touching the pool.
+2. **Dedup + cache**: each distinct content-addressed key is looked up once
+   per batch in the bounded LRU result cache; repeats inside the batch are
+   answered from the first computation.
+3. **Fan out** the remaining unique requests across a
+   ``concurrent.futures`` thread or process pool (``pool.map`` keeps result
+   order deterministic); each worker captures its own failures, so one
+   poisoned request never kills the batch.
+4. **Meter** everything: per-request monotonic timings, batch wall time,
+   cache hit/miss/eviction deltas, dedup and error counts.
+
+Results are pure data in input order, so batch output is byte-identical
+across ``jobs`` settings and cache temperatures.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .cache import CacheStats, LRUCache
+from .metrics import CounterRegistry, Stopwatch
+from .report import BatchEntry, BatchReport
+from .requests import AnalysisRequest, RequestError, parse_request, request_key
+from .workers import run_payload
+
+#: Executor kinds accepted by :class:`EngineConfig`.
+EXECUTORS = ("thread", "process")
+
+RequestLike = Union[AnalysisRequest, Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs."""
+
+    jobs: int = 1
+    cache_size: int = 4096
+    executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if self.cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
+            )
+
+
+class BatchEngine:
+    """Parallel, cached, metered evaluation of analysis requests."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.cache = LRUCache(self.config.cache_size)
+        self.counters = CounterRegistry()
+
+    # ------------------------------------------------------------------
+    # Single-request convenience
+    # ------------------------------------------------------------------
+    def evaluate(self, request: RequestLike) -> Dict[str, Any]:
+        """Evaluate one request through the cache; returns its result record."""
+        return self.run_batch([request]).entries[0].result_record()
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def run_batch(self, requests: Sequence[RequestLike]) -> BatchReport:
+        """Evaluate a batch, preserving input order in the results."""
+        watch = Stopwatch()
+        stats_before = self.cache.stats()
+        self.counters.increment("batches")
+
+        entries: List[Optional[BatchEntry]] = [None] * len(requests)
+        # First-occurrence order of keys that need computation.
+        pending_order: List[str] = []
+        pending_payloads: Dict[str, Dict[str, Any]] = {}
+        pending_indices: Dict[str, List[int]] = {}
+        seen_records: Dict[str, Dict[str, Any]] = {}
+        deduplicated = 0
+
+        for index, raw in enumerate(requests):
+            self.counters.increment("requests")
+            try:
+                request = (
+                    raw if isinstance(raw, AnalysisRequest) else parse_request(raw)
+                )
+            except RequestError as exc:
+                self.counters.increment("errors")
+                entries[index] = BatchEntry(
+                    index=index,
+                    key=None,
+                    kind=raw.get("kind") if isinstance(raw, Mapping) else None,
+                    ok=False,
+                    cached=False,
+                    seconds=0.0,
+                    record={
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                        }
+                    },
+                )
+                continue
+            key = request_key(request)
+            if key in seen_records:
+                # Duplicate of an earlier cache hit in this batch; the
+                # lookup counts as a hit, as it would when run serially.
+                self.counters.increment("deduplicated")
+                deduplicated += 1
+                record = self.cache.get(key)
+                if record is None:  # unreachable: no puts during this pass
+                    record = seen_records[key]
+                entries[index] = self._entry_from_record(
+                    index, key, record, cached=True, seconds=0.0
+                )
+                continue
+            if key in pending_payloads:
+                # Duplicate of a not-yet-computed request: share the compute.
+                self.counters.increment("deduplicated")
+                deduplicated += 1
+                pending_indices[key].append(index)
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                seen_records[key] = hit
+                entries[index] = self._entry_from_record(
+                    index, key, hit, cached=True, seconds=0.0
+                )
+                continue
+            pending_order.append(key)
+            pending_payloads[key] = request.canonical_payload()
+            pending_indices[key] = [index]
+
+        records = self._compute(
+            [pending_payloads[key] for key in pending_order]
+        )
+        for key, record in zip(pending_order, records):
+            seconds = float(record.pop("seconds", 0.0))
+            self.counters.increment("computed")
+            if not record.get("ok"):
+                self.counters.increment("errors")
+            # Cache errors too: every request kind is a pure function, so
+            # "unknown model" and "infeasible buffer" are as deterministic
+            # as any optimum and equally worth answering from the cache.
+            self.cache.put(key, record)
+            first, *rest = pending_indices[key]
+            entries[first] = self._entry_from_record(
+                first, key, record, cached=False, seconds=seconds
+            )
+            for index in rest:
+                # Count the duplicate's lookup as the hit it would have
+                # been in serial execution (the entry is cached by now).
+                self.cache.get(key)
+                entries[index] = self._entry_from_record(
+                    index, key, record, cached=True, seconds=0.0
+                )
+
+        stats_after = self.cache.stats()
+        final = [entry for entry in entries if entry is not None]
+        assert len(final) == len(requests)
+        return BatchReport(
+            entries=final,
+            cache=CacheStats(
+                hits=stats_after.hits - stats_before.hits,
+                misses=stats_after.misses - stats_before.misses,
+                evictions=stats_after.evictions - stats_before.evictions,
+                size=stats_after.size,
+                maxsize=stats_after.maxsize,
+            ),
+            jobs=self.config.jobs,
+            executor=self.config.executor,
+            wall_seconds=watch.stop(),
+            computed=len(pending_order),
+            deduplicated=deduplicated,
+            counters=self.counters.as_dict(),
+        )
+
+    @staticmethod
+    def _entry_from_record(
+        index: int,
+        key: str,
+        record: Dict[str, Any],
+        cached: bool,
+        seconds: float,
+    ) -> BatchEntry:
+        return BatchEntry(
+            index=index,
+            key=key,
+            kind=record.get("kind"),
+            ok=bool(record.get("ok")),
+            cached=cached,
+            seconds=seconds,
+            record=record,
+        )
+
+    def _compute(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Run unique payloads through the pool in deterministic order."""
+        if not payloads:
+            return []
+        jobs = min(self.config.jobs, len(payloads))
+        if jobs <= 1:
+            return [run_payload(payload) for payload in payloads]
+        pool_cls = (
+            ProcessPoolExecutor
+            if self.config.executor == "process"
+            else ThreadPoolExecutor
+        )
+        try:
+            with pool_cls(max_workers=jobs) as pool:
+                return list(pool.map(run_payload, payloads))
+        except Exception:  # pool infrastructure failure (not request errors)
+            self.counters.increment("pool_failures")
+            return [run_payload(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    # Cache persistence
+    # ------------------------------------------------------------------
+    def save_cache(self, path: str) -> int:
+        """Write the cache to a JSON file (LRU order); returns entry count."""
+        items: List[Tuple[str, Dict[str, Any]]] = [
+            (key, value) for key, value in self.cache.items()
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "entries": items}, handle)
+        return len(items)
+
+    def load_cache(self, path: str) -> int:
+        """Warm the cache from a JSON file; returns entries loaded."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"malformed cache file {path!r}")
+        entries = payload["entries"]
+        if not isinstance(entries, list):
+            raise ValueError(f"malformed cache file {path!r}")
+        return self.cache.load(
+            (str(key), value) for key, value in entries
+        )

@@ -1,0 +1,100 @@
+"""Process-wide memoization of intra-operator optimization.
+
+Sweeps, DSE baselines, and the graph planner all re-derive the same
+intra-operator optimum for identical (dims, buffer) tuples -- a genetic
+fused search comparing against unfused optima, a figure harness sweeping
+buffer sizes, and a bisection over the MA(BS) curve can each ask for
+``optimize_intra`` on the same operator shape thousands of times.  This
+module holds one shared bounded LRU over those results.
+
+Keys are *structural*: the operator's dims, indexing pattern, dtypes and
+repetition count -- not its name -- so ``mm1`` and ``proj_q`` with the same
+shape share an entry.  On a hit whose cached operator differs from the
+requested one, the cached *dataflow* is re-scored against the requested
+operator through the ordinary cost model (one ``memory_access`` call
+instead of a full candidate enumeration), so returned results always carry
+the caller's operator and tensor names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.intra import IntraResult, optimize_intra
+from ..core.regimes import classify_buffer
+from ..dataflow.cost import PartialSumConvention, memory_access
+from ..ir.operator import TensorOperator
+from .cache import CacheStats, LRUCache
+
+#: Default bound of the shared cache (entries, not bytes).
+DEFAULT_INTRA_CACHE_SIZE = 8192
+
+_cache = LRUCache(DEFAULT_INTRA_CACHE_SIZE)
+
+
+def operator_signature(operator: TensorOperator) -> Tuple:
+    """A name-free structural identity for an operator.
+
+    Two operators with equal signatures have identical optimization
+    problems: same loop extents (in canonical order), same tensor indexing
+    patterns, same dtypes, same repetition count.
+    """
+
+    tensors = list(operator.inputs) + [operator.output]
+    return (
+        tuple(operator.dims.items()),
+        tuple(tuple(operator.indexing[tensor.name]) for tensor in tensors),
+        tuple(tensor.dtype_bytes for tensor in tensors),
+        operator.count,
+    )
+
+
+def cached_optimize_intra(
+    operator: TensorOperator,
+    buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+) -> IntraResult:
+    """Drop-in :func:`repro.core.optimize_intra` backed by the shared cache.
+
+    Infeasible/unsupported operators raise exactly as the uncached function
+    does; failures are never cached.
+    """
+
+    key = (operator_signature(operator), buffer_elems, convention.value)
+    hit: Optional[IntraResult] = _cache.get(key)
+    if hit is not None:
+        if hit.operator.name == operator.name:
+            return hit
+        # Same structure, different name: re-score the winning dataflow
+        # against the caller's operator so names in the report are right.
+        report = memory_access(operator, hit.dataflow, convention)
+        regime = (
+            None if hit.regime is None else classify_buffer(operator, buffer_elems)
+        )
+        return IntraResult(
+            operator=operator,
+            dataflow=hit.dataflow,
+            report=report,
+            regime=regime,
+            label=hit.label,
+        )
+    result = optimize_intra(operator, buffer_elems, convention)
+    _cache.put(key, result)
+    return result
+
+
+def intra_cache_stats() -> CacheStats:
+    """Counters of the shared intra-operator cache."""
+    return _cache.stats()
+
+
+def clear_intra_cache() -> None:
+    """Drop all entries and reset counters (mainly for tests)."""
+    _cache.clear()
+    _cache.reset_stats()
+
+
+def configure_intra_cache(maxsize: int) -> None:
+    """Replace the shared cache with a fresh one bounded at ``maxsize``."""
+    global _cache
+    _cache = LRUCache(maxsize)

@@ -1,0 +1,57 @@
+"""Lightweight observability primitives for the batch engine.
+
+Monotonic-clock stopwatches and a thread-safe counter registry -- enough to
+meter a batch (wall time, per-request latency, error/dedup counts) without
+pulling in a metrics framework.  The engine snapshots these into each
+:class:`repro.service.report.BatchReport`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+
+class Stopwatch:
+    """A monotonic-clock stopwatch.
+
+    ``Stopwatch()`` starts running; :meth:`elapsed` reads without stopping,
+    :meth:`stop` freezes the reading.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+        self._stopped: float = -1.0
+
+    def elapsed(self) -> float:
+        if self._stopped >= 0.0:
+            return self._stopped
+        return time.monotonic() - self._start
+
+    def stop(self) -> float:
+        if self._stopped < 0.0:
+            self._stopped = time.monotonic() - self._start
+        return self._stopped
+
+
+class CounterRegistry:
+    """Named monotonically-increasing counters (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
+
+    def value(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counters.items()))

@@ -1,0 +1,134 @@
+"""Batch outcome reporting: deterministic results + metered summary.
+
+A :class:`BatchReport` separates the two audiences of a batch run:
+
+* the **result stream** (:meth:`BatchReport.result_records` /
+  :meth:`BatchReport.to_jsonl`) is pure data in input order -- no timings,
+  no cache flags -- so identical request files produce byte-identical
+  output regardless of ``--jobs`` or cache temperature;
+* the **summary** (:meth:`BatchReport.render_text` /
+  :meth:`BatchReport.summary_dict`) carries the metering: wall time,
+  per-request latency, cache hit/miss/eviction counters, dedup and error
+  counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .cache import CacheStats
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One request's outcome inside a batch."""
+
+    index: int
+    key: Optional[str]
+    kind: Optional[str]
+    ok: bool
+    cached: bool
+    seconds: float
+    record: Dict[str, Any]
+
+    def result_record(self) -> Dict[str, Any]:
+        """The deterministic output form (input order, data only)."""
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "key": self.key,
+            "kind": self.kind,
+            "ok": self.ok,
+        }
+        if self.ok:
+            out["result"] = self.record.get("result")
+        else:
+            out["error"] = self.record.get("error")
+        return out
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Results plus metering for one engine batch."""
+
+    entries: List[BatchEntry]
+    cache: CacheStats
+    jobs: int
+    executor: str
+    wall_seconds: float
+    computed: int
+    deduplicated: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return len(self.entries)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for entry in self.entries if not entry.ok)
+
+    @property
+    def cached_answers(self) -> int:
+        return sum(1 for entry in self.entries if entry.cached)
+
+    def result_records(self) -> List[Dict[str, Any]]:
+        return [entry.result_record() for entry in self.entries]
+
+    def to_jsonl(self) -> str:
+        """One sorted-key JSON object per request, in input order."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self.result_records()
+        )
+
+    # ------------------------------------------------------------------
+    def summary_dict(self) -> Dict[str, Any]:
+        kinds: Dict[str, int] = {}
+        for entry in self.entries:
+            name = entry.kind or "invalid"
+            kinds[name] = kinds.get(name, 0) + 1
+        seconds = [entry.seconds for entry in self.entries if not entry.cached]
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "computed": self.computed,
+            "cached_answers": self.cached_answers,
+            "deduplicated": self.deduplicated,
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "max_request_seconds": round(max(seconds), 6) if seconds else 0.0,
+            "kinds": dict(sorted(kinds.items())),
+            "cache": self.cache.as_dict(),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.summary_dict(), sort_keys=True, indent=2)
+
+    def render_text(self) -> str:
+        """Human-readable metering summary."""
+        summary = self.summary_dict()
+        cache = summary["cache"]
+        lines = [
+            "batch summary",
+            "-------------",
+            f"requests      : {summary['requests']}"
+            f" ({', '.join(f'{k}={v}' for k, v in summary['kinds'].items())})",
+            f"errors        : {summary['errors']}",
+            f"computed      : {summary['computed']}"
+            f" (deduplicated {summary['deduplicated']},"
+            f" cached {summary['cached_answers']})",
+            f"pool          : jobs={summary['jobs']}"
+            f" executor={summary['executor']}",
+            f"wall time     : {summary['wall_seconds']:.3f}s"
+            f" (slowest request {summary['max_request_seconds']:.3f}s)",
+            f"cache         : hits={cache['hits']} misses={cache['misses']}"
+            f" evictions={cache['evictions']}"
+            f" size={cache['size']}/{cache['maxsize']}"
+            f" hit_rate={cache['hit_rate']:.1%}",
+        ]
+        return "\n".join(lines)

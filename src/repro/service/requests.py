@@ -1,0 +1,233 @@
+"""Structured analysis requests and their content-addressed keys.
+
+Every query the library can answer from the command line has a request
+form here: a ``kind`` naming the analysis plus a flat ``params`` mapping.
+Requests are *canonicalized* -- defaults applied, values coerced, keys
+sorted -- so that two payloads meaning the same analysis always produce the
+same :func:`request_key` (a SHA-256 digest of the canonical JSON), no
+matter the insertion order or representation of the incoming dict.  The
+key is what the engine's result cache is addressed by.
+
+Request kinds
+-------------
+``intra``             optimize one ``M x K x L`` matmul at a buffer size
+``fusion``            fusion decision for an ``(M,K,L) -> (M,L,N)`` chain
+``graph_plan``        graph-level fusion plan for a Table II model
+``platform_compare``  Fig. 10-style platform comparison for one model
+``sweep_point``       one (operator, buffer) point of the MA(BS) sweep
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+
+class RequestError(ValueError):
+    """Raised for malformed or unknown analysis requests."""
+
+
+#: Per-kind parameter schema: name -> (type, required, default).
+_BOOL = "bool"
+_INT = "int"
+_STR = "str"
+
+_SCHEMAS: Dict[str, Dict[str, Tuple[str, bool, Any]]] = {
+    "intra": {
+        "m": (_INT, True, None),
+        "k": (_INT, True, None),
+        "l": (_INT, True, None),
+        "buffer_elems": (_INT, True, None),
+        "convention": (_STR, False, "single"),
+    },
+    "fusion": {
+        "m": (_INT, True, None),
+        "k": (_INT, True, None),
+        "l": (_INT, True, None),
+        "n": (_INT, True, None),
+        "buffer_elems": (_INT, True, None),
+        "include_cross": (_BOOL, False, False),
+        "convention": (_STR, False, "single"),
+    },
+    "graph_plan": {
+        "model": (_STR, True, None),
+        "buffer_elems": (_INT, True, None),
+        "enable_fusion": (_BOOL, False, True),
+        "max_group": (_INT, False, 3),
+    },
+    "platform_compare": {
+        "model": (_STR, True, None),
+        "buffer_elems": (_INT, True, None),
+    },
+    "sweep_point": {
+        "m": (_INT, True, None),
+        "k": (_INT, True, None),
+        "l": (_INT, True, None),
+        "buffer_elems": (_INT, True, None),
+        "convention": (_STR, False, "single"),
+    },
+}
+
+REQUEST_KINDS: Tuple[str, ...] = tuple(sorted(_SCHEMAS))
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One canonicalized analysis query.
+
+    Construct through :func:`parse_request` (or the ``*_request`` helpers),
+    which validate and normalize; ``params`` holds the full canonical
+    parameter set with defaults applied.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The canonical JSON-able form (sorted params, defaults applied)."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+def _coerce(kind: str, name: str, spec: str, value: Any) -> Any:
+    if spec == _INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RequestError(
+                f"{kind} request: param {name!r} must be an integer, "
+                f"got {value!r}"
+            )
+        return int(value)
+    if spec == _BOOL:
+        if not isinstance(value, bool):
+            raise RequestError(
+                f"{kind} request: param {name!r} must be a boolean, "
+                f"got {value!r}"
+            )
+        return bool(value)
+    if not isinstance(value, str):
+        raise RequestError(
+            f"{kind} request: param {name!r} must be a string, got {value!r}"
+        )
+    return str(value)
+
+
+def parse_request(payload: Mapping[str, Any]) -> AnalysisRequest:
+    """Validate and canonicalize a raw request mapping.
+
+    Accepts either ``{"kind": ..., "params": {...}}`` or the flat form
+    ``{"kind": ..., <param>: ...}``.  Unknown kinds, unknown params, missing
+    required params, and wrong types all raise :class:`RequestError`.
+    """
+
+    if not isinstance(payload, Mapping):
+        raise RequestError(f"request must be a mapping, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in _SCHEMAS:
+        raise RequestError(
+            f"unknown request kind {kind!r}; choose from {', '.join(REQUEST_KINDS)}"
+        )
+    raw = payload.get("params")
+    if raw is None:
+        raw = {key: value for key, value in payload.items() if key != "kind"}
+    if not isinstance(raw, Mapping):
+        raise RequestError(f"{kind} request: params must be a mapping")
+    schema = _SCHEMAS[kind]
+    unknown = sorted(set(raw) - set(schema))
+    if unknown:
+        raise RequestError(f"{kind} request: unknown params {unknown}")
+    params: Dict[str, Any] = {}
+    for name, (spec, required, default) in schema.items():
+        if name in raw:
+            params[name] = _coerce(kind, name, spec, raw[name])
+        elif required:
+            raise RequestError(f"{kind} request: missing required param {name!r}")
+        else:
+            params[name] = default
+    return AnalysisRequest(
+        kind=kind, params=tuple(sorted(params.items()))
+    )
+
+
+def request_key(request: AnalysisRequest) -> str:
+    """Stable content-addressed key: SHA-256 over the canonical JSON."""
+    canonical = json.dumps(
+        request.canonical_payload(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def intra_request(
+    m: int, k: int, l: int, buffer_elems: int, convention: str = "single"
+) -> AnalysisRequest:
+    return parse_request(
+        {
+            "kind": "intra",
+            "m": m, "k": k, "l": l,
+            "buffer_elems": buffer_elems,
+            "convention": convention,
+        }
+    )
+
+
+def fusion_request(
+    m: int,
+    k: int,
+    l: int,
+    n: int,
+    buffer_elems: int,
+    include_cross: bool = False,
+    convention: str = "single",
+) -> AnalysisRequest:
+    return parse_request(
+        {
+            "kind": "fusion",
+            "m": m, "k": k, "l": l, "n": n,
+            "buffer_elems": buffer_elems,
+            "include_cross": include_cross,
+            "convention": convention,
+        }
+    )
+
+
+def graph_plan_request(
+    model: str,
+    buffer_elems: int,
+    enable_fusion: bool = True,
+    max_group: int = 3,
+) -> AnalysisRequest:
+    return parse_request(
+        {
+            "kind": "graph_plan",
+            "model": model,
+            "buffer_elems": buffer_elems,
+            "enable_fusion": enable_fusion,
+            "max_group": max_group,
+        }
+    )
+
+
+def platform_compare_request(model: str, buffer_elems: int) -> AnalysisRequest:
+    return parse_request(
+        {"kind": "platform_compare", "model": model, "buffer_elems": buffer_elems}
+    )
+
+
+def sweep_point_request(
+    m: int, k: int, l: int, buffer_elems: int, convention: str = "single"
+) -> AnalysisRequest:
+    return parse_request(
+        {
+            "kind": "sweep_point",
+            "m": m, "k": k, "l": l,
+            "buffer_elems": buffer_elems,
+            "convention": convention,
+        }
+    )

@@ -1,0 +1,204 @@
+"""Request execution: one pure function per analysis kind.
+
+:func:`run_payload` is the unit of work the engine ships to its pool.  It
+is a module-level function of a plain dict returning a plain dict, so it is
+picklable for :class:`concurrent.futures.ProcessPoolExecutor` and safe for
+thread pools alike.  All failures -- malformed requests, unknown models,
+infeasible buffers -- are captured into a structured error record; a worker
+never raises, so one poisoned request can never kill a batch.
+
+Results contain only deterministic JSON-able data (no timings, no object
+ids), which is what makes ``--jobs 1`` and ``--jobs 4`` batch outputs
+byte-identical and cache entries portable across processes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping
+
+from ..arch import ALL_PLATFORMS, MemorySpec, evaluate_graph
+from ..core import decide_fusion, optimize_graph, optimize_intra
+from ..core.lower_bound import shift_point_band, three_nra_threshold
+from ..dataflow.cost import PartialSumConvention
+from ..dataflow.serialize import dataflow_to_dict
+from ..ir import matmul
+from ..workloads import build_layer_graph, model_by_name
+from .requests import AnalysisRequest, parse_request, request_key
+
+#: Platform used to normalize comparison rows (the paper's baseline).
+COMPARE_BASELINE = "TPUv4i"
+
+
+def _convention(name: str) -> PartialSumConvention:
+    for convention in PartialSumConvention:
+        if convention.value == name:
+            return convention
+    raise ValueError(
+        f"unknown partial-sum convention {name!r}; choose from "
+        + ", ".join(c.value for c in PartialSumConvention)
+    )
+
+
+def _intra_result_dict(result: Any) -> Dict[str, Any]:
+    return {
+        "operator": result.operator.name,
+        "dims": dict(result.operator.dims),
+        "memory_access": result.memory_access,
+        "ideal": result.operator.ideal_memory_access(),
+        "redundancy": round(result.redundancy, 6),
+        "nra_class": str(result.nra_class),
+        "regime": None if result.regime is None else result.regime.regime.value,
+        "label": result.label,
+        "dataflow": dataflow_to_dict(result.dataflow),
+        "per_tensor": {
+            name: {"accesses": entry.accesses, "multiplier": entry.multiplier}
+            for name, entry in sorted(result.report.per_tensor.items())
+        },
+    }
+
+
+def _execute_intra(params: Mapping[str, Any]) -> Dict[str, Any]:
+    op = matmul("mm", params["m"], params["k"], params["l"])
+    result = optimize_intra(
+        op, params["buffer_elems"], _convention(params["convention"])
+    )
+    return _intra_result_dict(result)
+
+
+def _execute_fusion(params: Mapping[str, Any]) -> Dict[str, Any]:
+    op1 = matmul("mm1", params["m"], params["k"], params["l"])
+    op2 = matmul("mm2", params["m"], params["l"], params["n"], a=op1.output)
+    decision = decide_fusion(
+        [op1, op2],
+        params["buffer_elems"],
+        include_cross=params["include_cross"],
+        convention=_convention(params["convention"]),
+    )
+    return {
+        "ops": [op.name for op in decision.ops],
+        "unfused_memory_access": decision.unfused_memory_access,
+        "fused_memory_access": decision.fused_memory_access,
+        "profitable": decision.profitable,
+        "predicted_profitable": decision.predicted_profitable,
+        "saving": round(decision.saving, 6),
+        "fused": None if decision.fused is None else decision.fused.describe(),
+    }
+
+
+def _execute_graph_plan(params: Mapping[str, Any]) -> Dict[str, Any]:
+    graph = build_layer_graph(model_by_name(params["model"]))
+    plan = optimize_graph(
+        graph,
+        params["buffer_elems"],
+        enable_fusion=params["enable_fusion"],
+        max_group=params["max_group"],
+    )
+    return {
+        "model": params["model"],
+        "graph": plan.graph_name,
+        "total_memory_access": plan.memory_access,
+        "segments": [
+            {
+                "ops": [op.name for op in segment.ops],
+                "fused": segment.fused,
+                "memory_access": segment.memory_access,
+            }
+            for segment in plan.segments
+        ],
+    }
+
+
+def _execute_platform_compare(params: Mapping[str, Any]) -> Dict[str, Any]:
+    memory = MemorySpec(buffer_bytes=params["buffer_elems"])
+    graph = build_layer_graph(model_by_name(params["model"]))
+    perfs = {
+        factory(memory).name: evaluate_graph(graph, factory(memory))
+        for factory in ALL_PLATFORMS
+    }
+    baseline = perfs[COMPARE_BASELINE]
+    rows: List[Dict[str, Any]] = []
+    for name, perf in perfs.items():
+        rows.append(
+            {
+                "platform": name,
+                "memory_access": perf.total_memory_access,
+                "normalized_ma": round(
+                    perf.total_memory_access / baseline.total_memory_access, 6
+                ),
+                "utilization": round(perf.utilization, 6),
+                "speedup": round(perf.speedup_over(baseline), 6),
+            }
+        )
+    return {
+        "model": params["model"],
+        "baseline": COMPARE_BASELINE,
+        "rows": rows,
+    }
+
+
+def _execute_sweep_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    op = matmul("mm", params["m"], params["k"], params["l"])
+    result = optimize_intra(
+        op, params["buffer_elems"], _convention(params["convention"])
+    )
+    band = shift_point_band(op)
+    return {
+        "operator": op.name,
+        "dims": dict(op.dims),
+        "buffer_elems": params["buffer_elems"],
+        "memory_access": result.memory_access,
+        "ideal": op.ideal_memory_access(),
+        "normalized": round(result.redundancy, 6),
+        "regime": None if result.regime is None else result.regime.regime.value,
+        "nra_class": str(result.nra_class),
+        "shift_band": [band[0], band[1]],
+        "three_nra_at": three_nra_threshold(op),
+    }
+
+
+_EXECUTORS = {
+    "intra": _execute_intra,
+    "fusion": _execute_fusion,
+    "graph_plan": _execute_graph_plan,
+    "platform_compare": _execute_platform_compare,
+    "sweep_point": _execute_sweep_point,
+}
+
+
+def execute_request(request: AnalysisRequest) -> Dict[str, Any]:
+    """Execute one canonical request; raises on failure."""
+    return _EXECUTORS[request.kind](request.param_dict)
+
+
+def run_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Parse + execute a raw request payload with full error capture.
+
+    Returns a record shaped for the batch output stream::
+
+        {"key": ..., "kind": ..., "ok": true,  "result": {...}, "seconds": ...}
+        {"key": ..., "kind": ..., "ok": false, "error": {...},  "seconds": ...}
+
+    ``seconds`` (monotonic wall time of this evaluation) is stripped from
+    the deterministic output stream by the report layer.
+    """
+
+    started = time.monotonic()
+    kind = payload.get("kind") if isinstance(payload, Mapping) else None
+    try:
+        request = parse_request(payload)
+        record: Dict[str, Any] = {
+            "key": request_key(request),
+            "kind": request.kind,
+            "ok": True,
+            "result": execute_request(request),
+        }
+    except Exception as exc:  # noqa: BLE001 - error isolation by design
+        record = {
+            "key": None,
+            "kind": kind if isinstance(kind, str) else None,
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    record["seconds"] = time.monotonic() - started
+    return record
