@@ -8,7 +8,10 @@ plan MODEL          graph-level fusion plan for a Table II model
 compare MODEL       Fig. 10-style platform comparison for one model
 explain M K L       narrate the principle decisions (add --consumer-n for fusion)
 batch FILE          evaluate JSON-lines analysis requests through the
-                    batch engine (``--jobs``, ``--cache-file``, ``--stats``)
+                    batch engine (``--jobs``, ``--cache-file``, ``--stats``,
+                    retry/deadline/breaker knobs, ``--strict``)
+selfcheck           run a small fault-injected batch end to end and verify
+                    the resilience layer held (CI smoke test)
 tables              render paper Tables I-III
 fig9 / fig10 / fig11 / fig12
                     regenerate a paper figure's rows/series
@@ -142,6 +145,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metered batch summary (cache/pool/timing) to stderr",
     )
+    batch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any request in the batch errored",
+    )
+    batch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="attempts per request for transient failures (default 1: "
+        "no retries)",
+    )
+    batch.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.0,
+        help="base exponential-backoff delay between attempts in seconds "
+        "(default 0)",
+    )
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; overrunning requests become "
+        "structured DeadlineExceededError records (default: unlimited)",
+    )
+    batch.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help="open the per-kind circuit breaker after N consecutive "
+        "permanent failures (default 0: disabled)",
+    )
+    batch.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable process->thread->serial degradation on pool "
+        "breakage (remaining requests become pool-error records)",
+    )
+    batch.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --executor process "
+        "(default: platform default)",
+    )
+    batch.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="dev-only fault injection spec (e.g. "
+        "'raise:intra*:times=1;delay:sweep*:seconds=0.1'); requires "
+        "REPRO_ENABLE_FAULT_INJECTION=1 in the environment",
+    )
+
+    selfcheck = commands.add_parser(
+        "selfcheck",
+        help="run a small fault-injected batch and verify the resilience "
+        "layer held (smoke test for CI)",
+    )
+    selfcheck.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the batch summary to stderr",
+    )
 
     commands.add_parser("tables", help="render paper Tables I-III")
     fig9 = commands.add_parser("fig9", help="principles vs search sweep")
@@ -244,7 +313,33 @@ def _read_batch_payloads(source: str) -> List[object]:
 def _cmd_batch(args: argparse.Namespace) -> int:
     import os
 
-    from .service import BatchEngine, EngineConfig
+    from .service import (
+        FAULTS_ENV,
+        FAULTS_GUARD_ENV,
+        BatchEngine,
+        EngineConfig,
+        FaultSpecError,
+        parse_fault_spec,
+        set_fault_plan,
+    )
+
+    if args.inject_faults is not None:
+        # Env-guarded dev flag: the fault harness must be unreachable
+        # from production invocations unless explicitly armed.
+        if os.environ.get(FAULTS_GUARD_ENV) != "1":
+            print(
+                f"error: --inject-faults requires {FAULTS_GUARD_ENV}=1 "
+                "in the environment (dev/test harness only)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            set_fault_plan(parse_fault_spec(args.inject_faults))
+        except FaultSpecError as exc:
+            print(f"error: bad fault spec: {exc}", file=sys.stderr)
+            return 2
+        # Export for process-pool children (incl. spawn start method).
+        os.environ[FAULTS_ENV] = args.inject_faults
 
     payloads = _read_batch_payloads(args.requests)
     engine = BatchEngine(
@@ -252,6 +347,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_size=args.cache_size,
             executor=args.executor,
+            max_attempts=args.max_attempts,
+            retry_base_delay=args.retry_delay,
+            deadline_seconds=args.deadline,
+            breaker_threshold=args.breaker_threshold,
+            fallback=not args.no_fallback,
+            start_method=args.start_method,
         )
     )
     if args.cache_file and os.path.exists(args.cache_file):
@@ -277,6 +378,79 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         engine.save_cache(args.cache_file)
     if args.stats:
         print(report.render_text(), file=sys.stderr)
+    if report.errors:
+        print(
+            f"batch: {report.errors} of {report.requests} request(s) "
+            "failed",
+            file=sys.stderr,
+        )
+    return 1 if (args.strict and report.errors) else 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Smoke-test the resilience layer with a deterministic faulty batch.
+
+    Injects a transient raise (retried to success), a cooperative delay
+    (bounded by the deadline), and an in-process worker crash (retried),
+    then verifies every request produced a record in input order and the
+    resilience counters registered each failure mode.
+    """
+
+    from .service import (
+        BatchEngine,
+        EngineConfig,
+        injected_faults,
+        intra_request,
+        request_key,
+        sweep_point_request,
+    )
+
+    requests = [
+        intra_request(64, 32, 48, 4096),
+        sweep_point_request(96, 64, 80, 1024),
+        intra_request(32, 32, 32, 2048),
+        intra_request(64, 32, 48, 1),  # deterministic InfeasibleError
+    ]
+    flaky_key = request_key(requests[0])
+    crash_key = request_key(requests[2])
+    spec = (
+        f"raise:{flaky_key[:16]}*:times=1:category=transient;"
+        "delay:sweep_point:seconds=0.02;"
+        f"crash:{crash_key[:16]}*:times=1"
+    )
+    failures: List[str] = []
+    with injected_faults(spec):
+        engine = BatchEngine(
+            EngineConfig(jobs=2, max_attempts=3, deadline_seconds=30.0)
+        )
+        report = engine.run_batch(requests)
+    if args.stats:
+        print(report.render_text(), file=sys.stderr)
+    if report.requests != len(requests):
+        failures.append(
+            f"lost requests: {report.requests}/{len(requests)} records"
+        )
+    if [entry.index for entry in report.entries] != list(range(len(requests))):
+        failures.append("records out of input order")
+    oks = [entry.ok for entry in report.entries]
+    if oks != [True, True, True, False]:
+        failures.append(f"unexpected ok pattern {oks}")
+    error = report.entries[3].record.get("error", {})
+    if error.get("type") != "InfeasibleError":
+        failures.append(f"expected InfeasibleError, got {error.get('type')}")
+    if report.resilience.get("retries", 0) < 2:
+        failures.append(
+            f"expected >=2 retries (flaky + crash), got {report.resilience}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"selfcheck FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "selfcheck ok: "
+        f"{report.requests} requests, {report.errors} expected error, "
+        f"resilience={report.resilience}"
+    )
     return 0
 
 
@@ -292,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "selfcheck":
+        return _cmd_selfcheck(args)
     if args.command == "explain":
         from .core import explain_fusion, explain_intra
 

@@ -24,18 +24,29 @@ def run_grid(
     cache_size: int = 4096,
     executor: str = "thread",
     engine: Optional[BatchEngine] = None,
+    max_attempts: int = 1,
+    deadline_seconds: Optional[float] = None,
 ) -> BatchReport:
     """Submit an experiment grid through the batch engine.
 
     Pass an existing ``engine`` to share its warm cache across grids (e.g.
     a buffer sweep followed by a platform comparison reuses every
     intra-operator optimum already computed); otherwise a fresh engine is
-    configured from the remaining arguments.
+    configured from the remaining arguments.  ``max_attempts`` /
+    ``deadline_seconds`` forward to the engine's resilience layer so
+    long-running grids survive transient worker failures and a hung point
+    cannot stall a whole sweep.
     """
 
     if engine is None:
         engine = BatchEngine(
-            EngineConfig(jobs=jobs, cache_size=cache_size, executor=executor)
+            EngineConfig(
+                jobs=jobs,
+                cache_size=cache_size,
+                executor=executor,
+                max_attempts=max_attempts,
+                deadline_seconds=deadline_seconds,
+            )
         )
     return engine.run_batch(requests)
 

@@ -143,6 +143,8 @@ def run_sweep_grid(
     buffer_sweep_bytes: Sequence[int] = PAPER_BUFFER_SWEEP_BYTES,
     engine: Optional[BatchEngine] = None,
     jobs: int = 1,
+    max_attempts: int = 1,
+    deadline_seconds: Optional[float] = None,
 ) -> List[SweepGridPoint]:
     """Evaluate the MA(BS) grid through the batch engine.
 
@@ -150,11 +152,20 @@ def run_sweep_grid(
     corners), this samples a *fixed* buffer grid -- the shape of workload a
     serving deployment sees -- so repeats hit the engine's result cache and
     independent points fan out across its pool.  Infeasible points come
-    back as error records, not exceptions.
+    back as error records, not exceptions; ``max_attempts`` and
+    ``deadline_seconds`` forward to the engine's resilience layer, so a
+    hung point times out as a structured error instead of stalling the
+    sweep.
     """
 
     requests = sweep_grid_requests(operators, buffer_sweep_bytes)
-    report = run_grid(requests, jobs=jobs, engine=engine)
+    report = run_grid(
+        requests,
+        jobs=jobs,
+        engine=engine,
+        max_attempts=max_attempts,
+        deadline_seconds=deadline_seconds,
+    )
     points: List[SweepGridPoint] = []
     per_op = len(tuple(buffer_sweep_bytes))
     for position, entry in enumerate(report.entries):

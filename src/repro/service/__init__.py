@@ -6,7 +6,14 @@ from a bounded LRU result cache (:mod:`~repro.service.cache`), fanned out
 across a thread/process pool with deterministic ordering and per-request
 error capture (:mod:`~repro.service.engine` / :mod:`~repro.service.workers`),
 and metered end to end (:mod:`~repro.service.metrics`,
-:mod:`~repro.service.report`).  :mod:`~repro.service.intra_cache` shares
+:mod:`~repro.service.report`).  A resilience layer
+(:mod:`~repro.service.errors`, :mod:`~repro.service.resilience`) adds a
+transient/permanent error taxonomy, bounded retries with deterministic
+backoff, per-request deadlines, a per-kind circuit breaker, and graceful
+process -> thread -> serial degradation on pool breakage; the
+deterministic fault-injection harness (:mod:`~repro.service.faults`)
+proves every one of those paths end to end.
+:mod:`~repro.service.intra_cache` shares
 intra-operator optima process-wide so sweeps and DSE baselines stop
 recomputing identical (dims, buffer) problems.
 
@@ -22,7 +29,42 @@ Quick start::
 """
 
 from .cache import CacheStats, LRUCache
-from .engine import EXECUTORS, BatchEngine, EngineConfig
+from .engine import (
+    CACHE_SCHEMA_VERSION,
+    EXECUTORS,
+    START_METHODS,
+    BatchEngine,
+    EngineConfig,
+)
+from .errors import (
+    PERMANENT,
+    TRANSIENT,
+    CircuitOpenError,
+    CorruptResultError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    PermanentError,
+    PoolBrokenError,
+    ServiceError,
+    TransientError,
+    WorkerCrashError,
+    classify_error_name,
+    classify_exception,
+    error_record,
+    record_category,
+)
+from .faults import (
+    FAULTS_ENV,
+    FAULTS_GUARD_ENV,
+    FaultClause,
+    FaultPlan,
+    FaultSpecError,
+    active_fault_plan,
+    injected_faults,
+    parse_fault_spec,
+    reset_fault_state,
+    set_fault_plan,
+)
 from .intra_cache import (
     DEFAULT_INTRA_CACHE_SIZE,
     cached_optimize_intra,
@@ -45,34 +87,66 @@ from .requests import (
     request_key,
     sweep_point_request,
 )
-from .workers import execute_request, run_payload
+from .resilience import CircuitBreaker, Deadline, RetryPolicy
+from .workers import execute_request, result_digest, run_payload
 
 __all__ = [
     "AnalysisRequest",
     "BatchEngine",
     "BatchEntry",
     "BatchReport",
+    "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorruptResultError",
     "CounterRegistry",
     "DEFAULT_INTRA_CACHE_SIZE",
+    "Deadline",
+    "DeadlineExceededError",
     "EngineConfig",
     "EXECUTORS",
+    "FAULTS_ENV",
+    "FAULTS_GUARD_ENV",
+    "FaultClause",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFaultError",
     "LRUCache",
+    "PERMANENT",
+    "PermanentError",
+    "PoolBrokenError",
     "REQUEST_KINDS",
     "RequestError",
+    "RetryPolicy",
+    "START_METHODS",
+    "ServiceError",
     "Stopwatch",
+    "TRANSIENT",
+    "TransientError",
+    "WorkerCrashError",
+    "active_fault_plan",
     "cached_optimize_intra",
+    "classify_error_name",
+    "classify_exception",
     "clear_intra_cache",
     "configure_intra_cache",
+    "error_record",
     "execute_request",
     "fusion_request",
     "graph_plan_request",
+    "injected_faults",
     "intra_cache_stats",
     "intra_request",
     "operator_signature",
+    "parse_fault_spec",
     "parse_request",
     "platform_compare_request",
+    "record_category",
     "request_key",
+    "reset_fault_state",
+    "result_digest",
     "run_payload",
+    "set_fault_plan",
     "sweep_point_request",
 ]

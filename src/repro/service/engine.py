@@ -1,4 +1,4 @@
-"""The batch analysis engine: cache + pool + metering.
+"""The batch analysis engine: cache + pool + metering + resilience.
 
 :class:`BatchEngine` turns a stream of analysis requests into a
 :class:`~repro.service.report.BatchReport`:
@@ -9,42 +9,118 @@
    per batch in the bounded LRU result cache; repeats inside the batch are
    answered from the first computation.
 3. **Fan out** the remaining unique requests across a
-   ``concurrent.futures`` thread or process pool (``pool.map`` keeps result
-   order deterministic); each worker captures its own failures, so one
-   poisoned request never kills the batch.
-4. **Meter** everything: per-request monotonic timings, batch wall time,
-   cache hit/miss/eviction deltas, dedup and error counts.
+   ``concurrent.futures`` thread or process pool, collecting results in
+   submission order so output stays deterministic; each worker captures
+   its own failures, so one poisoned request never kills the batch.
+4. **Survive** infrastructure failure: transient errors are retried under
+   a :class:`~repro.service.resilience.RetryPolicy`, per-request deadlines
+   are enforced preemptively for process pools (timed-out workers are
+   terminated and the pool respawned) and cooperatively for threads, a
+   broken pool degrades the batch process -> thread -> serial instead of
+   aborting it, and a per-kind circuit breaker converts hopeless request
+   kinds into fast structured errors.
+5. **Meter** everything: per-request monotonic timings, batch wall time,
+   cache hit/miss/eviction deltas, dedup/error counts, and resilience
+   counters (retries, timeouts, degradations, breaker trips).
 
 Results are pure data in input order, so batch output is byte-identical
-across ``jobs`` settings and cache temperatures.
+across ``jobs`` settings and cache temperatures; all resilience bookkeeping
+lives in the report summary, never in the result stream.
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import os
+import tempfile
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .cache import CacheStats, LRUCache
+from .errors import PERMANENT, TRANSIENT, record_category
 from .metrics import CounterRegistry, Stopwatch
 from .report import BatchEntry, BatchReport
 from .requests import AnalysisRequest, RequestError, parse_request, request_key
-from .workers import run_payload
+from .resilience import CircuitBreaker, RetryPolicy
+from .workers import result_digest, run_payload
 
 #: Executor kinds accepted by :class:`EngineConfig`.
 EXECUTORS = ("thread", "process")
 
+#: Multiprocessing start methods accepted by :class:`EngineConfig`.
+START_METHODS = ("fork", "spawn", "forkserver")
+
+#: Schema version written to persisted cache files.  Bump on any format
+#: change; :meth:`BatchEngine.load_cache` refuses unknown versions loudly
+#: instead of silently misloading.
+CACHE_SCHEMA_VERSION = 2
+_COMPATIBLE_CACHE_VERSIONS = (1, 2)
+
+#: Grace added to the preemptive ``future.result`` timeout beyond the
+#: cooperative deadline, so a well-behaved worker reports its own clean
+#: deadline record before the engine resorts to killing it.
+_DEADLINE_GRACE = 0.25
+
 RequestLike = Union[AnalysisRequest, Mapping[str, Any]]
+
+
+class _PoolDegraded(Exception):
+    """Internal signal: the current pool mode broke; fall back."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
 
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Engine tuning knobs."""
+    """Engine tuning knobs.
+
+    The resilience defaults are all "off" (one attempt, no deadline, no
+    breaker), so a default-configured engine behaves exactly like the
+    pre-resilience engine; ``fallback`` alone defaults on, because
+    finishing a batch serially always beats losing it.
+    """
 
     jobs: int = 1
     cache_size: int = 4096
     executor: str = "thread"
+    #: Total attempts per request (1 = no retries of transient failures).
+    max_attempts: int = 1
+    #: First backoff delay in seconds (0 = immediate retries).
+    retry_base_delay: float = 0.0
+    #: Backoff cap in seconds.
+    retry_max_delay: float = 2.0
+    #: Deterministic jitter fraction on top of exponential backoff.
+    retry_jitter: float = 0.5
+    #: Per-request deadline in seconds (None = unlimited).
+    deadline_seconds: Optional[float] = None
+    #: Consecutive permanent failures per kind before the circuit opens
+    #: (0 = breaker disabled).
+    breaker_threshold: int = 0
+    #: Degrade process -> thread -> serial on pool breakage instead of
+    #: synthesizing pool-broken error records.
+    fallback: bool = True
+    #: Multiprocessing start method for the process executor (None =
+    #: platform default; "spawn" matches the py3.12+/macOS CI default).
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -55,15 +131,42 @@ class EngineConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
             )
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.start_method is not None and (
+            self.start_method not in START_METHODS
+        ):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}; "
+                f"choose from {START_METHODS}"
+            )
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.retry_base_delay,
+            max_delay=self.retry_max_delay,
+            jitter=self.retry_jitter,
+        )
 
 
 class BatchEngine:
-    """Parallel, cached, metered evaluation of analysis requests."""
+    """Parallel, cached, metered, fault-tolerant evaluation of requests."""
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.config = config or EngineConfig()
         self.cache = LRUCache(self.config.cache_size)
         self.counters = CounterRegistry()
+        self.retry_policy = retry_policy or self.config.retry_policy()
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
 
     # ------------------------------------------------------------------
     # Single-request convenience
@@ -97,6 +200,7 @@ class BatchEngine:
                 )
             except RequestError as exc:
                 self.counters.increment("errors")
+                self.breaker.record_failure(exc.kind, PERMANENT)
                 entries[index] = BatchEntry(
                     index=index,
                     key=None,
@@ -108,6 +212,7 @@ class BatchEngine:
                         "error": {
                             "type": type(exc).__name__,
                             "message": str(exc),
+                            "category": PERMANENT,
                         }
                     },
                 )
@@ -142,18 +247,20 @@ class BatchEngine:
             pending_payloads[key] = request.canonical_payload()
             pending_indices[key] = [index]
 
-        records = self._compute(
-            [pending_payloads[key] for key in pending_order]
-        )
+        pending = [(key, pending_payloads[key]) for key in pending_order]
+        records, resilience, degradations = self._compute(pending)
         for key, record in zip(pending_order, records):
             seconds = float(record.pop("seconds", 0.0))
             self.counters.increment("computed")
             if not record.get("ok"):
                 self.counters.increment("errors")
-            # Cache errors too: every request kind is a pure function, so
-            # "unknown model" and "infeasible buffer" are as deterministic
-            # as any optimum and equally worth answering from the cache.
-            self.cache.put(key, record)
+            if self._cacheable(record):
+                # Permanent errors are cached alongside successes: every
+                # request kind is a pure function, so "unknown model" and
+                # "infeasible buffer" are as deterministic as any optimum.
+                # Transient errors (timeouts, crashes, open circuits) are
+                # infrastructure outcomes, not answers -- never cached.
+                self.cache.put(key, record)
             first, *rest = pending_indices[key]
             entries[first] = self._entry_from_record(
                 first, key, record, cached=False, seconds=seconds
@@ -166,6 +273,7 @@ class BatchEngine:
                     index, key, record, cached=True, seconds=0.0
                 )
 
+        self.counters.merge(resilience)
         stats_after = self.cache.stats()
         final = [entry for entry in entries if entry is not None]
         assert len(final) == len(requests)
@@ -184,6 +292,8 @@ class BatchEngine:
             computed=len(pending_order),
             deduplicated=deduplicated,
             counters=self.counters.as_dict(),
+            resilience=resilience,
+            degradations=degradations,
         )
 
     @staticmethod
@@ -204,45 +314,417 @@ class BatchEngine:
             record=record,
         )
 
+    @staticmethod
+    def _cacheable(record: Dict[str, Any]) -> bool:
+        if record.get("ok"):
+            return True
+        error = record.get("error") or {}
+        if error.get("type") == "CircuitOpenError":
+            return False
+        return record_category(record) == PERMANENT
+
+    # ------------------------------------------------------------------
+    # Resilient computation
+    # ------------------------------------------------------------------
     def _compute(
-        self, payloads: List[Dict[str, Any]]
-    ) -> List[Dict[str, Any]]:
-        """Run unique payloads through the pool in deterministic order."""
-        if not payloads:
-            return []
-        jobs = min(self.config.jobs, len(payloads))
-        if jobs <= 1:
-            return [run_payload(payload) for payload in payloads]
-        pool_cls = (
-            ProcessPoolExecutor
-            if self.config.executor == "process"
-            else ThreadPoolExecutor
+        self, pending: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, int], List[Dict[str, str]]]:
+        """Run unique (key, payload) pairs to final records, in order.
+
+        Returns ``(records, resilience_counters, degradation_events)``.
+        ``records`` is aligned with ``pending``; every pair gets a final
+        record no matter what breaks underneath.
+        """
+
+        resilience = CounterRegistry()
+        events: List[Dict[str, str]] = []
+        if not pending:
+            return [], resilience.as_dict(), events
+
+        records: Dict[int, Dict[str, Any]] = {}
+        probed: Set[str] = set()
+        work: List[int] = []
+        for index, (key, payload) in enumerate(pending):
+            kind = payload.get("kind")
+            if self._breaker_allows(kind, probed):
+                work.append(index)
+            else:
+                resilience.increment("breaker_fastfail")
+                records[index] = self._breaker_record(key, kind)
+
+        chain = self._mode_chain(len(work))
+        for position, mode in enumerate(chain):
+            todo = [index for index in work if index not in records]
+            if not todo:
+                break
+            try:
+                self._compute_mode(mode, pending, todo, records, resilience)
+                break
+            except _PoolDegraded as degraded:
+                remaining = [i for i in todo if i not in records]
+                if position + 1 < len(chain):
+                    resilience.increment("degradations")
+                    events.append(
+                        {
+                            "from": mode,
+                            "to": chain[position + 1],
+                            "reason": degraded.reason,
+                        }
+                    )
+                else:
+                    # Fallback disabled (or nowhere left to go): the
+                    # remaining requests become structured pool errors.
+                    for index in remaining:
+                        key, payload = pending[index]
+                        resilience.increment("pool_errors")
+                        records[index] = self._infra_record(
+                            key,
+                            payload.get("kind"),
+                            "PoolBrokenError",
+                            f"executor pool broke ({degraded.reason}) and "
+                            "fallback is disabled",
+                        )
+        return (
+            [records[index] for index in range(len(pending))],
+            resilience.as_dict(),
+            events,
         )
+
+    def _mode_chain(self, work_items: int) -> List[str]:
+        jobs = min(self.config.jobs, max(work_items, 1))
+        if jobs <= 1:
+            return ["serial"]
+        if not self.config.fallback:
+            return [self.config.executor]
+        if self.config.executor == "process":
+            return ["process", "thread", "serial"]
+        return ["thread", "serial"]
+
+    def _compute_mode(
+        self,
+        mode: str,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        todo: Sequence[int],
+        records: Dict[int, Dict[str, Any]],
+        resilience: CounterRegistry,
+    ) -> None:
+        if mode == "serial":
+            self._compute_serial(pending, todo, records, resilience)
+        else:
+            self._compute_pooled(mode, pending, todo, records, resilience)
+
+    def _compute_serial(
+        self,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        todo: Sequence[int],
+        records: Dict[int, Dict[str, Any]],
+        resilience: CounterRegistry,
+    ) -> None:
+        # Serial execution sees breaker trips immediately, so a kind that
+        # turns hopeless mid-batch starts failing fast mid-batch.
+        probed: Set[str] = set()
+        deadline = self.config.deadline_seconds
+        for index in todo:
+            key, payload = pending[index]
+            kind = payload.get("kind")
+            if not self._breaker_allows(kind, probed):
+                resilience.increment("breaker_fastfail")
+                records[index] = self._breaker_record(key, kind)
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                record = self._observe(
+                    run_payload(payload, deadline), resilience
+                )
+                category = record_category(record)
+                if category is None or not self.retry_policy.should_retry(
+                    category, attempt
+                ):
+                    break
+                resilience.increment("retries")
+                self.retry_policy.backoff(attempt + 1, key)
+            self._finish(index, kind, record, records)
+
+    def _compute_pooled(
+        self,
+        mode: str,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        todo: Sequence[int],
+        records: Dict[int, Dict[str, Any]],
+        resilience: CounterRegistry,
+    ) -> None:
+        deadline = self.config.deadline_seconds
+        wait_timeout = (
+            None if deadline is None else deadline + _DEADLINE_GRACE
+        )
+        jobs = min(self.config.jobs, len(todo))
+        pool = self._make_pool(mode, jobs)
+        futures: Dict[int, Future] = {}
+        attempts: Dict[int, int] = {}
         try:
-            with pool_cls(max_workers=jobs) as pool:
-                return list(pool.map(run_payload, payloads))
-        except Exception:  # pool infrastructure failure (not request errors)
-            self.counters.increment("pool_failures")
-            return [run_payload(payload) for payload in payloads]
+            for index in todo:
+                attempts[index] = 1
+                futures[index] = self._submit(
+                    pool, pending[index][1], deadline
+                )
+            for index in todo:
+                key, payload = pending[index]
+                kind = payload.get("kind")
+                while True:
+                    try:
+                        record = futures[index].result(timeout=wait_timeout)
+                    except FutureTimeoutError:
+                        resilience.increment("timeouts")
+                        record = self._infra_record(
+                            key,
+                            kind,
+                            "DeadlineExceededError",
+                            f"request exceeded its {deadline:.3f}s deadline"
+                            " (preempted by the engine)",
+                        )
+                        futures[index].cancel()
+                        if mode == "process":
+                            # The worker holding this request never
+                            # yielded: kill the workers and respawn the
+                            # pool so the rest of the batch isn't hostage.
+                            resilience.increment("pool_respawns")
+                            pool = self._respawn_pool(
+                                pool, jobs, pending, todo, records,
+                                futures, exclude=index,
+                            )
+                    except BrokenExecutor as exc:
+                        raise _PoolDegraded(type(exc).__name__) from exc
+                    else:
+                        record = self._observe(record, resilience)
+                    category = record_category(record)
+                    if category is None or not self.retry_policy.should_retry(
+                        category, attempts[index]
+                    ):
+                        break
+                    resilience.increment("retries")
+                    attempts[index] += 1
+                    self.retry_policy.backoff(attempts[index], key)
+                    futures[index] = self._submit(pool, payload, deadline)
+                self._finish(index, kind, record, records)
+        finally:
+            # Thread pools may still hold a hung worker past its deadline;
+            # don't block the batch on it.
+            pool.shutdown(wait=(mode == "process"), cancel_futures=True)
+
+    def _submit(
+        self,
+        pool: Any,
+        payload: Dict[str, Any],
+        deadline: Optional[float],
+    ) -> Future:
+        try:
+            return pool.submit(run_payload, payload, deadline)
+        except BrokenExecutor as exc:
+            raise _PoolDegraded(type(exc).__name__) from exc
+        except RuntimeError as exc:  # submit on a shut-down pool
+            raise _PoolDegraded(type(exc).__name__) from exc
+
+    def _make_pool(self, mode: str, jobs: int) -> Any:
+        if mode == "process":
+            mp_context = None
+            if self.config.start_method is not None:
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context(
+                    self.config.start_method
+                )
+            try:
+                return ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=mp_context
+                )
+            except Exception as exc:  # e.g. no /dev/shm, sandboxed fork
+                raise _PoolDegraded(type(exc).__name__) from exc
+        return ThreadPoolExecutor(max_workers=jobs)
+
+    def _respawn_pool(
+        self,
+        pool: Any,
+        jobs: int,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        todo: Sequence[int],
+        records: Dict[int, Dict[str, Any]],
+        futures: Dict[int, Future],
+        exclude: int,
+    ) -> Any:
+        """Terminate a process pool's workers and resubmit in-flight work.
+
+        Completed futures keep their results; everything else (except
+        ``exclude``, whose retry loop handles its own resubmission) is
+        resubmitted to the fresh pool.
+        """
+
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        fresh = self._make_pool("process", jobs)
+        deadline = self.config.deadline_seconds
+        for index in todo:
+            if index in records or index == exclude:
+                continue
+            future = futures.get(index)
+            if (
+                future is not None
+                and future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                continue  # finished before the respawn; result is safe
+            futures[index] = self._submit(fresh, pending[index][1], deadline)
+        return fresh
+
+    def _observe(
+        self, record: Dict[str, Any], resilience: CounterRegistry
+    ) -> Dict[str, Any]:
+        """Verify a worker record's integrity and count notable outcomes."""
+        record = self._verify_integrity(record, resilience)
+        if not record.get("ok"):
+            error = record.get("error") or {}
+            if error.get("type") == "DeadlineExceededError":
+                resilience.increment("timeouts")
+        return record
+
+    def _verify_integrity(
+        self, record: Dict[str, Any], resilience: CounterRegistry
+    ) -> Dict[str, Any]:
+        digest = record.pop("integrity", None)
+        if not record.get("ok") or digest is None:
+            return record
+        if digest == result_digest(record.get("result")):
+            return record
+        resilience.increment("corrupt_results")
+        return self._infra_record(
+            record.get("key"),
+            record.get("kind"),
+            "CorruptResultError",
+            "result record failed its integrity check in transit",
+            seconds=record.get("seconds", 0.0),
+        )
+
+    def _finish(
+        self,
+        index: int,
+        kind: Optional[str],
+        record: Dict[str, Any],
+        records: Dict[int, Dict[str, Any]],
+    ) -> None:
+        category = record_category(record)
+        if category is None:
+            self.breaker.record_success(kind)
+        else:
+            self.breaker.record_failure(kind, category)
+        records[index] = record
+
+    def _breaker_allows(self, kind: Optional[str], probed: Set[str]) -> bool:
+        """Gate a request on the breaker, letting one probe per kind by."""
+        if not self.breaker.is_open(kind):
+            return True
+        if kind not in probed:
+            probed.add(kind)
+            return True
+        return False
+
+    def _breaker_record(
+        self, key: Optional[str], kind: Optional[str]
+    ) -> Dict[str, Any]:
+        return {
+            "key": key,
+            "kind": kind,
+            "ok": False,
+            "error": {
+                "type": "CircuitOpenError",
+                "message": (
+                    f"circuit open for kind {kind!r} after "
+                    f"{self.breaker.threshold} consecutive permanent "
+                    "failures; failing fast"
+                ),
+                "category": PERMANENT,
+            },
+            "seconds": 0.0,
+        }
+
+    @staticmethod
+    def _infra_record(
+        key: Optional[str],
+        kind: Optional[str],
+        error_type: str,
+        message: str,
+        seconds: float = 0.0,
+    ) -> Dict[str, Any]:
+        return {
+            "key": key,
+            "kind": kind,
+            "ok": False,
+            "error": {
+                "type": error_type,
+                "message": message,
+                "category": TRANSIENT,
+            },
+            "seconds": seconds,
+        }
 
     # ------------------------------------------------------------------
     # Cache persistence
     # ------------------------------------------------------------------
     def save_cache(self, path: str) -> int:
-        """Write the cache to a JSON file (LRU order); returns entry count."""
+        """Write the cache to a JSON file (LRU order); returns entry count.
+
+        Crash-safe: the payload is written to a temporary file in the
+        target directory, fsynced, and atomically :func:`os.replace`-d
+        into place, so a crash mid-write can never leave a half-written
+        cache where the next run would trip over it.
+        """
+
         items: List[Tuple[str, Dict[str, Any]]] = [
             (key, value) for key, value in self.cache.items()
         ]
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump({"version": 1, "entries": items}, handle)
+        payload = {"version": CACHE_SCHEMA_VERSION, "entries": items}
+        target = os.path.abspath(path)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".",
+            suffix=".tmp",
+            dir=os.path.dirname(target),
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         return len(items)
 
     def load_cache(self, path: str) -> int:
-        """Warm the cache from a JSON file; returns entries loaded."""
+        """Warm the cache from a JSON file; returns entries loaded.
+
+        Unknown schema versions fail loud (a format change must never be
+        silently misread as an empty or garbled cache); corrupt files
+        raise ``ValueError`` for the caller to handle.
+        """
+
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         if not isinstance(payload, dict) or "entries" not in payload:
             raise ValueError(f"malformed cache file {path!r}")
+        version = payload.get("version")
+        if version not in _COMPATIBLE_CACHE_VERSIONS:
+            raise ValueError(
+                f"cache file {path!r} has schema version {version!r}; "
+                f"this build supports {_COMPATIBLE_CACHE_VERSIONS}"
+            )
         entries = payload["entries"]
         if not isinstance(entries, list):
             raise ValueError(f"malformed cache file {path!r}")

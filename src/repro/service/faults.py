@@ -1,0 +1,342 @@
+"""Deterministic fault injection for the batch service.
+
+The resilience layer (retries, deadlines, degradation) is only as
+trustworthy as the failures it has been proven against.  This module
+injects failures *deterministically* -- selection is by request-key
+pattern and seeded hash, never by wall clock or global randomness -- so a
+faulty run is exactly reproducible and byte-identical across ``--jobs``
+settings.
+
+Spec grammar (``;``-separated clauses)::
+
+    SPEC   := CLAUSE (";" CLAUSE)*
+    CLAUSE := ACTION ":" PATTERN (":" KEY "=" VALUE)*
+    ACTION := "raise" | "delay" | "crash" | "corrupt"
+
+``PATTERN`` is an :mod:`fnmatch` glob matched against the request kind
+(``intra``), the request key (a SHA-256 hex digest, so prefixes like
+``ab12*`` work), and ``kind:key``.  Options:
+
+=============  ==========================================================
+``times=N``    inject only the first N attempts *per request key, per
+               process* (default: every attempt)
+``seconds=S``  sleep duration for ``delay`` (default 0.05)
+``hard=1``     ``delay`` ignores cooperative deadline checks -- simulates
+               a worker that never yields (tests preemptive timeouts)
+``category=C`` ``raise`` category: ``transient`` or ``permanent``
+               (default transient, so retry paths get exercised)
+``p=F``        inject with probability F, decided by a seeded hash of
+               the request key (deterministic per key)
+``seed=N``     seed for ``p`` (default 0)
+=============  ==========================================================
+
+Actions:
+
+* ``raise``   -- raise :class:`~repro.service.errors.InjectedFaultError`
+* ``delay``   -- sleep ``seconds``, checking the cooperative deadline in
+  slices (unless ``hard=1``)
+* ``crash``   -- die like a real worker: ``os._exit`` inside a process
+  pool child (breaking the pool), :class:`WorkerCrashError` in a
+  thread/serial worker
+* ``corrupt`` -- mangle the result payload after its integrity digest is
+  taken, so the engine's checksum verification catches it
+
+Activation: :func:`set_fault_plan` (in-process), the
+:func:`injected_faults` context manager (tests), or the ``REPRO_FAULTS``
+environment variable (read lazily once per process, which is how spawned
+process-pool workers inherit the plan).  The CLI flag
+``repro batch --inject-faults`` is additionally gated on
+``REPRO_ENABLE_FAULT_INJECTION=1`` so the harness cannot be reached from
+production invocations by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import PERMANENT, TRANSIENT, InjectedFaultError, WorkerCrashError
+from .resilience import Deadline
+
+#: Environment variable holding an active fault spec (workers inherit it).
+FAULTS_ENV = "REPRO_FAULTS"
+#: Environment guard for the CLI dev flag.
+FAULTS_GUARD_ENV = "REPRO_ENABLE_FAULT_INJECTION"
+
+ACTIONS = ("raise", "delay", "crash", "corrupt")
+
+#: Sentinel payload a ``corrupt`` fault swaps in for the real result.
+CORRUPTED_RESULT = {"__corrupted__": True}
+
+
+class FaultSpecError(ValueError):
+    """Raised for a malformed fault-injection spec."""
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    action: str
+    pattern: str
+    times: Optional[int] = None
+    seconds: float = 0.05
+    hard: bool = False
+    category: str = TRANSIENT
+    probability: Optional[float] = None
+    seed: int = 0
+
+    def matches(self, kind: Optional[str], key: Optional[str]) -> bool:
+        candidates = [c for c in (kind, key) if c is not None]
+        if kind is not None and key is not None:
+            candidates.append(f"{kind}:{key}")
+        if not any(fnmatchcase(c, self.pattern) for c in candidates):
+            return False
+        if self.probability is not None:
+            digest = hashlib.sha256(
+                f"{self.seed}:{key or kind}".encode("utf-8")
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            if fraction >= self.probability:
+                return False
+        return True
+
+
+def _parse_clause(text: str, position: int) -> FaultClause:
+    parts = [part.strip() for part in text.split(":")]
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise FaultSpecError(
+            f"clause {position}: expected 'action:pattern[:k=v...]', "
+            f"got {text!r}"
+        )
+    action, pattern = parts[0], parts[1]
+    if action not in ACTIONS:
+        raise FaultSpecError(
+            f"clause {position}: unknown action {action!r}; "
+            f"choose from {', '.join(ACTIONS)}"
+        )
+    options: Dict[str, str] = {}
+    for raw in parts[2:]:
+        if "=" not in raw:
+            raise FaultSpecError(
+                f"clause {position}: option {raw!r} is not 'key=value'"
+            )
+        name, value = raw.split("=", 1)
+        options[name.strip()] = value.strip()
+    try:
+        times = int(options.pop("times")) if "times" in options else None
+        seconds = float(options.pop("seconds", 0.05))
+        hard = options.pop("hard", "0") not in ("0", "", "false")
+        category = options.pop("category", TRANSIENT)
+        probability = (
+            float(options.pop("p")) if "p" in options else None
+        )
+        seed = int(options.pop("seed", 0))
+    except ValueError as exc:
+        raise FaultSpecError(f"clause {position}: {exc}") from None
+    if options:
+        raise FaultSpecError(
+            f"clause {position}: unknown options {sorted(options)}"
+        )
+    if category not in (TRANSIENT, PERMANENT):
+        raise FaultSpecError(
+            f"clause {position}: category must be "
+            f"'{TRANSIENT}' or '{PERMANENT}', got {category!r}"
+        )
+    if times is not None and times < 1:
+        raise FaultSpecError(f"clause {position}: times must be >= 1")
+    if seconds < 0:
+        raise FaultSpecError(f"clause {position}: seconds must be >= 0")
+    if probability is not None and not 0.0 <= probability <= 1.0:
+        raise FaultSpecError(f"clause {position}: p must be in [0, 1]")
+    return FaultClause(
+        action=action,
+        pattern=pattern,
+        times=times,
+        seconds=seconds,
+        hard=hard,
+        category=category,
+        probability=probability,
+        seed=seed,
+    )
+
+
+def parse_fault_spec(spec: str) -> "FaultPlan":
+    """Parse a spec string into an executable :class:`FaultPlan`."""
+    clauses = [
+        _parse_clause(chunk.strip(), position)
+        for position, chunk in enumerate(spec.split(";"))
+        if chunk.strip()
+    ]
+    if not clauses:
+        raise FaultSpecError(f"empty fault spec {spec!r}")
+    return FaultPlan(clauses, spec=spec)
+
+
+class FaultPlan:
+    """An active set of fault clauses with per-key injection counters.
+
+    Counters are per ``(clause, request key)`` and per process: a clause
+    with ``times=1`` faults the first attempt of each matching request in
+    each process, then stands aside -- which is exactly the shape needed
+    to prove retry-then-succeed paths.
+    """
+
+    def __init__(self, clauses: List[FaultClause], spec: str = ""):
+        self.clauses = list(clauses)
+        self.spec = spec
+        self._counts: Dict[Tuple[int, str], int] = {}
+        self._lock = threading.Lock()
+
+    def _consume(
+        self, index: int, clause: FaultClause, key: Optional[str]
+    ) -> bool:
+        """Check the ``times`` budget for (clause, key) and spend one."""
+        if clause.times is None:
+            return True
+        counter_key = (index, key or "")
+        with self._lock:
+            used = self._counts.get(counter_key, 0)
+            if used >= clause.times:
+                return False
+            self._counts[counter_key] = used + 1
+            return True
+
+    def apply(
+        self,
+        kind: Optional[str],
+        key: Optional[str],
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        """Run raise/delay/crash clauses matching this request attempt."""
+        for index, clause in enumerate(self.clauses):
+            if clause.action == "corrupt":
+                continue
+            if not clause.matches(kind, key):
+                continue
+            if not self._consume(index, clause, key):
+                continue
+            if clause.action == "raise":
+                raise InjectedFaultError(
+                    f"injected fault for {kind or '?'} "
+                    f"(pattern {clause.pattern!r})",
+                    category=clause.category,
+                )
+            if clause.action == "crash":
+                self._crash(kind)
+            elif clause.action == "delay":
+                self._delay(clause, deadline)
+
+    def should_corrupt(self, kind: Optional[str], key: Optional[str]) -> bool:
+        """Whether a ``corrupt`` clause claims this (successful) attempt."""
+        for index, clause in enumerate(self.clauses):
+            if clause.action != "corrupt":
+                continue
+            if not clause.matches(kind, key):
+                continue
+            if self._consume(index, clause, key):
+                return True
+        return False
+
+    @staticmethod
+    def _crash(kind: Optional[str]) -> None:
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            # A real worker crash: kill this pool child without cleanup,
+            # which surfaces as BrokenProcessPool in the engine.
+            os._exit(87)
+        raise WorkerCrashError(
+            f"injected worker crash for {kind or '?'} (in-process worker)"
+        )
+
+    @staticmethod
+    def _delay(clause: FaultClause, deadline: Optional[Deadline]) -> None:
+        if clause.hard or deadline is None:
+            time.sleep(clause.seconds)
+            return
+        # Cooperative delay: sleep in slices, honoring the deadline the
+        # way a well-behaved long computation would.
+        remaining = clause.seconds
+        while remaining > 0:
+            deadline.check("injected delay")
+            slice_seconds = min(remaining, 0.01)
+            time.sleep(slice_seconds)
+            remaining -= slice_seconds
+        if deadline is not None:
+            deadline.check("injected delay")
+
+
+# ----------------------------------------------------------------------
+# Per-process activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_ENV_CHECKED = False
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-wide fault plan."""
+    global _ACTIVE, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        _ACTIVE = plan
+        # An explicit set (even to None) overrides env discovery.
+        _ENV_CHECKED = True
+
+
+def reset_fault_state() -> None:
+    """Forget any plan *and* re-enable env discovery (test isolation)."""
+    global _ACTIVE, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        _ACTIVE = None
+        _ENV_CHECKED = False
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process-wide plan, discovering ``REPRO_FAULTS`` lazily once.
+
+    Lazy env discovery is what lets *spawned* process-pool workers (fresh
+    interpreters that re-import this module) pick up the plan: the parent
+    exports the spec into the environment and each child parses it on its
+    first request.
+    """
+
+    global _ACTIVE, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        if not _ENV_CHECKED:
+            _ENV_CHECKED = True
+            spec = os.environ.get(FAULTS_ENV)
+            if spec:
+                _ACTIVE = parse_fault_spec(spec)
+        return _ACTIVE
+
+
+@contextmanager
+def injected_faults(spec: str, export_env: bool = False) -> Iterator[FaultPlan]:
+    """Context manager installing a plan for the duration of a block.
+
+    ``export_env=True`` additionally exports the spec to ``REPRO_FAULTS``
+    so process-pool children (including spawn-start-method ones) inherit
+    it.
+    """
+
+    plan = parse_fault_spec(spec)
+    previous_env = os.environ.get(FAULTS_ENV)
+    set_fault_plan(plan)
+    if export_env:
+        os.environ[FAULTS_ENV] = spec
+    try:
+        yield plan
+    finally:
+        reset_fault_state()
+        if export_env:
+            if previous_env is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = previous_env

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict
+from typing import Dict, Mapping
 
 
 class Stopwatch:
@@ -51,6 +51,12 @@ class CounterRegistry:
     def value(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Fold another registry's counts in (e.g. per-batch -> engine)."""
+        with self._lock:
+            for name, amount in other.items():
+                self._counters[name] = self._counters.get(name, 0) + amount
 
     def as_dict(self) -> Dict[str, int]:
         with self._lock:

@@ -60,6 +60,11 @@ class BatchReport:
     computed: int
     deduplicated: int
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-batch resilience counters (retries, timeouts, breaker trips...).
+    resilience: Dict[str, int] = field(default_factory=dict)
+    #: Executor degradation events, e.g. {"from": "process", "to":
+    #: "thread", "reason": "BrokenProcessPool"} -- empty on a clean run.
+    degradations: List[Dict[str, str]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -104,6 +109,8 @@ class BatchReport:
             "kinds": dict(sorted(kinds.items())),
             "cache": self.cache.as_dict(),
             "counters": dict(sorted(self.counters.items())),
+            "resilience": dict(sorted(self.resilience.items())),
+            "degradations": list(self.degradations),
         }
 
     def to_json(self) -> str:
@@ -131,4 +138,15 @@ class BatchReport:
             f" size={cache['size']}/{cache['maxsize']}"
             f" hit_rate={cache['hit_rate']:.1%}",
         ]
+        resilience = summary["resilience"]
+        if any(resilience.values()) or summary["degradations"]:
+            lines.append(
+                "resilience    : "
+                + " ".join(f"{k}={v}" for k, v in resilience.items())
+            )
+        for event in summary["degradations"]:
+            lines.append(
+                f"degraded      : {event['from']} -> {event['to']}"
+                f" ({event['reason']})"
+            )
         return "\n".join(lines)

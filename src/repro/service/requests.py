@@ -22,11 +22,20 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 class RequestError(ValueError):
-    """Raised for malformed or unknown analysis requests."""
+    """Raised for malformed or unknown analysis requests.
+
+    ``kind`` carries the request kind when it was recognizable, so the
+    service's circuit breaker can attribute parse failures to a kind
+    even though the request never reached a worker.
+    """
+
+    def __init__(self, message: str, kind: Optional[str] = None):
+        super().__init__(message)
+        self.kind = kind
 
 
 #: Per-kind parameter schema: name -> (type, required, default).
@@ -99,19 +108,22 @@ def _coerce(kind: str, name: str, spec: str, value: Any) -> Any:
         if isinstance(value, bool) or not isinstance(value, int):
             raise RequestError(
                 f"{kind} request: param {name!r} must be an integer, "
-                f"got {value!r}"
+                f"got {value!r}",
+                kind=kind,
             )
         return int(value)
     if spec == _BOOL:
         if not isinstance(value, bool):
             raise RequestError(
                 f"{kind} request: param {name!r} must be a boolean, "
-                f"got {value!r}"
+                f"got {value!r}",
+                kind=kind,
             )
         return bool(value)
     if not isinstance(value, str):
         raise RequestError(
-            f"{kind} request: param {name!r} must be a string, got {value!r}"
+            f"{kind} request: param {name!r} must be a string, got {value!r}",
+            kind=kind,
         )
     return str(value)
 
@@ -135,17 +147,24 @@ def parse_request(payload: Mapping[str, Any]) -> AnalysisRequest:
     if raw is None:
         raw = {key: value for key, value in payload.items() if key != "kind"}
     if not isinstance(raw, Mapping):
-        raise RequestError(f"{kind} request: params must be a mapping")
+        raise RequestError(
+            f"{kind} request: params must be a mapping", kind=kind
+        )
     schema = _SCHEMAS[kind]
     unknown = sorted(set(raw) - set(schema))
     if unknown:
-        raise RequestError(f"{kind} request: unknown params {unknown}")
+        raise RequestError(
+            f"{kind} request: unknown params {unknown}", kind=kind
+        )
     params: Dict[str, Any] = {}
     for name, (spec, required, default) in schema.items():
         if name in raw:
             params[name] = _coerce(kind, name, spec, raw[name])
         elif required:
-            raise RequestError(f"{kind} request: missing required param {name!r}")
+            raise RequestError(
+                f"{kind} request: missing required param {name!r}",
+                kind=kind,
+            )
         else:
             params[name] = default
     return AnalysisRequest(

@@ -1,0 +1,154 @@
+"""Retry, deadline, and circuit-breaker policies for the batch engine.
+
+Three small, independently testable mechanisms:
+
+* :class:`RetryPolicy` -- bounded attempts with exponential backoff and
+  *deterministic* jitter (hashed from the request key and attempt number,
+  never from a random source or the wall clock), so retry schedules are
+  reproducible run to run.  ``sleep`` is injectable so tests never wait.
+* :class:`Deadline` -- a monotonic-clock budget for one request.  The
+  engine enforces it preemptively for process pools
+  (``future.result(timeout=...)`` plus worker respawn) and cooperatively
+  for threads/serial (workers call :meth:`Deadline.check` at safe points,
+  since a thread cannot be killed).
+* :class:`CircuitBreaker` -- per-request-kind consecutive-failure
+  counting.  After ``threshold`` consecutive *permanent* failures of one
+  kind, further requests of that kind fail fast with a structured
+  :class:`~repro.service.errors.CircuitOpenError` record instead of
+  burning pool slots; one success closes the circuit again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .errors import TRANSIENT, DeadlineExceededError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``max_attempts`` counts total attempts (1 = no retries).  The delay
+    before attempt ``n`` (n >= 2) is ``base_delay * 2**(n-2)`` scaled by a
+    jitter factor in ``[1, 1+jitter]`` derived from SHA-256 of
+    ``key:attempt`` -- deterministic for a given request, decorrelated
+    across requests -- and capped at ``max_delay``.
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def should_retry(self, category: Optional[str], attempt: int) -> bool:
+        """Retry only transient failures with attempts remaining."""
+        return category == TRANSIENT and attempt < self.max_attempts
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Deterministic backoff before ``attempt`` (attempt >= 2)."""
+        if attempt <= 1 or self.base_delay <= 0:
+            return 0.0
+        raw = self.base_delay * (2.0 ** (attempt - 2))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return min(raw * (1.0 + self.jitter * fraction), self.max_delay)
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Sleep the deterministic delay; returns the seconds slept."""
+        delay = self.delay_for(attempt, key)
+        if delay > 0:
+            self.sleep(delay)
+        return delay
+
+
+class Deadline:
+    """A per-request time budget on the monotonic clock.
+
+    ``Deadline(None)`` is an unlimited deadline: never expires, infinite
+    remaining budget -- so call sites need no None-handling.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        if seconds is not None and seconds <= 0:
+            raise ValueError("deadline seconds must be positive")
+        self.seconds = seconds
+        self._started = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._started
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, label: str = "request") -> None:
+        """Cooperative checkpoint: raise if the budget is spent."""
+        if self.expired():
+            # No elapsed time in the message: deadline errors land in the
+            # deterministic result stream, which must stay byte-identical
+            # across runs and --jobs settings.
+            raise DeadlineExceededError(
+                f"{label} exceeded its {self.seconds:.3f}s deadline"
+            )
+
+
+class CircuitBreaker:
+    """Per-request-kind fail-fast after consecutive permanent failures.
+
+    ``threshold <= 0`` disables the breaker entirely (every request is
+    allowed; nothing is counted).  The breaker is deliberately simple --
+    no half-open timer, since the service is batch-oriented: any success
+    of a kind closes its circuit, and the engine re-probes by letting the
+    *first* request of an open kind per batch through.
+    """
+
+    def __init__(self, threshold: int = 0):
+        if threshold < 0:
+            raise ValueError("breaker threshold must be non-negative")
+        self.threshold = threshold
+        self._consecutive: Dict[str, int] = {}
+        self._open_kinds: Dict[str, bool] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def is_open(self, kind: Optional[str]) -> bool:
+        if not self.enabled or kind is None:
+            return False
+        return self._consecutive.get(kind, 0) >= self.threshold
+
+    def record_success(self, kind: Optional[str]) -> None:
+        if self.enabled and kind is not None:
+            self._consecutive[kind] = 0
+
+    def record_failure(self, kind: Optional[str], category: str) -> None:
+        """Count permanent failures; transient ones don't trip circuits."""
+        if not self.enabled or kind is None:
+            return
+        if category == TRANSIENT:
+            return
+        self._consecutive[kind] = self._consecutive.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Consecutive-permanent-failure counts per kind (for reports)."""
+        return {
+            kind: count
+            for kind, count in sorted(self._consecutive.items())
+            if count > 0
+        }

@@ -10,12 +10,21 @@ never raises, so one poisoned request can never kill a batch.
 Results contain only deterministic JSON-able data (no timings, no object
 ids), which is what makes ``--jobs 1`` and ``--jobs 4`` batch outputs
 byte-identical and cache entries portable across processes.
+
+Resilience hooks: each attempt honors a *cooperative* per-request
+deadline (checked between parse and execute -- a thread cannot be
+preempted, so well-behaved workers self-enforce), routes through the
+process-wide fault-injection plan when one is active, and stamps
+successful records with an integrity digest so the engine can detect a
+corrupted result envelope and retry it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..arch import ALL_PLATFORMS, MemorySpec, evaluate_graph
 from ..core import decide_fusion, optimize_graph, optimize_intra
@@ -24,7 +33,10 @@ from ..dataflow.cost import PartialSumConvention
 from ..dataflow.serialize import dataflow_to_dict
 from ..ir import matmul
 from ..workloads import build_layer_graph, model_by_name
+from .errors import classify_exception
+from .faults import CORRUPTED_RESULT, active_fault_plan
 from .requests import AnalysisRequest, parse_request, request_key
+from .resilience import Deadline
 
 #: Platform used to normalize comparison rows (the paper's baseline).
 COMPARE_BASELINE = "TPUv4i"
@@ -166,12 +178,35 @@ _EXECUTORS = {
 }
 
 
-def execute_request(request: AnalysisRequest) -> Dict[str, Any]:
-    """Execute one canonical request; raises on failure."""
+def execute_request(
+    request: AnalysisRequest, deadline: Optional[Deadline] = None
+) -> Dict[str, Any]:
+    """Execute one canonical request; raises on failure.
+
+    This is the fault-injection point: when a plan is active (set
+    in-process or inherited via ``REPRO_FAULTS``), matching raise /
+    delay / crash clauses fire here, before the real computation.
+    """
+
+    key = request_key(request)
+    plan = active_fault_plan()
+    if plan is not None:
+        plan.apply(request.kind, key, deadline)
+    if deadline is not None:
+        deadline.check(f"{request.kind} request")
     return _EXECUTORS[request.kind](request.param_dict)
 
 
-def run_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
+def result_digest(result: Any) -> str:
+    """Integrity digest of a result payload (canonical JSON, SHA-256)."""
+    canonical = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def run_payload(
+    payload: Mapping[str, Any],
+    deadline_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
     """Parse + execute a raw request payload with full error capture.
 
     Returns a record shaped for the batch output stream::
@@ -179,26 +214,52 @@ def run_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
         {"key": ..., "kind": ..., "ok": true,  "result": {...}, "seconds": ...}
         {"key": ..., "kind": ..., "ok": false, "error": {...},  "seconds": ...}
 
-    ``seconds`` (monotonic wall time of this evaluation) is stripped from
-    the deterministic output stream by the report layer.
+    ``seconds`` (monotonic wall time of this evaluation) and ``integrity``
+    (digest of ``result``, verified by the engine) are stripped from the
+    deterministic output stream by the engine/report layers.  Error dicts
+    carry a ``category`` field (transient/permanent) so retry decisions
+    survive process boundaries.
+
+    ``deadline_seconds`` starts this attempt's cooperative deadline: the
+    budget is enforced at safe points here and inside injected delays;
+    preemptive enforcement (for workers that never yield) is the engine's
+    job.
     """
 
     started = time.monotonic()
+    deadline = (
+        Deadline(deadline_seconds) if deadline_seconds is not None else None
+    )
     kind = payload.get("kind") if isinstance(payload, Mapping) else None
     try:
         request = parse_request(payload)
+        if deadline is not None:
+            deadline.check(f"{request.kind} request")
+        result = execute_request(request, deadline)
         record: Dict[str, Any] = {
             "key": request_key(request),
             "kind": request.kind,
             "ok": True,
-            "result": execute_request(request),
+            "result": result,
+            "integrity": result_digest(result),
         }
+        plan = active_fault_plan()
+        if plan is not None and plan.should_corrupt(
+            request.kind, record["key"]
+        ):
+            # Mangle *after* the digest is taken, so the engine's
+            # integrity check catches the corruption in transit.
+            record["result"] = dict(CORRUPTED_RESULT)
     except Exception as exc:  # noqa: BLE001 - error isolation by design
         record = {
             "key": None,
             "kind": kind if isinstance(kind, str) else None,
             "ok": False,
-            "error": {"type": type(exc).__name__, "message": str(exc)},
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "category": classify_exception(exc),
+            },
         }
     record["seconds"] = time.monotonic() - started
     return record

@@ -107,8 +107,11 @@ class TestBatchCommand:
         assert "ignoring unreadable cache file" in captured.err
         assert json.loads(captured.out.strip())["ok"] is True
         # The save pass repairs the file for the next run.
+        from repro.service import CACHE_SCHEMA_VERSION
+
         persisted = json.loads(cache_file.read_text(encoding="utf-8"))
-        assert persisted["version"] == 1 and len(persisted["entries"]) == 1
+        assert persisted["version"] == CACHE_SCHEMA_VERSION
+        assert len(persisted["entries"]) == 1
 
     def test_malformed_line_isolated(self, tmp_path, capsys):
         requests = tmp_path / "requests.jsonl"
@@ -125,6 +128,94 @@ class TestBatchCommand:
             for line in capsys.readouterr().out.strip().splitlines()
         ]
         assert [r["ok"] for r in records] == [False, True]
+
+
+class TestResilienceCli:
+    """``--strict``, fault injection arming, and ``repro selfcheck``."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_fault_state(self, monkeypatch):
+        from repro.service import FAULTS_ENV, reset_fault_state
+
+        # Pre-seat the variable so monkeypatch restores it even though the
+        # CLI (not the test) is what overwrites it.
+        monkeypatch.setenv(FAULTS_ENV, "")
+        reset_fault_state()
+        yield
+        reset_fault_state()
+
+    def test_strict_turns_errors_into_exit_code(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        total = _write_requests(requests)
+        assert main(["batch", str(requests)]) == 0  # default: report only
+        relaxed = capsys.readouterr()
+        assert f"1 of {total} request(s) failed" in relaxed.err
+        assert main(["batch", str(requests), "--strict"]) == 1
+        strict = capsys.readouterr()
+        assert strict.out == relaxed.out  # same records either way
+
+    def test_error_count_printed_with_stats(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        total = _write_requests(requests)
+        assert main(["batch", str(requests), "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "batch summary" in err
+        assert f"1 of {total} request(s) failed" in err
+
+    def test_inject_faults_requires_guard_env(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.service import FAULTS_GUARD_ENV
+
+        monkeypatch.delenv(FAULTS_GUARD_ENV, raising=False)
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        rc = main(["batch", str(requests), "--inject-faults", "raise:*"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert FAULTS_GUARD_ENV in captured.err
+        assert captured.out == ""  # refused before running anything
+
+    def test_inject_faults_rejects_bad_spec(self, tmp_path, capsys,
+                                            monkeypatch):
+        from repro.service import FAULTS_GUARD_ENV
+
+        monkeypatch.setenv(FAULTS_GUARD_ENV, "1")
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        rc = main(["batch", str(requests), "--inject-faults", "explode:*"])
+        assert rc == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_inject_faults_armed_and_retried(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.service import FAULTS_GUARD_ENV
+
+        monkeypatch.setenv(FAULTS_GUARD_ENV, "1")
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"kind": "intra", "m": 64, "k": 32, "l": 48,
+                        "buffer_elems": 4096}) + "\n",
+            encoding="utf-8",
+        )
+        rc = main([
+            "batch", str(requests), "--strict", "--stats",
+            "--max-attempts", "2",
+            "--inject-faults", "raise:intra*:times=1:category=transient",
+        ])
+        assert rc == 0  # the injected transient fault was retried away
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip())["ok"] is True
+        assert "retries=1" in captured.err
+
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "selfcheck ok" in capsys.readouterr().out
+
+    def test_selfcheck_stats(self, capsys):
+        assert main(["selfcheck", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "selfcheck ok" in captured.out
+        assert "batch summary" in captured.err
 
 
 class TestEngineRoutedHarnesses:

@@ -1,0 +1,511 @@
+"""Tests for the service resilience layer.
+
+Covers the error taxonomy, retry/deadline/breaker policies, graceful
+executor degradation, crash-safe cache persistence, and the deterministic
+fault-injection harness that proves each failure mode end to end.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import InfeasibleError
+from repro.service import (
+    CACHE_SCHEMA_VERSION,
+    PERMANENT,
+    TRANSIENT,
+    BatchEngine,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceededError,
+    EngineConfig,
+    FaultSpecError,
+    InjectedFaultError,
+    RequestError,
+    RetryPolicy,
+    WorkerCrashError,
+    classify_error_name,
+    classify_exception,
+    injected_faults,
+    intra_request,
+    parse_fault_spec,
+    record_category,
+    request_key,
+    reset_fault_state,
+    sweep_point_request,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_state(monkeypatch):
+    """No fault plan (or leaked REPRO_FAULTS) bleeds between tests."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "exc, category",
+        [
+            (InfeasibleError("no tiling fits"), PERMANENT),
+            (RequestError("bad request"), PERMANENT),
+            (KeyError("unknown model"), PERMANENT),
+            (DeadlineExceededError("too slow"), TRANSIENT),
+            (WorkerCrashError("boom"), TRANSIENT),
+            (TimeoutError("pool timeout"), TRANSIENT),
+            (InjectedFaultError("x", category=TRANSIENT), TRANSIENT),
+            (InjectedFaultError("x", category=PERMANENT), PERMANENT),
+        ],
+    )
+    def test_classify_exception(self, exc, category):
+        assert classify_exception(exc) == category
+
+    def test_classify_by_name(self):
+        assert classify_error_name("BrokenProcessPool") == TRANSIENT
+        assert classify_error_name("DeadlineExceededError") == TRANSIENT
+        assert classify_error_name("KeyError") == PERMANENT
+        assert classify_error_name(None) == PERMANENT
+
+    def test_record_category(self):
+        assert record_category({"ok": True, "result": {}}) is None
+        explicit = {"ok": False, "error": {"type": "X", "category": TRANSIENT}}
+        assert record_category(explicit) == TRANSIENT
+        # Legacy records (no category field) classify by type name.
+        legacy = {"ok": False, "error": {"type": "WorkerCrashError"}}
+        assert record_category(legacy) == TRANSIENT
+        assert record_category({"ok": False, "error": {"type": "ValueError"}}) == PERMANENT
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+    def test_should_retry_only_transient_with_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(TRANSIENT, 1)
+        assert policy.should_retry(TRANSIENT, 2)
+        assert not policy.should_retry(TRANSIENT, 3)
+        assert not policy.should_retry(PERMANENT, 1)
+        assert not policy.should_retry(None, 1)
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, max_delay=0.35, jitter=0.5
+        )
+        first = policy.delay_for(2, key="abc")
+        assert first == policy.delay_for(2, key="abc")  # deterministic
+        assert 0.1 <= first <= 0.15
+        # Jitter decorrelates across keys.
+        assert first != policy.delay_for(2, key="other-key")
+        # Exponential growth, capped.
+        assert policy.delay_for(4, key="abc") <= 0.35
+        assert policy.delay_for(1, key="abc") == 0.0
+
+    def test_sleep_injectable(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.25, sleep=slept.append
+        )
+        policy.backoff(2, key="k")
+        assert len(slept) == 1 and slept[0] >= 0.25
+        policy.backoff(1, key="k")  # first attempt: no delay, no sleep
+        assert len(slept) == 1
+
+
+class TestDeadline:
+    def test_unlimited(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # never raises
+
+    def test_expiry(self):
+        deadline = Deadline(0.0001)
+        while not deadline.expired():
+            pass
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("unit test")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestCircuitBreaker:
+    def test_disabled_by_default(self):
+        breaker = CircuitBreaker(0)
+        for _ in range(10):
+            breaker.record_failure("intra", PERMANENT)
+        assert not breaker.is_open("intra")
+
+    def test_trips_on_consecutive_permanent(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure("intra", PERMANENT)
+        assert not breaker.is_open("intra")
+        breaker.record_failure("intra", PERMANENT)
+        assert breaker.is_open("intra")
+        assert not breaker.is_open("fusion")
+        assert breaker.snapshot() == {"intra": 2}
+
+    def test_transient_failures_do_not_count(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_failure("intra", TRANSIENT)
+        assert not breaker.is_open("intra")
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_failure("intra", PERMANENT)
+        assert breaker.is_open("intra")
+        breaker.record_success("intra")
+        assert not breaker.is_open("intra")
+
+
+# ----------------------------------------------------------------------
+# Fault spec grammar
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_parse_clause_fields(self):
+        plan = parse_fault_spec(
+            "raise:intra*:times=2:category=permanent;"
+            "delay:sweep_point:seconds=0.5:hard=1;"
+            "corrupt:ab12*"
+        )
+        first, second, third = plan.clauses
+        assert (first.action, first.pattern, first.times) == (
+            "raise", "intra*", 2
+        )
+        assert first.category == PERMANENT
+        assert (second.action, second.seconds, second.hard) == (
+            "delay", 0.5, True
+        )
+        assert (third.action, third.times) == ("corrupt", None)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "explode:*",
+            "raise",
+            "raise:*:times=zero",
+            "raise:*:category=sideways",
+            "raise:*:times=0",
+            "delay:*:seconds=-1",
+            "raise:*:p=1.5",
+            "raise:*:nonsense=1",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+    def test_matches_kind_and_key(self):
+        plan = parse_fault_spec("raise:intra")
+        clause = plan.clauses[0]
+        assert clause.matches("intra", "abcd" * 16)
+        assert not clause.matches("fusion", "abcd" * 16)
+        key_plan = parse_fault_spec("raise:abcd*")
+        assert key_plan.clauses[0].matches("intra", "abcd" * 16)
+
+    def test_probability_is_deterministic_per_key(self):
+        clause = parse_fault_spec("raise:*:p=0.5:seed=7").clauses[0]
+        keys = [f"key-{i}" for i in range(64)]
+        first = [clause.matches("intra", key) for key in keys]
+        second = [clause.matches("intra", key) for key in keys]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 splits the keys
+
+    def test_times_budget_per_key(self):
+        plan = parse_fault_spec("raise:*:times=1")
+        with pytest.raises(InjectedFaultError):
+            plan.apply("intra", "key-a")
+        plan.apply("intra", "key-a")  # budget for key-a spent
+        with pytest.raises(InjectedFaultError):
+            plan.apply("intra", "key-b")  # fresh budget per key
+
+
+# ----------------------------------------------------------------------
+# Engine resilience end to end (via fault injection)
+# ----------------------------------------------------------------------
+def _requests():
+    return [
+        intra_request(64, 32, 48, 4096),
+        sweep_point_request(96, 64, 80, 1024),
+        intra_request(32, 32, 32, 2048),
+    ]
+
+
+class TestEngineResilience:
+    def test_transient_fault_retried_to_success(self):
+        with injected_faults("raise:intra*:times=1:category=transient"):
+            engine = BatchEngine(EngineConfig(jobs=1, max_attempts=2))
+            report = engine.run_batch(_requests())
+        assert all(entry.ok for entry in report.entries)
+        assert report.resilience["retries"] == 2  # two intra requests
+        assert report.counters["retries"] == 2
+
+    def test_permanent_fault_not_retried(self):
+        with injected_faults("raise:intra*:category=permanent"):
+            engine = BatchEngine(EngineConfig(jobs=1, max_attempts=3))
+            report = engine.run_batch([intra_request(64, 32, 48, 4096)])
+        error = report.entries[0].record["error"]
+        assert error["type"] == "InjectedFaultError"
+        assert error["category"] == PERMANENT
+        assert "retries" not in report.resilience
+
+    def test_retry_budget_exhausted_keeps_structured_error(self):
+        with injected_faults("raise:intra*:category=transient"):
+            engine = BatchEngine(EngineConfig(jobs=1, max_attempts=2))
+            report = engine.run_batch([intra_request(64, 32, 48, 4096)])
+        error = report.entries[0].record["error"]
+        assert error["category"] == TRANSIENT
+        assert report.resilience["retries"] == 1
+
+    def test_corrupt_result_detected_and_retried(self):
+        with injected_faults("corrupt:intra*:times=1"):
+            engine = BatchEngine(EngineConfig(jobs=1, max_attempts=2))
+            report = engine.run_batch([intra_request(64, 32, 48, 4096)])
+        assert report.entries[0].ok
+        assert report.resilience["corrupt_results"] == 1
+        assert report.resilience["retries"] == 1
+
+    def test_cooperative_deadline_serial_and_thread(self):
+        for config in (
+            EngineConfig(jobs=1, deadline_seconds=0.05),
+            EngineConfig(jobs=2, deadline_seconds=0.05),
+        ):
+            with injected_faults("delay:intra*:seconds=1.0"):
+                report = BatchEngine(config).run_batch(_requests())
+            oks = [entry.ok for entry in report.entries]
+            assert oks == [False, True, False]
+            error = report.entries[0].record["error"]
+            assert error["type"] == "DeadlineExceededError"
+            assert error["category"] == TRANSIENT
+            assert report.resilience["timeouts"] == 2
+
+    def test_transient_errors_never_cached(self):
+        requests = [intra_request(64, 32, 48, 4096)]
+        engine = BatchEngine(EngineConfig(jobs=1))
+        with injected_faults("raise:intra*:category=transient"):
+            faulty = engine.run_batch(requests)
+        assert not faulty.entries[0].ok
+        # Same engine, faults gone: the request recomputes and succeeds
+        # (a cached transient error would wrongly replay the failure).
+        clean = engine.run_batch(requests)
+        assert clean.entries[0].ok
+        assert clean.computed == 1
+
+    def test_permanent_errors_still_cached(self):
+        engine = BatchEngine(EngineConfig(jobs=1))
+        requests = [intra_request(64, 32, 48, 1)]  # infeasible buffer
+        engine.run_batch(requests)
+        warm = engine.run_batch(requests)
+        assert warm.computed == 0
+        assert warm.entries[0].record["error"]["type"] == "InfeasibleError"
+
+    def test_breaker_fast_fails_after_threshold(self):
+        bad = [
+            {"kind": "graph_plan", "model": "NotAModel",
+             "buffer_elems": 1000 + i}
+            for i in range(4)
+        ]
+        engine = BatchEngine(EngineConfig(jobs=1, breaker_threshold=2))
+        report = engine.run_batch(bad + [intra_request(64, 32, 48, 4096)])
+        types = [
+            entry.record.get("error", {}).get("type")
+            for entry in report.entries
+        ]
+        # Two failures trip the breaker; the third probes (and fails),
+        # the fourth fails fast; the intra request is unaffected.
+        assert types == [
+            "KeyError", "KeyError", "KeyError", "CircuitOpenError", None
+        ]
+        assert report.resilience["breaker_fastfail"] == 1
+        assert report.entries[3].record["error"]["category"] == PERMANENT
+
+    def test_breaker_open_records_not_cached(self):
+        engine = BatchEngine(EngineConfig(jobs=1, breaker_threshold=1))
+        trip = {"kind": "graph_plan", "model": "NotAModel",
+                "buffer_elems": 999}
+        victim = {"kind": "graph_plan", "model": "NotAModel",
+                  "buffer_elems": 998}
+        first = engine.run_batch([trip, trip | {"buffer_elems": 997}, victim])
+        assert (
+            first.entries[2].record["error"]["type"] == "CircuitOpenError"
+        )
+        # The victim's fast-fail is not a cached answer: once the breaker
+        # closes, the real (deterministic) error computes normally.
+        engine.breaker.record_success("graph_plan")
+        second = engine.run_batch([victim])
+        assert second.entries[0].record["error"]["type"] == "KeyError"
+
+    def test_deterministic_across_executors_under_faults(self):
+        """Acceptance: raise + delay + crash, byte-identical everywhere."""
+        requests = _requests()
+        spec = (
+            f"raise:{request_key(requests[1])[:16]}*:category=permanent;"
+            "delay:intra:seconds=0.01;"
+            f"crash:{request_key(requests[2])[:16]}*:times=1"
+        )
+        outputs = []
+        reports = []
+        for config in (
+            EngineConfig(jobs=1, max_attempts=2),
+            EngineConfig(jobs=3, max_attempts=2),
+            EngineConfig(jobs=2, executor="process", max_attempts=2),
+        ):
+            with injected_faults(spec, export_env=True):
+                report = BatchEngine(config).run_batch(requests)
+            outputs.append(report.to_jsonl())
+            reports.append(report)
+        assert outputs[0] == outputs[1] == outputs[2]
+        records = [json.loads(line) for line in outputs[0].splitlines()]
+        assert [r["index"] for r in records] == [0, 1, 2]
+        assert [r["ok"] for r in records] == [True, False, True]
+        # The process run lost its pool to the crash and degraded.
+        assert reports[2].degradations
+        assert reports[2].resilience["degradations"] >= 1
+
+    def test_fallback_disabled_synthesizes_pool_errors(self):
+        requests = _requests()
+        spec = f"crash:{request_key(requests[0])[:16]}*"
+        with injected_faults(spec, export_env=True):
+            engine = BatchEngine(
+                EngineConfig(jobs=2, executor="process", fallback=False)
+            )
+            report = engine.run_batch(requests)
+        assert report.requests == len(requests)
+        assert not report.degradations
+        failed = [e for e in report.entries if not e.ok]
+        assert failed
+        assert all(
+            e.record["error"]["type"] == "PoolBrokenError" for e in failed
+        )
+
+
+# ----------------------------------------------------------------------
+# Process executor: spawn start method + BrokenProcessPool fallback
+# ----------------------------------------------------------------------
+class TestProcessPoolResilience:
+    def test_broken_pool_degrades_and_completes(self):
+        requests = _requests()
+        spec = f"crash:{request_key(requests[1])[:16]}*:times=1"
+        with injected_faults(spec, export_env=True):
+            engine = BatchEngine(
+                EngineConfig(jobs=2, executor="process", max_attempts=2)
+            )
+            report = engine.run_batch(requests)
+        assert [entry.ok for entry in report.entries] == [True, True, True]
+        assert report.degradations[0]["from"] == "process"
+        assert report.degradations[0]["to"] == "thread"
+        serial = BatchEngine().run_batch(requests)
+        assert report.to_jsonl() == serial.to_jsonl()
+
+    def test_spawn_start_method_matches_serial(self):
+        """The CI-default start method on py3.12+/macOS-like configs."""
+        requests = _requests()
+        engine = BatchEngine(
+            EngineConfig(jobs=2, executor="process", start_method="spawn")
+        )
+        report = engine.run_batch(requests)
+        assert not report.degradations  # spawn pool genuinely worked
+        serial = BatchEngine().run_batch(requests)
+        assert report.to_jsonl() == serial.to_jsonl()
+
+    def test_spawn_workers_inherit_fault_plan_via_env(self):
+        """Fault plans reach spawn children through REPRO_FAULTS."""
+        requests = [intra_request(64, 32, 48, 4096)]
+        with injected_faults(
+            "raise:intra*:category=permanent", export_env=True
+        ):
+            engine = BatchEngine(
+                EngineConfig(
+                    jobs=2, executor="process", start_method="spawn"
+                )
+            )
+            # Two requests so the pool actually spins up both workers.
+            report = engine.run_batch(
+                requests + [sweep_point_request(96, 64, 80, 1024)]
+            )
+        error = report.entries[0].record["error"]
+        assert error["type"] == "InjectedFaultError"
+        assert report.entries[1].ok
+
+    def test_hard_hang_preempted_and_pool_respawned(self):
+        """A worker that never yields is killed; the batch survives."""
+        requests = _requests()
+        spec = f"delay:{request_key(requests[1])[:16]}*:seconds=10:hard=1"
+        with injected_faults(spec, export_env=True):
+            engine = BatchEngine(
+                EngineConfig(
+                    jobs=2, executor="process", deadline_seconds=0.3
+                )
+            )
+            report = engine.run_batch(requests)
+        oks = [entry.ok for entry in report.entries]
+        assert oks == [True, False, True]
+        error = report.entries[1].record["error"]
+        assert error["type"] == "DeadlineExceededError"
+        assert report.resilience["timeouts"] == 1
+        assert report.resilience["pool_respawns"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Crash-safe cache persistence
+# ----------------------------------------------------------------------
+class TestCachePersistence:
+    def test_save_is_atomic_on_failure(self, tmp_path):
+        path = tmp_path / "cache.json"
+        engine = BatchEngine()
+        engine.run_batch([intra_request(64, 32, 48, 4096)])
+        engine.save_cache(str(path))
+        good = path.read_text(encoding="utf-8")
+        # Poison the cache so the next save fails mid-serialization.
+        engine.cache.put("poison", object())
+        with pytest.raises(TypeError):
+            engine.save_cache(str(path))
+        # The previous file is untouched and no temp litter remains.
+        assert path.read_text(encoding="utf-8") == good
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+    def test_schema_version_written(self, tmp_path):
+        path = tmp_path / "cache.json"
+        engine = BatchEngine()
+        engine.run_batch([intra_request(64, 32, 48, 4096)])
+        engine.save_cache(str(path))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == CACHE_SCHEMA_VERSION
+
+    def test_unknown_schema_version_fails_loud(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps({"version": 99, "entries": []}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="schema version"):
+            BatchEngine().load_cache(str(path))
+
+    def test_legacy_version_1_still_loads(self, tmp_path):
+        engine = BatchEngine()
+        report = engine.run_batch([intra_request(64, 32, 48, 4096)])
+        key = report.entries[0].key
+        record = report.entries[0].record
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [[key, record]]}),
+            encoding="utf-8",
+        )
+        fresh = BatchEngine()
+        assert fresh.load_cache(str(path)) == 1
+        warm = fresh.run_batch([intra_request(64, 32, 48, 4096)])
+        assert warm.computed == 0
