@@ -11,9 +11,10 @@ shares its result cache, pool, and metering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..service.engine import BatchEngine, EngineConfig
+from ..service.journal import BatchJournal
 from ..service.report import BatchReport
 from ..service.requests import AnalysisRequest
 
@@ -26,6 +27,8 @@ def run_grid(
     engine: Optional[BatchEngine] = None,
     max_attempts: int = 1,
     deadline_seconds: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    stop_event: Optional[Any] = None,
 ) -> BatchReport:
     """Submit an experiment grid through the batch engine.
 
@@ -36,6 +39,13 @@ def run_grid(
     ``deadline_seconds`` forward to the engine's resilience layer so
     long-running grids survive transient worker failures and a hung point
     cannot stall a whole sweep.
+
+    ``journal_path`` makes the grid *checkpointed*: completed points are
+    fsync'd to a write-ahead journal as they land, and re-running the
+    same grid with the same path resumes -- recomputing only the points
+    the previous (killed or interrupted) run never finished.
+    ``stop_event`` (see :func:`repro.service.shutdown_guard`) turns
+    SIGINT/SIGTERM into a graceful, resumable stop.
     """
 
     if engine is None:
@@ -48,7 +58,14 @@ def run_grid(
                 deadline_seconds=deadline_seconds,
             )
         )
-    return engine.run_batch(requests)
+    if journal_path is None:
+        return engine.run_batch(requests, stop_event=stop_event)
+    # Experiment grids always resume: rerunning the same harness command
+    # after a crash is the natural "continue" gesture.
+    with BatchJournal(journal_path, resume=True) as journal:
+        return engine.run_batch(
+            requests, journal=journal, stop_event=stop_event
+        )
 
 
 def format_table(

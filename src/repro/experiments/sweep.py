@@ -145,6 +145,8 @@ def run_sweep_grid(
     jobs: int = 1,
     max_attempts: int = 1,
     deadline_seconds: Optional[float] = None,
+    journal_path: Optional[str] = None,
+    stop_event: Optional[object] = None,
 ) -> List[SweepGridPoint]:
     """Evaluate the MA(BS) grid through the batch engine.
 
@@ -155,7 +157,9 @@ def run_sweep_grid(
     back as error records, not exceptions; ``max_attempts`` and
     ``deadline_seconds`` forward to the engine's resilience layer, so a
     hung point times out as a structured error instead of stalling the
-    sweep.
+    sweep.  ``journal_path`` checkpoints completed points to a
+    write-ahead journal, so a killed sweep resumes where it died (see
+    :func:`~repro.experiments.runner.run_grid`).
     """
 
     requests = sweep_grid_requests(operators, buffer_sweep_bytes)
@@ -165,6 +169,8 @@ def run_sweep_grid(
         engine=engine,
         max_attempts=max_attempts,
         deadline_seconds=deadline_seconds,
+        journal_path=journal_path,
+        stop_event=stop_event,
     )
     points: List[SweepGridPoint] = []
     per_op = len(tuple(buffer_sweep_bytes))

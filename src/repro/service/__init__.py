@@ -12,7 +12,12 @@ transient/permanent error taxonomy, bounded retries with deterministic
 backoff, per-request deadlines, a per-kind circuit breaker, and graceful
 process -> thread -> serial degradation on pool breakage; the
 deterministic fault-injection harness (:mod:`~repro.service.faults`)
-proves every one of those paths end to end.
+proves every one of those paths end to end.  A durable-execution layer
+(:mod:`~repro.service.journal`, :mod:`~repro.service.shutdown`) makes
+batches survive *process death*: completions are checkpointed to a
+fsync'd write-ahead journal, resumed runs replay them into a
+byte-identical result stream, and SIGINT/SIGTERM drain gracefully into
+a resumable state.
 :mod:`~repro.service.intra_cache` shares
 intra-operator optima process-wide so sweeps and DSE baselines stop
 recomputing identical (dims, buffer) problems.
@@ -34,11 +39,13 @@ from .engine import (
     EXECUTORS,
     START_METHODS,
     BatchEngine,
+    BatchInterrupted,
     EngineConfig,
 )
 from .errors import (
     PERMANENT,
     TRANSIENT,
+    BatchAbortError,
     CircuitOpenError,
     CorruptResultError,
     DeadlineExceededError,
@@ -65,6 +72,15 @@ from .faults import (
     reset_fault_state,
     set_fault_plan,
 )
+from .journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_SCHEMA_VERSION,
+    BatchJournal,
+    JournalError,
+    JournalExistsError,
+    JournalVersionError,
+)
+from .shutdown import RESUMABLE_EXIT_CODE, ShutdownRequested, shutdown_guard
 from .intra_cache import (
     DEFAULT_INTRA_CACHE_SIZE,
     cached_optimize_intra,
@@ -92,8 +108,11 @@ from .workers import execute_request, result_digest, run_payload
 
 __all__ = [
     "AnalysisRequest",
+    "BatchAbortError",
     "BatchEngine",
     "BatchEntry",
+    "BatchInterrupted",
+    "BatchJournal",
     "BatchReport",
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
@@ -112,15 +131,22 @@ __all__ = [
     "FaultPlan",
     "FaultSpecError",
     "InjectedFaultError",
+    "JOURNAL_FORMAT",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "JournalExistsError",
+    "JournalVersionError",
     "LRUCache",
     "PERMANENT",
     "PermanentError",
     "PoolBrokenError",
     "REQUEST_KINDS",
+    "RESUMABLE_EXIT_CODE",
     "RequestError",
     "RetryPolicy",
     "START_METHODS",
     "ServiceError",
+    "ShutdownRequested",
     "Stopwatch",
     "TRANSIENT",
     "TransientError",
@@ -148,5 +174,6 @@ __all__ = [
     "result_digest",
     "run_payload",
     "set_fault_plan",
+    "shutdown_guard",
     "sweep_point_request",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import (
     BrokenExecutor,
     Future,
@@ -55,6 +56,8 @@ from typing import (
 
 from .cache import CacheStats, LRUCache
 from .errors import PERMANENT, TRANSIENT, record_category
+from .faults import active_fault_plan
+from .journal import BatchJournal
 from .metrics import CounterRegistry, Stopwatch
 from .report import BatchEntry, BatchReport
 from .requests import AnalysisRequest, RequestError, parse_request, request_key
@@ -78,6 +81,11 @@ _COMPATIBLE_CACHE_VERSIONS = (1, 2)
 #: deadline record before the engine resorts to killing it.
 _DEADLINE_GRACE = 0.25
 
+#: Ceiling on a single ``future.result`` wait when a stop event is being
+#: watched, so a SIGINT is noticed within a fraction of a second even
+#: while a worker grinds on.
+_INTERRUPT_POLL = 0.2
+
 RequestLike = Union[AnalysisRequest, Mapping[str, Any]]
 
 
@@ -87,6 +95,44 @@ class _PoolDegraded(Exception):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class _BatchInterrupted(Exception):
+    """Internal signal: the stop event fired; unwind and drain."""
+
+
+class BatchInterrupted(RuntimeError):
+    """A batch stopped early on a graceful shutdown request.
+
+    Raised by :meth:`BatchEngine.run_batch` when its ``stop_event`` fires
+    mid-batch.  Every completion that landed before (or finished during
+    the drain) is in the journal, so re-running the same batch with the
+    same journal recomputes only what is missing.
+    """
+
+    def __init__(
+        self,
+        total_requests: int,
+        replayed: int,
+        journaled: int,
+        completed_keys: int,
+        signal_name: Optional[str] = None,
+    ):
+        self.total_requests = total_requests
+        #: Requests answered from the journal before the interrupt.
+        self.replayed = replayed
+        #: Completions journaled by this run.
+        self.journaled = journaled
+        #: Total durable completions now in the journal (0 if none).
+        self.completed_keys = completed_keys
+        self.signal_name = signal_name
+        source = f" on {signal_name}" if signal_name else ""
+        super().__init__(
+            f"batch interrupted{source}: {journaled} completion(s) "
+            f"journaled this run, {completed_keys} total checkpointed "
+            f"of {total_requests} request(s); rerun with the same "
+            "journal to resume"
+        )
 
 
 @dataclass(frozen=True)
@@ -121,6 +167,12 @@ class EngineConfig:
     #: Multiprocessing start method for the process executor (None =
     #: platform default; "spawn" matches the py3.12+/macOS CI default).
     start_method: Optional[str] = None
+    #: Stalled-batch watchdog: if no request completes for this many
+    #: seconds while a pool has work in flight, the engine declares a
+    #: stall -- journal heartbeat, ``stalls`` counter, and (for process
+    #: pools) a worker respawn, the same escalation path as a preempted
+    #: deadline.  ``None`` disables the watchdog.
+    stall_timeout_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -137,6 +189,11 @@ class EngineConfig:
             raise ValueError("deadline_seconds must be positive")
         if self.breaker_threshold < 0:
             raise ValueError("breaker_threshold must be non-negative")
+        if (
+            self.stall_timeout_seconds is not None
+            and self.stall_timeout_seconds <= 0
+        ):
+            raise ValueError("stall_timeout_seconds must be positive")
         if self.start_method is not None and (
             self.start_method not in START_METHODS
         ):
@@ -167,6 +224,12 @@ class BatchEngine:
         self.counters = CounterRegistry()
         self.retry_policy = retry_policy or self.config.retry_policy()
         self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        #: Monotonic timestamp of the latest in-flight completion,
+        #: updated by future done-callbacks; the stall watchdog's clock.
+        self._progress_at = time.monotonic()
+        #: Completions finished by the current run_batch (the
+        #: crash-after-n fault's counter).
+        self._completions = 0
 
     # ------------------------------------------------------------------
     # Single-request convenience
@@ -178,11 +241,30 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # Batch evaluation
     # ------------------------------------------------------------------
-    def run_batch(self, requests: Sequence[RequestLike]) -> BatchReport:
-        """Evaluate a batch, preserving input order in the results."""
+    def run_batch(
+        self,
+        requests: Sequence[RequestLike],
+        journal: Optional[BatchJournal] = None,
+        stop_event: Optional[Any] = None,
+    ) -> BatchReport:
+        """Evaluate a batch, preserving input order in the results.
+
+        ``journal`` makes the batch crash-safe: keys the journal already
+        holds are *replayed* into the result stream (in input order, so
+        output stays byte-identical to an uninterrupted run) and every
+        new durable completion is fsync'd to the journal before the
+        batch proceeds.  ``stop_event`` (any object with ``is_set()``,
+        e.g. :class:`~repro.service.shutdown.ShutdownRequested`) requests
+        a graceful stop: dispatch halts, finished in-flight work is
+        drained into the journal, and :class:`BatchInterrupted` is
+        raised with resume bookkeeping.
+        """
+
+        requests = list(requests)
         watch = Stopwatch()
         stats_before = self.cache.stats()
         self.counters.increment("batches")
+        self._completions = 0
 
         entries: List[Optional[BatchEntry]] = [None] * len(requests)
         # First-occurrence order of keys that need computation.
@@ -191,6 +273,7 @@ class BatchEngine:
         pending_indices: Dict[str, List[int]] = {}
         seen_records: Dict[str, Dict[str, Any]] = {}
         deduplicated = 0
+        replayed = 0
 
         for index, raw in enumerate(requests):
             self.counters.increment("requests")
@@ -236,6 +319,23 @@ class BatchEngine:
                 deduplicated += 1
                 pending_indices[key].append(index)
                 continue
+            if journal is not None and key in journal.completed:
+                # Resume: this key finished in an earlier (interrupted)
+                # run.  Replay the journaled record at this input
+                # position -- the stream stays byte-identical to an
+                # uninterrupted run -- and warm the cache with it.
+                record = dict(journal.completed[key])
+                record.pop("seconds", None)
+                self.counters.increment("replayed")
+                replayed += 1
+                seen_records[key] = record
+                if self._cacheable(record):
+                    self.cache.put(key, record)
+                entries[index] = self._entry_from_record(
+                    index, key, record, cached=False, seconds=0.0,
+                    replayed=True,
+                )
+                continue
             hit = self.cache.get(key)
             if hit is not None:
                 seen_records[key] = hit
@@ -248,7 +348,22 @@ class BatchEngine:
             pending_indices[key] = [index]
 
         pending = [(key, pending_payloads[key]) for key in pending_order]
-        records, resilience, degradations = self._compute(pending)
+        try:
+            records, resilience, degradations = self._compute(
+                pending, journal=journal, stop_event=stop_event
+            )
+        except _BatchInterrupted:
+            if journal is not None:
+                journal.flush()
+            raise BatchInterrupted(
+                total_requests=len(requests),
+                replayed=replayed,
+                journaled=journal.appended if journal is not None else 0,
+                completed_keys=(
+                    len(journal.completed) if journal is not None else 0
+                ),
+                signal_name=getattr(stop_event, "signal_name", None),
+            ) from None
         for key, record in zip(pending_order, records):
             seconds = float(record.pop("seconds", 0.0))
             self.counters.increment("computed")
@@ -294,6 +409,8 @@ class BatchEngine:
             counters=self.counters.as_dict(),
             resilience=resilience,
             degradations=degradations,
+            replayed=replayed,
+            journal=journal.stats() if journal is not None else None,
         )
 
     @staticmethod
@@ -303,6 +420,7 @@ class BatchEngine:
         record: Dict[str, Any],
         cached: bool,
         seconds: float,
+        replayed: bool = False,
     ) -> BatchEntry:
         return BatchEntry(
             index=index,
@@ -312,6 +430,7 @@ class BatchEngine:
             cached=cached,
             seconds=seconds,
             record=record,
+            replayed=replayed,
         )
 
     @staticmethod
@@ -327,19 +446,26 @@ class BatchEngine:
     # Resilient computation
     # ------------------------------------------------------------------
     def _compute(
-        self, pending: Sequence[Tuple[str, Dict[str, Any]]]
+        self,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        journal: Optional[BatchJournal] = None,
+        stop_event: Optional[Any] = None,
     ) -> Tuple[List[Dict[str, Any]], Dict[str, int], List[Dict[str, str]]]:
         """Run unique (key, payload) pairs to final records, in order.
 
         Returns ``(records, resilience_counters, degradation_events)``.
         ``records`` is aligned with ``pending``; every pair gets a final
-        record no matter what breaks underneath.
+        record no matter what breaks underneath -- unless the stop event
+        fires, in which case :class:`_BatchInterrupted` unwinds with
+        whatever completed already journaled.
         """
 
         resilience = CounterRegistry()
         events: List[Dict[str, str]] = []
         if not pending:
             return [], resilience.as_dict(), events
+        if stop_event is not None and stop_event.is_set():
+            raise _BatchInterrupted()
 
         records: Dict[int, Dict[str, Any]] = {}
         probed: Set[str] = set()
@@ -358,7 +484,10 @@ class BatchEngine:
             if not todo:
                 break
             try:
-                self._compute_mode(mode, pending, todo, records, resilience)
+                self._compute_mode(
+                    mode, pending, todo, records, resilience,
+                    journal, stop_event,
+                )
                 break
             except _PoolDegraded as degraded:
                 remaining = [i for i in todo if i not in records]
@@ -407,11 +536,17 @@ class BatchEngine:
         todo: Sequence[int],
         records: Dict[int, Dict[str, Any]],
         resilience: CounterRegistry,
+        journal: Optional[BatchJournal],
+        stop_event: Optional[Any],
     ) -> None:
         if mode == "serial":
-            self._compute_serial(pending, todo, records, resilience)
+            self._compute_serial(
+                pending, todo, records, resilience, journal, stop_event
+            )
         else:
-            self._compute_pooled(mode, pending, todo, records, resilience)
+            self._compute_pooled(
+                mode, pending, todo, records, resilience, journal, stop_event
+            )
 
     def _compute_serial(
         self,
@@ -419,12 +554,16 @@ class BatchEngine:
         todo: Sequence[int],
         records: Dict[int, Dict[str, Any]],
         resilience: CounterRegistry,
+        journal: Optional[BatchJournal],
+        stop_event: Optional[Any],
     ) -> None:
         # Serial execution sees breaker trips immediately, so a kind that
         # turns hopeless mid-batch starts failing fast mid-batch.
         probed: Set[str] = set()
         deadline = self.config.deadline_seconds
         for index in todo:
+            if stop_event is not None and stop_event.is_set():
+                raise _BatchInterrupted()
             key, payload = pending[index]
             kind = payload.get("kind")
             if not self._breaker_allows(kind, probed):
@@ -444,7 +583,7 @@ class BatchEngine:
                     break
                 resilience.increment("retries")
                 self.retry_policy.backoff(attempt + 1, key)
-            self._finish(index, kind, record, records)
+            self._finish(index, key, kind, record, records, resilience, journal)
 
     def _compute_pooled(
         self,
@@ -453,15 +592,18 @@ class BatchEngine:
         todo: Sequence[int],
         records: Dict[int, Dict[str, Any]],
         resilience: CounterRegistry,
+        journal: Optional[BatchJournal],
+        stop_event: Optional[Any],
     ) -> None:
         deadline = self.config.deadline_seconds
-        wait_timeout = (
-            None if deadline is None else deadline + _DEADLINE_GRACE
-        )
+        grace = None if deadline is None else deadline + _DEADLINE_GRACE
+        stall = self.config.stall_timeout_seconds
         jobs = min(self.config.jobs, len(todo))
         pool = self._make_pool(mode, jobs)
         futures: Dict[int, Future] = {}
         attempts: Dict[int, int] = {}
+        interrupted = False
+        self._note_progress()
         try:
             for index in todo:
                 attempts[index] = 1
@@ -471,28 +613,69 @@ class BatchEngine:
             for index in todo:
                 key, payload = pending[index]
                 kind = payload.get("kind")
+                # The deadline grace window runs from when this future's
+                # turn to be collected starts (matching the cooperative
+                # clock its worker starts when it actually executes), and
+                # resets on every resubmission.
+                wait_began = time.monotonic()
                 while True:
+                    if stop_event is not None and stop_event.is_set():
+                        raise _BatchInterrupted()
                     try:
-                        record = futures[index].result(timeout=wait_timeout)
-                    except FutureTimeoutError:
-                        resilience.increment("timeouts")
-                        record = self._infra_record(
-                            key,
-                            kind,
-                            "DeadlineExceededError",
-                            f"request exceeded its {deadline:.3f}s deadline"
-                            " (preempted by the engine)",
-                        )
-                        futures[index].cancel()
-                        if mode == "process":
-                            # The worker holding this request never
-                            # yielded: kill the workers and respawn the
-                            # pool so the rest of the batch isn't hostage.
-                            resilience.increment("pool_respawns")
-                            pool = self._respawn_pool(
-                                pool, jobs, pending, todo, records,
-                                futures, exclude=index,
+                        record = futures[index].result(
+                            timeout=self._wait_slice(
+                                wait_began, grace, stall, stop_event
                             )
+                        )
+                    except FutureTimeoutError:
+                        now = time.monotonic()
+                        if grace is not None and now - wait_began >= grace:
+                            resilience.increment("timeouts")
+                            record = self._infra_record(
+                                key,
+                                kind,
+                                "DeadlineExceededError",
+                                f"request exceeded its {deadline:.3f}s "
+                                "deadline (preempted by the engine)",
+                            )
+                            futures[index].cancel()
+                            if mode == "process":
+                                # The worker holding this request never
+                                # yielded: kill the workers and respawn
+                                # the pool so the rest of the batch isn't
+                                # hostage.
+                                resilience.increment("pool_respawns")
+                                pool = self._respawn_pool(
+                                    pool, jobs, pending, todo, records,
+                                    futures, exclude=index,
+                                )
+                                self._note_progress()
+                        elif (
+                            stall is not None
+                            and now - self._progress_at >= stall
+                        ):
+                            # Stalled batch: nothing has completed
+                            # anywhere in the pool for a full watchdog
+                            # window.  Escalate like a preempted
+                            # deadline: heartbeat the journal, count it,
+                            # and (process pools) respawn the workers.
+                            resilience.increment("stalls")
+                            if journal is not None:
+                                journal.heartbeat(
+                                    len(journal.completed),
+                                    note=f"stall watchdog ({mode} pool)",
+                                )
+                            if mode == "process":
+                                resilience.increment("pool_respawns")
+                                pool = self._respawn_pool(
+                                    pool, jobs, pending, todo, records,
+                                    futures, exclude=None,
+                                )
+                                wait_began = time.monotonic()
+                            self._note_progress()
+                            continue
+                        else:
+                            continue  # poll wakeup; re-check and wait on
                     except BrokenExecutor as exc:
                         raise _PoolDegraded(type(exc).__name__) from exc
                     else:
@@ -506,11 +689,96 @@ class BatchEngine:
                     attempts[index] += 1
                     self.retry_policy.backoff(attempts[index], key)
                     futures[index] = self._submit(pool, payload, deadline)
-                self._finish(index, kind, record, records)
+                    wait_began = time.monotonic()
+                self._finish(
+                    index, key, kind, record, records, resilience, journal
+                )
+        except _BatchInterrupted:
+            # Graceful shutdown: harvest whatever already finished so it
+            # reaches the journal, then stop the pool without waiting on
+            # unfinished workers.
+            interrupted = True
+            self._drain_done(pending, todo, records, futures, resilience, journal)
+            if mode == "process":
+                for process in list(getattr(pool, "_processes", {}).values()):
+                    try:
+                        process.terminate()
+                    except Exception:  # already dead
+                        pass
+            raise
         finally:
-            # Thread pools may still hold a hung worker past its deadline;
-            # don't block the batch on it.
-            pool.shutdown(wait=(mode == "process"), cancel_futures=True)
+            # Thread pools may still hold a hung worker past its deadline,
+            # and an interrupted batch must not block on in-flight work;
+            # don't wait in either case.
+            pool.shutdown(
+                wait=(mode == "process" and not interrupted),
+                cancel_futures=True,
+            )
+
+    def _wait_slice(
+        self,
+        wait_began: float,
+        grace: Optional[float],
+        stall: Optional[float],
+        stop_event: Optional[Any],
+    ) -> Optional[float]:
+        """How long the next ``future.result`` wait may block.
+
+        Bounded by the deadline grace remaining, the stall watchdog
+        window remaining, and (when a stop event is watched) a short
+        poll interval; ``None`` means wait forever.
+        """
+
+        now = time.monotonic()
+        bounds: List[float] = []
+        if grace is not None:
+            bounds.append(wait_began + grace - now)
+        if stall is not None:
+            bounds.append(self._progress_at + stall - now)
+        if stop_event is not None:
+            bounds.append(_INTERRUPT_POLL)
+        if not bounds:
+            return None
+        return max(min(bounds), 0.0)
+
+    def _note_progress(self, _future: Optional[Future] = None) -> None:
+        """Done-callback + engine hook feeding the stall watchdog clock."""
+        self._progress_at = time.monotonic()
+
+    def _drain_done(
+        self,
+        pending: Sequence[Tuple[str, Dict[str, Any]]],
+        todo: Sequence[int],
+        records: Dict[int, Dict[str, Any]],
+        futures: Dict[int, Future],
+        resilience: CounterRegistry,
+        journal: Optional[BatchJournal],
+    ) -> None:
+        """Collect finished in-flight futures during an interrupt.
+
+        Work a worker already finished is work the resumed run should
+        not repeat: finish (and journal) every done future before the
+        pool is torn down.  Unfinished and failed futures are left for
+        the resume.
+        """
+
+        for index in todo:
+            if index in records:
+                continue
+            future = futures.get(index)
+            if (
+                future is None
+                or not future.done()
+                or future.cancelled()
+                or future.exception() is not None
+            ):
+                continue
+            key, payload = pending[index]
+            record = self._observe(future.result(), resilience)
+            self._finish(
+                index, key, payload.get("kind"), record, records,
+                resilience, journal, draining=True,
+            )
 
     def _submit(
         self,
@@ -519,11 +787,15 @@ class BatchEngine:
         deadline: Optional[float],
     ) -> Future:
         try:
-            return pool.submit(run_payload, payload, deadline)
+            future = pool.submit(run_payload, payload, deadline)
         except BrokenExecutor as exc:
             raise _PoolDegraded(type(exc).__name__) from exc
         except RuntimeError as exc:  # submit on a shut-down pool
             raise _PoolDegraded(type(exc).__name__) from exc
+        # Completions anywhere in the pool feed the stall watchdog, even
+        # while the engine is blocked collecting an earlier future.
+        future.add_done_callback(self._note_progress)
+        return future
 
     def _make_pool(self, mode: str, jobs: int) -> Any:
         if mode == "process":
@@ -550,12 +822,13 @@ class BatchEngine:
         todo: Sequence[int],
         records: Dict[int, Dict[str, Any]],
         futures: Dict[int, Future],
-        exclude: int,
+        exclude: Optional[int],
     ) -> Any:
         """Terminate a process pool's workers and resubmit in-flight work.
 
         Completed futures keep their results; everything else (except
-        ``exclude``, whose retry loop handles its own resubmission) is
+        ``exclude``, whose retry loop handles its own resubmission --
+        ``None`` for a stall respawn, which resubmits everything) is
         resubmitted to the fresh pool.
         """
 
@@ -612,9 +885,13 @@ class BatchEngine:
     def _finish(
         self,
         index: int,
+        key: Optional[str],
         kind: Optional[str],
         record: Dict[str, Any],
         records: Dict[int, Dict[str, Any]],
+        resilience: Optional[CounterRegistry] = None,
+        journal: Optional[BatchJournal] = None,
+        draining: bool = False,
     ) -> None:
         category = record_category(record)
         if category is None:
@@ -622,6 +899,20 @@ class BatchEngine:
         else:
             self.breaker.record_failure(kind, category)
         records[index] = record
+        if journal is not None and key is not None:
+            # Write-ahead: the completion is durable on disk before the
+            # batch counts it as done, so process death right after this
+            # point loses nothing.
+            if journal.record_completion(key, record) and resilience:
+                resilience.increment("journaled")
+        self._completions += 1
+        if not draining:
+            plan = active_fault_plan()
+            if plan is not None:
+                # The crash-after-n-completions hook: fires *after* the
+                # journal write, which is exactly the recovery boundary
+                # the fault exists to test.
+                plan.maybe_abort(self._completions)
 
     def _breaker_allows(self, kind: Optional[str], probed: Set[str]) -> bool:
         """Gate a request on the breaker, letting one probe per kind by."""

@@ -72,6 +72,17 @@ class InjectedFaultError(ServiceError):
         self.category = category
 
 
+class BatchAbortError(BaseException):
+    """An injected *process death* (the ``exit`` fault action).
+
+    Deliberately a ``BaseException``: the batch layers catch ``Exception``
+    to isolate request failures, and a simulated crash must tear through
+    all of them exactly like a real SIGKILL would -- leaving the journal
+    behind as the only survivor.  The ``hard=1`` variant calls
+    ``os._exit`` instead and never raises at all.
+    """
+
+
 #: Exception type *names* that classify as transient.  Names (not types)
 #: because records cross process boundaries as plain dicts, and the cache
 #: replays records written by earlier processes.

@@ -28,6 +28,8 @@ Spec grammar (``;``-separated clauses)::
 ``p=F``        inject with probability F, decided by a seeded hash of
                the request key (deterministic per key)
 ``seed=N``     seed for ``p`` (default 0)
+``after=N``    ``exit`` only: die after the Nth completed request of the
+               batch (default 1)
 =============  ==========================================================
 
 Actions:
@@ -40,6 +42,12 @@ Actions:
   thread/serial worker
 * ``corrupt`` -- mangle the result payload after its integrity digest is
   taken, so the engine's checksum verification catches it
+* ``exit``    -- crash-after-n-completions: kill the *whole batch
+  process* once ``after=N`` requests have finished, proving the
+  write-ahead journal's recovery path.  Soft by default
+  (:class:`~repro.service.errors.BatchAbortError`, a ``BaseException``
+  that tears through the engine like a real death but keeps the test
+  process alive); ``hard=1`` calls ``os._exit`` for true process death
 
 Activation: :func:`set_fault_plan` (in-process), the
 :func:`injected_faults` context manager (tests), or the ``REPRO_FAULTS``
@@ -61,7 +69,13 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .errors import PERMANENT, TRANSIENT, InjectedFaultError, WorkerCrashError
+from .errors import (
+    PERMANENT,
+    TRANSIENT,
+    BatchAbortError,
+    InjectedFaultError,
+    WorkerCrashError,
+)
 from .resilience import Deadline
 
 #: Environment variable holding an active fault spec (workers inherit it).
@@ -69,7 +83,11 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Environment guard for the CLI dev flag.
 FAULTS_GUARD_ENV = "REPRO_ENABLE_FAULT_INJECTION"
 
-ACTIONS = ("raise", "delay", "crash", "corrupt")
+ACTIONS = ("raise", "delay", "crash", "corrupt", "exit")
+
+#: Process exit status used by the ``exit`` fault's ``hard=1`` variant
+#: (a simulated OOM-kill / power loss, distinguishable from real crashes).
+ABORT_EXIT_STATUS = 86
 
 #: Sentinel payload a ``corrupt`` fault swaps in for the real result.
 CORRUPTED_RESULT = {"__corrupted__": True}
@@ -91,6 +109,7 @@ class FaultClause:
     category: str = TRANSIENT
     probability: Optional[float] = None
     seed: int = 0
+    after: int = 1
 
     def matches(self, kind: Optional[str], key: Optional[str]) -> bool:
         candidates = [c for c in (kind, key) if c is not None]
@@ -138,6 +157,7 @@ def _parse_clause(text: str, position: int) -> FaultClause:
             float(options.pop("p")) if "p" in options else None
         )
         seed = int(options.pop("seed", 0))
+        after = int(options.pop("after", 1))
     except ValueError as exc:
         raise FaultSpecError(f"clause {position}: {exc}") from None
     if options:
@@ -155,6 +175,12 @@ def _parse_clause(text: str, position: int) -> FaultClause:
         raise FaultSpecError(f"clause {position}: seconds must be >= 0")
     if probability is not None and not 0.0 <= probability <= 1.0:
         raise FaultSpecError(f"clause {position}: p must be in [0, 1]")
+    if after < 1:
+        raise FaultSpecError(f"clause {position}: after must be >= 1")
+    if action == "exit" and times is None:
+        # A simulated process death fires once per process by default;
+        # an unconditional repeat would kill every resume attempt too.
+        times = 1
     return FaultClause(
         action=action,
         pattern=pattern,
@@ -164,6 +190,7 @@ def _parse_clause(text: str, position: int) -> FaultClause:
         category=category,
         probability=probability,
         seed=seed,
+        after=after,
     )
 
 
@@ -216,7 +243,7 @@ class FaultPlan:
     ) -> None:
         """Run raise/delay/crash clauses matching this request attempt."""
         for index, clause in enumerate(self.clauses):
-            if clause.action == "corrupt":
+            if clause.action in ("corrupt", "exit"):
                 continue
             if not clause.matches(kind, key):
                 continue
@@ -243,6 +270,30 @@ class FaultPlan:
             if self._consume(index, clause, key):
                 return True
         return False
+
+    def maybe_abort(self, completions: int) -> None:
+        """Fire any due ``exit`` clause: the crash-after-n-completions.
+
+        Called by the engine after each request finishes (and is
+        journaled), with the running completion count for this batch.
+        A soft abort raises :class:`BatchAbortError` straight through
+        every ``except Exception`` in the stack; ``hard=1`` exits the
+        process outright (status :data:`ABORT_EXIT_STATUS`).
+        """
+
+        for index, clause in enumerate(self.clauses):
+            if clause.action != "exit":
+                continue
+            if completions < clause.after:
+                continue
+            if not self._consume(index, clause, "__batch__"):
+                continue
+            if clause.hard:
+                os._exit(ABORT_EXIT_STATUS)
+            raise BatchAbortError(
+                f"injected batch abort after {completions} completions "
+                f"(clause {clause.pattern!r} after={clause.after})"
+            )
 
     @staticmethod
     def _crash(kind: Optional[str]) -> None:

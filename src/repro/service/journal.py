@@ -1,0 +1,288 @@
+"""Write-ahead journal: crash-safe checkpointing for batch runs.
+
+A :class:`BatchJournal` makes a batch *durable across process death*:
+every completed request lands in an append-only JSON-lines file as a
+fsync'd ``completion`` record before the batch moves on, so a SIGKILL,
+OOM-kill, or host reboot mid-run loses at most the request currently in
+flight.  On resume the journal is replayed and already-completed keys are
+answered from disk -- fed back into the result stream in input order, so
+a resumed batch emits output **byte-identical** to an uninterrupted run.
+
+File format (one JSON object per line)::
+
+    {"format": "repro-batch-journal", "version": 1, "created": <epoch>}
+    {"type": "completion", "key": "<sha256>", "kind": "intra",
+     "category": null, "at": <epoch>, "record": {...}}
+    {"type": "heartbeat", "at": <epoch>, "completed": 17, "note": "..."}
+
+* The **header** is written first and validated on every open.  An
+  unknown ``version`` fails loud (:class:`JournalVersionError`): a format
+  change must never be silently misread as an empty journal.
+* **Completion** records carry the full result record plus its error
+  ``category`` (``null`` for successes).  Only *durable* outcomes are
+  journaled -- successes and permanent errors, the same set the result
+  cache accepts -- so transient infrastructure outcomes (timeouts,
+  crashes, open circuits) are recomputed on resume rather than replayed.
+* **Heartbeat** lines are advisory progress timestamps written by the
+  engine's stalled-batch watchdog; they are flushed but not fsync'd and
+  carry no result data.
+
+Crash recovery: a process can die mid-``write``, leaving a torn final
+line.  Recovery truncates the file back to the last complete line and
+continues -- a torn tail must *never* fail the batch, because the torn
+record's request simply gets recomputed.  Undecodable lines earlier in
+the file (real corruption, not a torn tail) are handled the same
+conservative way: everything from the first bad line onward is dropped
+and recomputed, which sacrifices checkpoints, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from .errors import PERMANENT, record_category
+
+#: Magic string identifying a journal file's header line.
+JOURNAL_FORMAT = "repro-batch-journal"
+
+#: Schema version written to new journals.  Bump on any format change;
+#: unknown versions fail loud on open instead of silently misloading.
+JOURNAL_SCHEMA_VERSION = 1
+_COMPATIBLE_JOURNAL_VERSIONS = (1,)
+
+
+class JournalError(ValueError):
+    """Raised for an unusable journal file (bad header, wrong format)."""
+
+
+class JournalVersionError(JournalError):
+    """Raised for a journal written by an incompatible schema version."""
+
+
+class JournalExistsError(JournalError):
+    """Raised when a journal already exists and resume was not requested."""
+
+
+def _durable(record: Dict[str, Any]) -> bool:
+    """Whether a result record is worth journaling / replaying.
+
+    Mirrors the engine's cache policy: successes and permanent errors are
+    deterministic answers; transient outcomes (deadline overruns, worker
+    crashes, open circuits) are infrastructure weather -- a resumed run
+    deserves a fresh attempt at them.
+    """
+
+    if record.get("ok"):
+        return True
+    error = record.get("error") or {}
+    if error.get("type") == "CircuitOpenError":
+        return False
+    return record_category(record) == PERMANENT
+
+
+class BatchJournal:
+    """Append-only, fsync'd journal of completed batch requests.
+
+    Parameters
+    ----------
+    path:
+        Journal file path.  Created (with a versioned header) when
+        missing.
+    resume:
+        When the file already exists: ``True`` recovers and replays it;
+        ``False`` raises :class:`JournalExistsError` so a stale journal
+        is never silently clobbered.
+    fsync:
+        fsync after every completion record (the write-ahead guarantee).
+        Disable only in tests that hammer thousands of appends.
+    """
+
+    def __init__(self, path: str, resume: bool = False, fsync: bool = True):
+        self.path = os.path.abspath(path)
+        self.fsync = fsync
+        #: Replayable durable records by request key, in journal order.
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        #: Lines dropped by torn-tail / corruption recovery on open.
+        self.recovered_drops = 0
+        #: Completion records appended by *this* process.
+        self.appended = 0
+        self._handle = None
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            if not resume:
+                raise JournalExistsError(
+                    f"journal {self.path!r} already exists; resume it "
+                    "explicitly or delete it to start over"
+                )
+            self._recover()
+        else:
+            self._create()
+
+    # ------------------------------------------------------------------
+    # Open / recover
+    # ------------------------------------------------------------------
+    def _create(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "ab")
+        header = {
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_SCHEMA_VERSION,
+            "created": time.time(),
+        }
+        self._write_line(header, sync=True)
+
+    def _recover(self) -> None:
+        """Replay an existing journal, truncating any torn/corrupt tail."""
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        offset = 0
+        good_end = 0
+        parsed = []
+        for position, line in enumerate(lines):
+            line_end = offset + len(line) + 1  # +1 for the newline
+            if not line.strip():
+                offset = line_end
+                continue
+            # The final chunk (no trailing newline) is torn by definition:
+            # a complete append always ends with "\n".
+            torn = offset + len(line) >= len(raw)
+            try:
+                payload = json.loads(line.decode("utf-8"))
+                if torn:
+                    raise ValueError("no trailing newline")
+                if not isinstance(payload, dict):
+                    raise ValueError("journal line is not an object")
+            except (ValueError, UnicodeDecodeError):
+                # Torn tail or corruption: drop this line and everything
+                # after it.  The dropped requests are simply recomputed;
+                # recovery never fails the batch.
+                self.recovered_drops += sum(
+                    1 for later in lines[position:] if later.strip()
+                )
+                break
+            parsed.append(payload)
+            good_end = line_end
+            offset = line_end
+        if not parsed:
+            # Even the header was torn: start the journal over.
+            with open(self.path, "wb"):
+                pass
+            self._create()
+            return
+        header = parsed[0]
+        if header.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"{self.path!r} is not a {JOURNAL_FORMAT} file "
+                f"(header {header!r})"
+            )
+        version = header.get("version")
+        if version not in _COMPATIBLE_JOURNAL_VERSIONS:
+            raise JournalVersionError(
+                f"journal {self.path!r} has schema version {version!r}; "
+                f"this build supports {_COMPATIBLE_JOURNAL_VERSIONS}"
+            )
+        for payload in parsed[1:]:
+            if payload.get("type") != "completion":
+                continue  # heartbeats and future record types
+            key = payload.get("key")
+            record = payload.get("record")
+            if not isinstance(key, str) or not isinstance(record, dict):
+                continue
+            if _durable(record):
+                self.completed[key] = record
+        if good_end < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def record_completion(self, key: str, record: Dict[str, Any]) -> bool:
+        """Journal one finished request; returns whether it was written.
+
+        Non-durable (transient) outcomes are skipped -- they must be
+        recomputed on resume, so checkpointing them would only replay
+        stale infrastructure failures.
+        """
+
+        if not _durable(record):
+            return False
+        self._write_line(
+            {
+                "type": "completion",
+                "key": key,
+                "kind": record.get("kind"),
+                "category": record_category(record),
+                "at": time.time(),
+                "record": record,
+            },
+            sync=self.fsync,
+        )
+        self.completed[key] = record
+        self.appended += 1
+        return True
+
+    def heartbeat(self, completed: int, note: str = "") -> None:
+        """Advisory progress timestamp (flushed, not fsync'd)."""
+        self._write_line(
+            {
+                "type": "heartbeat",
+                "at": time.time(),
+                "completed": completed,
+                "note": note,
+            },
+            sync=False,
+        )
+
+    def _write_line(self, payload: Dict[str, Any], sync: bool) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path!r} is closed")
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line.encode("utf-8") + b"\n")
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self.flush()
+            finally:
+                self._handle.close()
+                self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary dict for reports: path, counts, recovery info."""
+        return {
+            "path": self.path,
+            "completed": len(self.completed),
+            "appended": self.appended,
+            "recovered_drops": self.recovered_drops,
+        }

@@ -32,6 +32,8 @@ class BatchEntry:
     cached: bool
     seconds: float
     record: Dict[str, Any]
+    #: Answered from a write-ahead journal left by an interrupted run.
+    replayed: bool = False
 
     def result_record(self) -> Dict[str, Any]:
         """The deterministic output form (input order, data only)."""
@@ -65,6 +67,11 @@ class BatchReport:
     #: Executor degradation events, e.g. {"from": "process", "to":
     #: "thread", "reason": "BrokenProcessPool"} -- empty on a clean run.
     degradations: List[Dict[str, str]] = field(default_factory=list)
+    #: Requests answered by replaying a resume journal (0 on fresh runs).
+    replayed: int = 0
+    #: Journal bookkeeping (path, completions, recovery drops) when the
+    #: batch ran with a write-ahead journal; ``None`` otherwise.
+    journal: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +109,8 @@ class BatchReport:
             "computed": self.computed,
             "cached_answers": self.cached_answers,
             "deduplicated": self.deduplicated,
+            "replayed": self.replayed,
+            "journal": dict(self.journal) if self.journal else None,
             "jobs": self.jobs,
             "executor": self.executor,
             "wall_seconds": round(self.wall_seconds, 6),
@@ -138,6 +147,18 @@ class BatchReport:
             f" size={cache['size']}/{cache['maxsize']}"
             f" hit_rate={cache['hit_rate']:.1%}",
         ]
+        journal = summary["journal"]
+        if journal:
+            lines.append(
+                f"journal       : replayed={summary['replayed']}"
+                f" journaled={journal['appended']}"
+                f" checkpointed={journal['completed']}"
+                + (
+                    f" recovered_drops={journal['recovered_drops']}"
+                    if journal.get("recovered_drops")
+                    else ""
+                )
+            )
         resilience = summary["resilience"]
         if any(resilience.values()) or summary["degradations"]:
             lines.append(

@@ -1,0 +1,108 @@
+"""Graceful SIGINT/SIGTERM shutdown for long-running batches.
+
+:func:`shutdown_guard` wraps a batch run with signal handlers that turn
+the *first* SIGINT/SIGTERM into a cooperative stop request (a
+``threading.Event`` the engine polls between completions) instead of an
+immediate ``KeyboardInterrupt`` tearing through half-journaled state.
+The engine then stops dispatching, drains finished in-flight work into
+the journal, and raises :class:`~repro.service.engine.BatchInterrupted`
+so the caller can flush caches and exit with the distinct
+"interrupted, resumable" exit code.
+
+A *second* signal escalates: the handlers are restored and the default
+behavior (``KeyboardInterrupt`` / termination) applies, so a wedged
+drain can always be killed the old-fashioned way.
+
+Signal handlers can only be installed from the main thread; elsewhere
+(e.g. an engine embedded in a server worker thread) the guard degrades
+to a plain event the host is free to set itself.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Exit code for "interrupted, but the journal makes it resumable".
+#: 75 is BSD sysexits' EX_TEMPFAIL: temporary failure, retry invited --
+#: distinct from 1 (batch errors under --strict) and 2 (usage errors).
+RESUMABLE_EXIT_CODE = 75
+
+_GUARDED_SIGNALS = ("SIGINT", "SIGTERM")
+
+
+class ShutdownRequested:
+    """A stop request shared between signal handlers and the engine."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.signal_name: Optional[str] = None
+
+    def request(self, signal_name: str = "request") -> None:
+        if self.signal_name is None:
+            self.signal_name = signal_name
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+
+@contextmanager
+def shutdown_guard(
+    announce: bool = True,
+) -> Iterator[ShutdownRequested]:
+    """Install first-signal-graceful, second-signal-hard handlers.
+
+    Yields the :class:`ShutdownRequested` to pass as the engine's
+    ``stop_event``.  Handlers are restored on exit no matter how the
+    block leaves.
+    """
+
+    stop = ShutdownRequested()
+    previous = {}
+
+    def _handler(signum: int, frame: object) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - exotic platform
+            name = str(signum)
+        if stop.is_set():
+            # Second signal: stop being polite.
+            _restore()
+            raise KeyboardInterrupt(name)
+        if announce:
+            print(
+                f"{name} received: finishing in-flight work, flushing the "
+                "journal; signal again to force quit",
+                file=sys.stderr,
+            )
+        stop.request(name)
+
+    def _restore() -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        previous.clear()
+
+    for name in _GUARDED_SIGNALS:
+        signum = getattr(signal, name, None)
+        if signum is None:  # pragma: no cover - platform without SIGTERM
+            continue
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except ValueError:
+            # Not the main thread: no handlers, but the event still
+            # works as a host-driven stop flag.
+            break
+    try:
+        yield stop
+    finally:
+        _restore()

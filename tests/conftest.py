@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.ir import matmul
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles: deterministic by default
+# ----------------------------------------------------------------------
+# Tier-1 must not flake.  The "ci" profile derandomizes example
+# generation (examples derive from each test's structure, not a fresh
+# RNG seed per run), so a hypothesis-heavy suite either always passes or
+# always fails -- known gaps get pinned as explicit xfail regression
+# tests instead of ambushing unrelated PRs.  Opt back into randomized
+# exploration locally with HYPOTHESIS_PROFILE=explore to hunt new
+# counterexamples.
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("explore", derandomize=False)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -118,6 +118,34 @@ class TestFusedPatternsCertifiedOptimal:
             budget,
         )
 
+    @pytest.mark.xfail(
+        strict=False,
+        reason=(
+            "known gap (ROADMAP.md): on this degenerate shape the fused "
+            "B&B reaches MA 3936 via an uneven tiling the Fig. 4 pattern "
+            "set cannot express (pattern-set best: 3964)"
+        ),
+    )
+    def test_roadmap_counterexample_m43_k2_l19_n23(self):
+        """Pinned counterexample from the ROADMAP: hypothesis once found
+        (m=43, k=2, l=19, n=23, budget=173) where the full arrow set is
+        ~0.7% above the exact fused optimum.  Kept as a non-strict xfail so
+        the gap is tracked explicitly instead of ambushing the randomized
+        test above -- if a future pattern-set extension closes it, this
+        starts XPASS-ing and should be promoted to a plain assertion."""
+        from repro.core import optimize_fused
+        from repro.search import branch_and_bound_fused_search
+
+        op1 = matmul("mm1", 43, 2, 19)
+        op2 = matmul("mm2", 43, 19, 23, a=op1.output)
+        bb = branch_and_bound_fused_search([op1, op2], 173)
+        patterned = optimize_fused([op1, op2], 173, include_cross=True)
+        assert bb is not None and patterned is not None
+        assert patterned.memory_access == bb.memory_access, (
+            patterned.memory_access,
+            bb.memory_access,
+        )
+
     @given(
         st.integers(2, 100),
         st.integers(2, 100),

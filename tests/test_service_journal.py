@@ -1,0 +1,449 @@
+"""Tests for the durable-execution layer.
+
+Covers the write-ahead journal's file format and crash recovery (torn
+tails, mid-file corruption, incompatible schema versions), the
+``exit`` fault action (crash-after-n-completions), kill-and-resume
+byte-identical replay through the engine and :func:`run_grid`, and the
+graceful SIGINT/SIGTERM shutdown guard.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    JOURNAL_FORMAT,
+    JOURNAL_SCHEMA_VERSION,
+    RESUMABLE_EXIT_CODE,
+    BatchAbortError,
+    BatchEngine,
+    BatchInterrupted,
+    BatchJournal,
+    EngineConfig,
+    FaultSpecError,
+    JournalError,
+    JournalExistsError,
+    JournalVersionError,
+    ShutdownRequested,
+    injected_faults,
+    intra_request,
+    parse_fault_spec,
+    reset_fault_state,
+    shutdown_guard,
+)
+from repro.service.journal import _durable
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_state(monkeypatch):
+    """No fault plan (or leaked REPRO_FAULTS) bleeds between tests."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reset_fault_state()
+    yield
+    reset_fault_state()
+
+
+def _requests(count=5):
+    """Distinct feasible intra requests (cheap to compute)."""
+    return [
+        intra_request(16 + 4 * index, 12, 20, buffer_elems=256)
+        for index in range(count)
+    ]
+
+
+def _ok_record(value=1):
+    return {"ok": True, "kind": "intra", "result": {"memory_access": value}}
+
+
+def _error_record(error_type, category):
+    return {
+        "ok": False,
+        "kind": "intra",
+        "error": {"type": error_type, "message": "x", "category": category},
+    }
+
+
+def _records(report):
+    """The result stream as canonical bytes (what the CLI emits per line)."""
+    return [
+        json.dumps(entry.record, sort_keys=True) for entry in report.entries
+    ]
+
+
+# ----------------------------------------------------------------------
+# Journal file format and recovery
+# ----------------------------------------------------------------------
+class TestJournalFile:
+    def test_create_writes_versioned_header(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            assert len(journal) == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["format"] == JOURNAL_FORMAT
+        assert header["version"] == JOURNAL_SCHEMA_VERSION
+
+    def test_existing_journal_without_resume_fails(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        BatchJournal(path).close()
+        with pytest.raises(JournalExistsError):
+            BatchJournal(path)
+
+    def test_resume_replays_durable_completions(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            assert journal.record_completion("k1", _ok_record(1))
+            assert journal.record_completion(
+                "k2", _error_record("InfeasibleError", "permanent")
+            )
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+            assert journal.completed["k1"]["result"]["memory_access"] == 1
+            assert journal.recovered_drops == 0
+
+    def test_transient_outcomes_are_not_checkpointed(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            assert not journal.record_completion(
+                "k1", _error_record("WorkerCrashError", "transient")
+            )
+            assert not journal.record_completion(
+                "k2", _error_record("CircuitOpenError", "transient")
+            )
+            assert journal.appended == 0
+        with BatchJournal(path, resume=True) as journal:
+            assert len(journal) == 0
+
+    def test_durable_policy_mirrors_cache_policy(self):
+        assert _durable(_ok_record())
+        assert _durable(_error_record("InfeasibleError", "permanent"))
+        assert not _durable(_error_record("DeadlineExceededError", "transient"))
+        # An open circuit is never a durable answer even if misclassified.
+        assert not _durable(_error_record("CircuitOpenError", "permanent"))
+
+    def test_unknown_schema_version_fails_loud(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        header = {"format": JOURNAL_FORMAT, "version": 99, "created": 0}
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+        with pytest.raises(JournalVersionError, match="99"):
+            BatchJournal(path, resume=True)
+
+    def test_foreign_file_fails_loud(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(JournalError):
+            BatchJournal(path, resume=True)
+
+    def test_torn_tail_truncates_and_continues(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k2", _ok_record(2))
+        # Simulate dying mid-write: a partial record with no newline.
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "completion", "key": "k3", "reco')
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+            assert journal.recovered_drops == 1
+            # The torn bytes are gone and the journal accepts appends.
+            journal.record_completion("k3", _ok_record(3))
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2", "k3"}
+            assert journal.recovered_drops == 0
+
+    def test_complete_final_line_is_not_torn(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with BatchJournal(path, resume=True) as journal:
+            assert journal.recovered_drops == 0
+            assert set(journal.completed) == {"k1"}
+
+    def test_mid_file_corruption_drops_the_suffix(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with open(path, "ab") as handle:
+            handle.write(b"\x00garbage\n")
+        # A good record *after* the garbage line does not rescue it:
+        # everything from the first bad line onward is dropped.
+        with open(path, "ab") as handle:
+            line = json.dumps(
+                {"type": "completion", "key": "k2", "record": _ok_record(2)}
+            )
+            handle.write(line.encode("utf-8") + b"\n")
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+            assert journal.recovered_drops == 2
+
+    def test_torn_header_restarts_the_journal(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with open(path, "wb") as handle:
+            handle.write(b'{"format": "repro-batch-jou')
+        with BatchJournal(path, resume=True) as journal:
+            assert len(journal) == 0
+            journal.record_completion("k1", _ok_record(1))
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+
+    def test_heartbeats_are_ignored_on_replay(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.heartbeat(completed=1, note="stall watchdog")
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError, match="closed"):
+            journal.record_completion("k1", _ok_record(1))
+
+    def test_stats(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            stats = journal.stats()
+        assert stats["completed"] == 1
+        assert stats["appended"] == 1
+        assert stats["recovered_drops"] == 0
+        assert stats["path"] == os.path.abspath(path)
+
+
+# ----------------------------------------------------------------------
+# The crash-after-n fault action
+# ----------------------------------------------------------------------
+class TestExitFault:
+    def test_exit_spec_parses(self):
+        plan = parse_fault_spec("exit:*:after=3")
+        (clause,) = plan.clauses
+        assert clause.action == "exit"
+        assert clause.after == 3
+
+    def test_after_must_be_positive(self):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec("exit:*:after=0")
+
+    def test_abort_tears_through_except_exception(self):
+        assert issubclass(BatchAbortError, BaseException)
+        assert not issubclass(BatchAbortError, Exception)
+
+    def test_maybe_abort_waits_for_threshold(self):
+        plan = parse_fault_spec("exit:*:after=2")
+        plan.maybe_abort(0)
+        plan.maybe_abort(1)
+        with pytest.raises(BatchAbortError):
+            plan.maybe_abort(2)
+        # Fires once (times=1 default): the resumed run is not re-killed.
+        plan.maybe_abort(5)
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume through the engine
+# ----------------------------------------------------------------------
+class TestCrashResume:
+    def test_crash_after_n_then_resume_is_byte_identical(self, tmp_path):
+        requests = _requests(5)
+        clean = BatchEngine(EngineConfig(jobs=1)).run_batch(requests)
+
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        try:
+            with injected_faults("exit:*:after=2"):
+                with pytest.raises(BatchAbortError):
+                    BatchEngine(EngineConfig(jobs=1)).run_batch(
+                        requests, journal=journal
+                    )
+        finally:
+            journal.close()
+
+        with BatchJournal(path, resume=True) as journal:
+            assert len(journal) == 2
+            report = BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        assert report.replayed == 2
+        assert report.computed == 3
+        assert _records(report) == _records(clean)
+        assert [entry.replayed for entry in report.entries].count(True) == 2
+
+    def test_replay_survives_a_second_resume(self, tmp_path):
+        """A fully-journaled batch replays everything and computes nothing."""
+        requests = _requests(4)
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            first = BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        with BatchJournal(path, resume=True) as journal:
+            second = BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        assert second.replayed == len(requests)
+        assert second.computed == 0
+        assert _records(second) == _records(first)
+        assert second.journal is not None
+        assert second.journal["completed"] == len(requests)
+
+    def test_stop_event_interrupts_resumably(self, tmp_path):
+        requests = _requests(5)
+        clean = BatchEngine(EngineConfig(jobs=1)).run_batch(requests)
+
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+
+        class _StopAfter:
+            """Cooperative stop once two completions are journaled."""
+
+            signal_name = "SIGTERM"
+
+            def is_set(self):
+                return journal.appended >= 2
+
+        try:
+            with pytest.raises(BatchInterrupted) as excinfo:
+                BatchEngine(EngineConfig(jobs=1)).run_batch(
+                    requests, journal=journal, stop_event=_StopAfter()
+                )
+        finally:
+            journal.close()
+        assert excinfo.value.journaled == 2
+        assert excinfo.value.completed_keys == 2
+        assert excinfo.value.total_requests == 5
+        assert excinfo.value.signal_name == "SIGTERM"
+        assert "resume" in str(excinfo.value)
+
+        with BatchJournal(path, resume=True) as journal:
+            report = BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        assert report.replayed == 2
+        assert _records(report) == _records(clean)
+
+    def test_interrupt_in_pooled_mode_drains_and_resumes(self, tmp_path):
+        requests = _requests(6)
+        clean = BatchEngine(EngineConfig(jobs=2)).run_batch(requests)
+
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        stop = ShutdownRequested()
+        stop.request("SIGINT")  # already set: stops before any dispatch
+        try:
+            with pytest.raises(BatchInterrupted):
+                BatchEngine(EngineConfig(jobs=2)).run_batch(
+                    requests, journal=journal, stop_event=stop
+                )
+        finally:
+            journal.close()
+
+        with BatchJournal(path, resume=True) as journal:
+            report = BatchEngine(EngineConfig(jobs=2)).run_batch(
+                requests, journal=journal
+            )
+        assert _records(report) == _records(clean)
+
+    def test_replayed_records_backfill_the_cache(self, tmp_path):
+        requests = _requests(3)
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        engine = BatchEngine(EngineConfig(jobs=1))
+        with BatchJournal(path, resume=True) as journal:
+            engine.run_batch(requests, journal=journal)
+        # The replayed results are now cached: a journal-less rerun on the
+        # same engine answers everything from memory.
+        report = engine.run_batch(requests)
+        assert all(entry.cached for entry in report.entries)
+        assert report.computed == 0
+
+    def test_report_renders_journal_line(self, tmp_path):
+        requests = _requests(2)
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            report = BatchEngine(EngineConfig(jobs=1)).run_batch(
+                requests, journal=journal
+            )
+        text = report.render_text()
+        assert "journal" in text
+        assert "journaled=2" in text
+
+
+# ----------------------------------------------------------------------
+# run_grid checkpointing
+# ----------------------------------------------------------------------
+class TestRunGridJournal:
+    def test_run_grid_resumes_from_its_journal(self, tmp_path):
+        from repro.experiments.runner import run_grid
+
+        requests = _requests(4)
+        path = str(tmp_path / "grid.journal")
+        first = run_grid(requests, journal_path=path)
+        # Rerunning the same harness command is the "continue" gesture:
+        # the grid journal always resumes.
+        second = run_grid(requests, journal_path=path)
+        assert second.replayed == len(requests)
+        assert _records(second) == _records(first)
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown guard
+# ----------------------------------------------------------------------
+class TestShutdownGuard:
+    def test_resumable_exit_code_is_distinct(self):
+        # 75 == BSD EX_TEMPFAIL; must stay distinct from the batch error
+        # (1) and usage error (2) codes.
+        assert RESUMABLE_EXIT_CODE == 75
+
+    def test_first_signal_sets_the_event(self):
+        before = signal.getsignal(signal.SIGINT)
+        with shutdown_guard(announce=False) as stop:
+            assert not stop.is_set()
+            os.kill(os.getpid(), signal.SIGINT)
+            assert stop.wait(timeout=5.0)
+            assert stop.signal_name == "SIGINT"
+        # Handlers restored no matter how the block exits.
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_second_signal_escalates(self):
+        with pytest.raises(KeyboardInterrupt):
+            with shutdown_guard(announce=False) as stop:
+                os.kill(os.getpid(), signal.SIGINT)
+                stop.wait(timeout=5.0)
+                os.kill(os.getpid(), signal.SIGINT)
+                # Delivery happens between bytecodes; give it room.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    time.sleep(0.001)
+                pytest.fail("second SIGINT did not escalate")
+
+    def test_request_records_first_signal_only(self):
+        stop = ShutdownRequested()
+        stop.request("SIGTERM")
+        stop.request("SIGINT")
+        assert stop.is_set()
+        assert stop.signal_name == "SIGTERM"
+
+    def test_degrades_off_the_main_thread(self):
+        results = {}
+
+        def worker():
+            with shutdown_guard(announce=False) as stop:
+                results["is_set"] = stop.is_set()
+                stop.request("host")
+                results["after"] = stop.is_set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert results == {"is_set": False, "after": True}
