@@ -7,11 +7,17 @@ fuse M K L N        fusion decision for a two-matmul chain
 plan MODEL          graph-level fusion plan for a Table II model
 compare MODEL       Fig. 10-style platform comparison for one model
 explain M K L       narrate the principle decisions (add --consumer-n for fusion)
+certify M K L       independently certify the optimizer's answer for one
+                    matmul (add --consumer-n for a fused chain, --paranoid
+                    for the branch-and-bound probe, --corrupt-ma to prove
+                    the auditor catches a corrupted claim)
 batch FILE          evaluate JSON-lines analysis requests through the
                     batch engine (``--jobs``, ``--cache-file``, ``--stats``,
-                    retry/deadline/breaker knobs, ``--strict``)
+                    retry/deadline/breaker knobs, ``--strict``,
+                    ``--paranoid`` for certified-and-probed results)
 selfcheck           run a small fault-injected batch end to end and verify
-                    the resilience layer held (CI smoke test)
+                    the resilience and certification layers held (CI smoke
+                    test)
 tables              render paper Tables I-III
 fig9 / fig10 / fig11 / fig12
                     regenerate a paper figure's rows/series
@@ -102,6 +108,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="also explain fusing with a consumer matmul of width N",
     )
     _buffer_argument(explain)
+
+    certify = commands.add_parser(
+        "certify",
+        help="independently certify the optimizer's answer for one matmul "
+        "(or a fused chain with --consumer-n)",
+    )
+    certify.add_argument("m", type=int)
+    certify.add_argument("k", type=int)
+    certify.add_argument("l", type=int)
+    certify.add_argument(
+        "--consumer-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="certify the fused chain with a consumer matmul of width N "
+        "instead of the single operator",
+    )
+    certify.add_argument(
+        "--buffer-elems",
+        type=int,
+        default=None,
+        help="buffer size in elements (overrides --buffer-kb)",
+    )
+    certify.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="cross-check optimality with a budgeted branch-and-bound "
+        "probe (self-healing fallback on discrepancy)",
+    )
+    certify.add_argument(
+        "--no-cross",
+        action="store_true",
+        help="fused chains only: restrict the pattern set to the green "
+        "same-NRA arrows (Principle 4's restriction)",
+    )
+    certify.add_argument(
+        "--corrupt-ma",
+        type=int,
+        default=None,
+        metavar="DELTA",
+        help="deliberately corrupt the claimed memory-access count by "
+        "-DELTA before auditing; exits 0 only if the corruption is "
+        "caught (negative-path smoke test)",
+    )
+    certify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the certificate as JSON instead of text",
+    )
+    _buffer_argument(certify)
 
     batch = commands.add_parser(
         "batch",
@@ -216,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: platform default)",
     )
     batch.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run every certification-capable request under paranoid "
+        "certification: results are audited and probed against "
+        "branch-and-bound, healed on discrepancy",
+    )
+    batch.add_argument(
         "--inject-faults",
         default=None,
         metavar="SPEC",
@@ -239,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig9 = commands.add_parser("fig9", help="principles vs search sweep")
     fig9.add_argument(
         "--fast", action="store_true", help="skip the genetic baseline"
+    )
+    fig9.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently certify every principle point (fails loud)",
     )
     commands.add_parser("fig10", help="7 models x 5 platforms")
     commands.add_parser("fig11", help="LLaMA2 sequence-length sweep")
@@ -309,6 +377,96 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    """Certify one analysis end to end; exit code mirrors the verdict.
+
+    Without ``--corrupt-ma``: exit 0 iff the certificate holds.  With
+    ``--corrupt-ma DELTA`` the claimed count is deliberately understated
+    by DELTA and the exit code *inverts*: 0 iff the auditor caught the
+    corruption (failed certificate, or a paranoid heal that restored the
+    true count and recorded the discrepancy).
+    """
+
+    import json
+
+    from .verify import certify_fused, certify_intra, drain_discrepancies
+
+    buffer_elems = (
+        args.buffer_elems
+        if args.buffer_elems is not None
+        else args.buffer_kb * 1024
+    )
+    drain_discrepancies()  # the run's report should only carry its own
+    op = matmul("mm1", args.m, args.k, args.l)
+    if args.consumer_n is None:
+        baseline = optimize_intra(op, buffer_elems)
+        claimed = (
+            None
+            if args.corrupt_ma is None
+            else baseline.memory_access - args.corrupt_ma
+        )
+        certified = certify_intra(
+            op,
+            buffer_elems,
+            result=baseline,
+            claimed_memory_access=claimed,
+            paranoid=args.paranoid,
+        )
+    else:
+        from .core import optimize_fused
+
+        consumer = matmul("mm2", args.m, args.l, args.consumer_n, a=op.output)
+        ops = [op, consumer]
+        baseline = optimize_fused(
+            ops, buffer_elems, include_cross=not args.no_cross
+        )
+        if baseline is None:
+            print(
+                f"error: no fused dataflow fits {buffer_elems} elements",
+                file=sys.stderr,
+            )
+            return 2
+        claimed = (
+            None
+            if args.corrupt_ma is None
+            else baseline.memory_access - args.corrupt_ma
+        )
+        certified = certify_fused(
+            ops,
+            buffer_elems,
+            result=baseline,
+            include_cross=not args.no_cross,
+            claimed_memory_access=claimed,
+            paranoid=args.paranoid,
+        )
+    certificate = certified.certificate
+    if args.json:
+        print(json.dumps(certificate.as_dict(), sort_keys=True, indent=2))
+    else:
+        print(certificate.describe())
+        if certificate.healed:
+            result = certified.result
+            label = getattr(result, "label", None) or result.pattern.label
+            print(
+                f"healed: certified result MA={result.memory_access} "
+                f"({label})"
+            )
+    drain_discrepancies()
+    if args.corrupt_ma is not None:
+        caught = not certificate.ok or (
+            certificate.healed and certificate.discrepancy is not None
+        )
+        if caught:
+            print("corruption caught by the auditor", file=sys.stderr)
+            return 0
+        print(
+            "corruption NOT caught: certificate passed a corrupted claim",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if certificate.ok else 1
 
 
 def _read_batch_payloads(source: str):
@@ -398,6 +556,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             fallback=not args.no_fallback,
             start_method=args.start_method,
             stall_timeout_seconds=args.stall_timeout,
+            paranoid=args.paranoid,
         )
     )
     if args.cache_file and os.path.exists(args.cache_file):
@@ -477,6 +636,13 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     killed by an injected crash-after-2-completions fault, resumed from
     the journal, and its output checked byte-identical to an
     uninterrupted run with only the missing requests recomputed.
+
+    Phase 3 proves the certification layer: a known-good result passes a
+    paranoid certificate, a deliberately corrupted memory-access claim is
+    caught by the cost auditor, and the branch-and-bound fallback heals
+    the pinned ROADMAP counterexample (green-only fused patterns at
+    m=43,k=2,l=19,n=23 @ 173 elements) down to the certified optimum with
+    a populated discrepancy report.
     """
 
     import tempfile
@@ -574,6 +740,55 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         if args.stats:
             print(resumed.render_text(), file=sys.stderr)
 
+    # ------------------------------------------------------------------
+    # Phase 3: certification layer (audit, corruption, healing fallback).
+    # ------------------------------------------------------------------
+    from .core import optimize_fused
+    from .verify import certify_fused, certify_intra, drain_discrepancies
+
+    drain_discrepancies()
+    good_op = matmul("mm", 64, 32, 48)
+    good = certify_intra(good_op, 4096, paranoid=True)
+    if not good.certificate.ok or good.certificate.healed:
+        failures.append(
+            "known-good intra result failed paranoid certification: "
+            + "; ".join(good.certificate.failure_summaries())
+        )
+    corrupted = certify_intra(
+        good_op,
+        4096,
+        claimed_memory_access=good.result.memory_access - 7,
+    )
+    if corrupted.certificate.ok:
+        failures.append("cost auditor passed a corrupted MA claim")
+    healed_ops = [matmul("mm1", 43, 2, 19)]
+    healed_ops.append(matmul("mm2", 43, 19, 23, a=healed_ops[0].output))
+    green_only = optimize_fused(healed_ops, 173, include_cross=False)
+    healed = certify_fused(
+        healed_ops, 173, result=green_only, paranoid=True
+    )
+    discrepancies = drain_discrepancies()
+    if not (
+        healed.certificate.healed
+        and healed.certificate.ok
+        and healed.certificate.discrepancy is not None
+        and healed.result.memory_access
+        < green_only.memory_access
+    ):
+        failures.append(
+            "branch-and-bound fallback did not heal the pinned "
+            "counterexample: "
+            f"green={green_only.memory_access} "
+            f"certified={healed.result.memory_access} "
+            f"healed={healed.certificate.healed}"
+        )
+    if len(discrepancies) != 1:
+        failures.append(
+            f"discrepancy registry recorded {len(discrepancies)} "
+            "report(s); expected 1 (the healed fused counterexample)"
+        )
+    certified_ma = healed.result.memory_access
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -582,7 +797,9 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         "selfcheck ok: "
         f"{report.requests} requests, {report.errors} expected error, "
         f"resilience={report.resilience}; kill-resume ok "
-        f"({replayed} replayed from the journal, byte-identical output)"
+        f"({replayed} replayed from the journal, byte-identical output); "
+        "certification ok (corrupted claim caught, counterexample healed "
+        f"{green_only.memory_access}->{certified_ma})"
     )
     return 0
 
@@ -597,6 +814,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_plan(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "certify":
+        return _cmd_certify(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "selfcheck":
@@ -621,8 +840,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(table3())
         return 0
     if args.command == "fig9":
-        points = run_fig9(include_genetic=not args.fast)
+        points = run_fig9(include_genetic=not args.fast, certify=args.certify)
         print(render_fig9(points))
+        if args.certify:
+            print(f"certified: {len(points)}/{len(points)} points")
         return 0 if all(p.principle_at_most_search for p in points) else 1
     if args.command == "fig10":
         print(render_fig10(run_fig10()))

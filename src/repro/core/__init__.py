@@ -12,6 +12,7 @@ Public surface:
 * :func:`~repro.core.regimes.classify_buffer` -- the four buffer regimes.
 """
 
+from ..ir.operator import InvalidWorkloadError, validate_buffer_elems
 from .regimes import BufferRegime, RegimeReport, classify_buffer
 from .nra import (
     NRACandidate,
@@ -102,7 +103,9 @@ __all__ = [
     "three_nra",
     "two_nra",
     "InfeasibleError",
+    "InvalidWorkloadError",
     "IntraResult",
+    "validate_buffer_elems",
     "one_shot_dataflow",
     "optimize_intra",
     "ALL_PRINCIPLES",

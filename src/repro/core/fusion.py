@@ -31,11 +31,12 @@ and the Principle 4 prediction (same NRA class).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..ir.operator import TensorOperator
+from ..ir.operator import TensorOperator, validate_buffer_elems
 from ..dataflow.cost import PartialSumConvention, tensor_multiplier
 from ..dataflow.fusion_nest import (
     FusedAccessReport,
@@ -100,6 +101,12 @@ class FusedResult:
     dataflow: FusedDataflow
     report: FusedAccessReport
     per_op_nra: Tuple[NRAClass, ...]
+    #: Where the intermediate tiles lived when this dataflow was solved
+    #: (never :attr:`FusionMedium.BEST`; that is resolved per candidate).
+    medium: FusionMedium = FusionMedium.MEMORY
+    #: Attached by the certification layer (:mod:`repro.verify`); typed
+    #: loosely to keep :mod:`repro.core` import-cycle-free.
+    certificate: Optional[Any] = field(default=None, compare=False)
 
     @property
     def memory_access(self) -> int:
@@ -246,6 +253,17 @@ def cross_patterns(chain: FusedChain) -> List[FusedPattern]:
 # Tile solving and evaluation
 # ----------------------------------------------------------------------
 def _shared_order(chain: FusedChain, roles: Mapping[str, Role]) -> Tuple[str, ...]:
+    """Default shared-loop order: role priority (MAXIMIZE outermost).
+
+    This is a sensible default for solving a single pattern, but it is not
+    always the cheapest order -- a tensor indexed by only one common dim is
+    re-swept by common loops ordered before that dim, so
+    :func:`optimize_fused` enumerates every permutation of the (two) common
+    dims rather than trusting this heuristic (the ROADMAP counterexample
+    m=43,k=2,l=19,n=23 @ 173 needs the non-priority order to reach the
+    branch-and-bound optimum).
+    """
+
     priority = {Role.MAXIMIZE: 0, Role.MINIMIZE: 1, Role.UNTILE: 2}
     return tuple(
         sorted(chain.common_dims, key=lambda dim: priority[roles[dim]])
@@ -270,6 +288,7 @@ def solve_pattern(
     buffer_elems: int,
     medium: FusionMedium = FusionMedium.MEMORY,
     register_elems: Optional[int] = None,
+    shared_order: Optional[Tuple[str, ...]] = None,
 ) -> Optional[FusedDataflow]:
     """Resolve a pattern's MAXIMIZE tiles against the capacity constraints.
 
@@ -279,6 +298,12 @@ def solve_pattern(
     excluded from the buffer footprint but must each fit ``register_elems``
     (the group's accumulator count).  Returns ``None`` when even the
     minimal tiles overflow.
+
+    ``shared_order`` fixes the order of the shared (common-dim) loops;
+    ``None`` uses the role-priority default (:func:`_shared_order`).  The
+    order never changes feasibility (the footprint is order-invariant) but
+    does change cost when a tensor is indexed by only one common dim, so
+    callers chasing the exact optimum must try every permutation.
     """
 
     if medium is FusionMedium.BEST:
@@ -301,7 +326,8 @@ def solve_pattern(
             fixed[dim] = 1
         else:
             free.append(dim)
-    shared_order = _shared_order(chain, roles)
+    if shared_order is None:
+        shared_order = _shared_order(chain, roles)
     private_orders = _private_orders(chain)
     intermediates = tuple(t.name for t in chain.intermediates())
     excluded = intermediates if medium is FusionMedium.COMPUTE_UNIT else ()
@@ -406,8 +432,25 @@ def optimize_fused(
     convention: PartialSumConvention = PartialSumConvention.SINGLE,
     medium: FusionMedium = FusionMedium.MEMORY,
     register_elems: Optional[int] = None,
+    certify: bool = False,
+    paranoid: bool = False,
 ) -> Optional[FusedResult]:
-    """Best fused dataflow for a chain, or ``None`` if none fits/fuses."""
+    """Best fused dataflow for a chain, or ``None`` if none fits/fuses.
+
+    Every pattern is solved under *both* shared-loop orders: the order does
+    not affect feasibility but does affect cost whenever a tensor is indexed
+    by only one common dim, and the cheaper order is not always the
+    role-priority one (the ROADMAP counterexample needed the reduction-dim-
+    outermost order to match branch and bound).
+
+    ``certify``/``paranoid`` route the winner through :mod:`repro.verify`:
+    certification failures raise
+    :class:`repro.verify.CertificationError`, and in paranoid mode a
+    budgeted branch-and-bound probe that certifies a better dataflow
+    replaces the analytical answer (self-healing fallback).
+    """
+
+    buffer_elems = validate_buffer_elems(buffer_elems)
     chain = FusedChain.from_ops(ops)
     if len(chain.common_dims) != 2:
         return None
@@ -418,9 +461,11 @@ def optimize_fused(
         media = (FusionMedium.MEMORY, FusionMedium.COMPUTE_UNIT)
     else:
         media = (medium,)
+    shared_orders = tuple(itertools.permutations(chain.common_dims))
     best: Optional[FusedResult] = None
     for pattern in patterns:
       for active_medium in media:
+       for shared_order in shared_orders:
         excluded = (
             tuple(t.name for t in chain.intermediates())
             if active_medium is FusionMedium.COMPUTE_UNIT
@@ -428,7 +473,7 @@ def optimize_fused(
         )
         dataflow = solve_pattern(
             chain, pattern, buffer_elems, medium=active_medium,
-            register_elems=register_elems,
+            register_elems=register_elems, shared_order=shared_order,
         )
         if dataflow is None:
             continue
@@ -444,8 +489,47 @@ def optimize_fused(
                 dataflow=dataflow,
                 report=report,
                 per_op_nra=per_op_nra_classes(chain, dataflow),
+                medium=active_medium,
             )
-    return best
+    return _maybe_certify_fused(
+        best, ops, buffer_elems, include_cross, convention,
+        register_elems, certify, paranoid,
+    )
+
+
+def _maybe_certify_fused(
+    result: Optional[FusedResult],
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    include_cross: bool,
+    convention: PartialSumConvention,
+    register_elems: Optional[int],
+    certify: bool,
+    paranoid: bool,
+) -> Optional[FusedResult]:
+    if result is None or not (certify or paranoid):
+        return result
+    # Lazy import: repro.verify depends on repro.core (cycle otherwise).
+    from ..verify import CertificationError, certify_fused
+
+    certified = certify_fused(
+        ops,
+        buffer_elems,
+        result=result,
+        include_cross=include_cross,
+        convention=convention,
+        register_elems=register_elems,
+        paranoid=paranoid,
+    )
+    if not certified.certificate.ok:
+        raise CertificationError(
+            "certification failed for fused chain "
+            + "+".join(op.name for op in ops)
+            + ": "
+            + "; ".join(certified.certificate.failure_summaries()),
+            certificate=certified.certificate,
+        )
+    return certified.result
 
 
 # ----------------------------------------------------------------------
@@ -501,15 +585,30 @@ def decide_fusion(
     convention: PartialSumConvention = PartialSumConvention.SINGLE,
     medium: FusionMedium = FusionMedium.MEMORY,
     register_elems: Optional[int] = None,
+    certify: bool = False,
+    paranoid: bool = False,
 ) -> FusionDecision:
-    """Evaluate fusing a chain: best fused vs. per-operator optima."""
+    """Evaluate fusing a chain: best fused vs. per-operator optima.
+
+    ``certify``/``paranoid`` apply to both sides of the comparison: the
+    per-operator optima and the fused winner are all independently
+    validated (and, in paranoid mode, probed) through :mod:`repro.verify`.
+    """
+
     ops = tuple(ops)
+    buffer_elems = validate_buffer_elems(buffer_elems)
     if len(ops) < 2:
         raise FusionError("fusion decision needs at least two operators")
-    unfused = tuple(optimize_intra(op, buffer_elems, convention) for op in ops)
+    unfused = tuple(
+        optimize_intra(
+            op, buffer_elems, convention, certify=certify, paranoid=paranoid
+        )
+        for op in ops
+    )
     fused = optimize_fused(
         ops, buffer_elems, include_cross, convention,
         medium=medium, register_elems=register_elems,
+        certify=certify, paranoid=paranoid,
     )
     predicted = all(
         principle4_same_nra(a, b, buffer_elems, convention)

@@ -11,10 +11,10 @@ of *which* candidate wins where -- and the test suite asserts it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
 
-from ..ir.operator import TensorOperator
+from ..ir.operator import TensorOperator, validate_buffer_elems
 from ..dataflow.cost import (
     MemoryAccessReport,
     PartialSumConvention,
@@ -49,6 +49,10 @@ class IntraResult:
     report: MemoryAccessReport
     regime: Optional[RegimeReport]
     label: str
+    #: Attached by the certification layer (:mod:`repro.verify`) when the
+    #: result was produced with ``certify=True``/``paranoid=True``; typed
+    #: loosely to keep :mod:`repro.core` import-cycle-free.
+    certificate: Optional[Any] = field(default=None, compare=False)
 
     @property
     def memory_access(self) -> int:
@@ -103,6 +107,8 @@ def optimize_intra(
     operator: TensorOperator,
     buffer_elems: int,
     convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    certify: bool = False,
+    paranoid: bool = False,
 ) -> IntraResult:
     """Principle-based optimal intra-operator dataflow.
 
@@ -115,19 +121,30 @@ def optimize_intra(
     convention:
         Partial-sum accounting convention (see
         :class:`repro.dataflow.cost.PartialSumConvention`).
+    certify:
+        Independently validate the result through :mod:`repro.verify`
+        (feasibility, cost audit, bound, regime) and attach the
+        certificate; a failed check raises
+        :class:`repro.verify.CertificationError`.
+    paranoid:
+        Implies ``certify`` and additionally cross-checks against a
+        budgeted branch-and-bound probe; if the probe certifies a better
+        dataflow, that dataflow is returned instead (self-healing
+        fallback) and the discrepancy is recorded.
     """
 
-    if buffer_elems <= 0:
-        raise ValueError("buffer size must be positive")
+    buffer_elems = validate_buffer_elems(buffer_elems)
     if is_streaming(operator):
         dataflow = streaming_dataflow(operator)
-        report = memory_access(operator, dataflow, convention)
-        return IntraResult(
+        result = IntraResult(
             operator=operator,
             dataflow=dataflow,
-            report=report,
+            report=memory_access(operator, dataflow, convention),
             regime=None,
             label="streaming",
+        )
+        return _maybe_certify_intra(
+            result, buffer_elems, convention, certify, paranoid
         )
     if not is_mm_like(operator):
         raise UnsupportedOperatorError(
@@ -135,13 +152,45 @@ def optimize_intra(
         )
     candidates = all_candidates(operator, buffer_elems)
     best, report = _pick_best(operator, candidates, buffer_elems, convention)
-    return IntraResult(
+    result = IntraResult(
         operator=operator,
         dataflow=best.dataflow,
         report=report,
         regime=classify_buffer(operator, buffer_elems),
         label=best.label,
     )
+    return _maybe_certify_intra(
+        result, buffer_elems, convention, certify, paranoid
+    )
+
+
+def _maybe_certify_intra(
+    result: IntraResult,
+    buffer_elems: int,
+    convention: PartialSumConvention,
+    certify: bool,
+    paranoid: bool,
+) -> IntraResult:
+    if not (certify or paranoid):
+        return result
+    # Imported lazily: repro.verify depends on repro.core, so a module-level
+    # import here would be circular.
+    from ..verify import CertificationError, certify_intra
+
+    certified = certify_intra(
+        result.operator,
+        buffer_elems,
+        result=result,
+        convention=convention,
+        paranoid=paranoid,
+    )
+    if not certified.certificate.ok:
+        raise CertificationError(
+            f"certification failed for {result.operator.name!r}: "
+            + "; ".join(certified.certificate.failure_summaries()),
+            certificate=certified.certificate,
+        )
+    return certified.result
 
 
 def one_shot_dataflow(

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Tuple
 
-from ..ir.operator import TensorOperator
+from ..ir.operator import TensorOperator, validate_buffer_elems
 from ..dataflow.spec import NRAClass
 
 
@@ -66,8 +66,7 @@ class RegimeReport:
 
 def classify_buffer(operator: TensorOperator, buffer_elems: int) -> RegimeReport:
     """Classify ``buffer_elems`` per the paper's four-regime table."""
-    if buffer_elems <= 0:
-        raise ValueError("buffer size must be positive")
+    buffer_elems = validate_buffer_elems(buffer_elems)
     d_min = min(operator.dims.values())
     tensor_min = operator.smallest_tensor.size
     threshold_tiny = d_min * d_min / 4

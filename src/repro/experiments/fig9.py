@@ -46,6 +46,10 @@ class Fig9Point:
     principle: int
     exhaustive: Optional[int]
     genetic: Optional[int]
+    #: ``True`` when the point's principle result carried an independent
+    #: certificate (``run_fig9(certify=True)``); ``None`` when the sweep
+    #: ran without certification.
+    certified: Optional[bool] = None
 
     @property
     def principle_normalized(self) -> float:
@@ -78,8 +82,16 @@ def run_fig9(
     buffer_sweep_bytes: Sequence[int] = PAPER_BUFFER_SWEEP_BYTES,
     ga_settings: GASettings = GASettings(population=48, generations=40),
     include_genetic: bool = True,
+    certify: bool = False,
 ) -> List[Fig9Point]:
-    """Run the Fig. 9 sweep and return one point per (operator, BS)."""
+    """Run the Fig. 9 sweep and return one point per (operator, BS).
+
+    With ``certify=True`` every principle point is revalidated by the
+    independent :mod:`repro.verify` auditors (feasibility, recounted MA,
+    lower bound, regime).  A point that fails its certificate raises
+    :class:`~repro.verify.CertificationError` -- a reproduction figure
+    built on an uncertified claim is worse than no figure.
+    """
     if operators is None:
         operators = default_operators()
     points: List[Fig9Point] = []
@@ -89,7 +101,22 @@ def run_fig9(
             buffer_elems = buffer_bytes  # 1-byte elements (paper accounting)
             # Shared service cache: repeated (dims, buffer) tuples across
             # operators and harnesses are optimized once per process.
-            principle = cached_optimize_intra(operator, buffer_elems).memory_access
+            result = cached_optimize_intra(operator, buffer_elems)
+            certified: Optional[bool] = None
+            if certify:
+                from ..verify import CertificationError, certify_intra
+
+                certificate = certify_intra(
+                    operator, buffer_elems, result=result
+                ).certificate
+                if not certificate.ok:
+                    raise CertificationError(
+                        f"fig9 point ({operator.name}, {buffer_bytes}B) "
+                        "failed certification: "
+                        + "; ".join(certificate.failure_summaries()),
+                        certificate=certificate,
+                    )
+                certified = True
             searched = exhaustive_search(operator, buffer_elems)
             genetic = (
                 genetic_search(operator, buffer_elems, ga_settings)
@@ -102,9 +129,10 @@ def run_fig9(
                     buffer_bytes=buffer_bytes,
                     regime=classify_buffer(operator, buffer_elems).regime.value,
                     ideal=ideal,
-                    principle=principle,
+                    principle=result.memory_access,
                     exhaustive=None if searched is None else searched.memory_access,
                     genetic=None if genetic is None else genetic.memory_access,
+                    certified=certified,
                 )
             )
     return points

@@ -13,12 +13,14 @@ The IR layer provides the vocabulary every other subsystem builds on:
 
 from .tensor import Tensor, matrix
 from .operator import (
+    InvalidWorkloadError,
     OperatorError,
     TensorOperator,
     batched_matmul,
     elementwise,
     matmul,
     rowwise_softmax,
+    validate_buffer_elems,
 )
 from .conv import Conv2DShape, conv2d, conv2d_as_matmul
 from .einsum import einsum_operator
@@ -33,7 +35,9 @@ __all__ = [
     "Tensor",
     "matrix",
     "TensorOperator",
+    "InvalidWorkloadError",
     "OperatorError",
+    "validate_buffer_elems",
     "matmul",
     "batched_matmul",
     "elementwise",

@@ -36,8 +36,47 @@ from typing import FrozenSet, Mapping, Optional, Tuple
 from .tensor import Tensor
 
 
-class OperatorError(ValueError):
+class InvalidWorkloadError(ValueError):
+    """Raised for structurally invalid workloads.
+
+    Covers zero/negative/NaN loop extents, non-integer sizes, and
+    non-positive buffer budgets -- anything that makes the *request*
+    unanswerable regardless of how often it is retried.  The service
+    layer maps this to its permanent-error category
+    (:mod:`repro.service.errors`), so malformed batch requests fail
+    loud, exactly once, and are journaled as permanent.
+    """
+
+
+class OperatorError(InvalidWorkloadError):
     """Raised for malformed operator definitions."""
+
+
+def validate_buffer_elems(buffer_elems: object) -> int:
+    """Validate a buffer budget at the ir/core boundary.
+
+    Accepts positive integers (and integral floats, which are common when
+    budgets arrive from JSON); rejects booleans, NaN/inf, fractional sizes,
+    and non-positive values with :class:`InvalidWorkloadError`.
+    """
+
+    if isinstance(buffer_elems, bool):
+        raise InvalidWorkloadError(
+            f"buffer size must be an integer, got {buffer_elems!r}"
+        )
+    if isinstance(buffer_elems, float):
+        if not math.isfinite(buffer_elems) or buffer_elems != int(buffer_elems):
+            raise InvalidWorkloadError(
+                f"buffer size must be an integer, got {buffer_elems!r}"
+            )
+        buffer_elems = int(buffer_elems)
+    if not isinstance(buffer_elems, int):
+        raise InvalidWorkloadError(
+            f"buffer size must be an integer, got {type(buffer_elems).__name__}"
+        )
+    if buffer_elems <= 0:
+        raise InvalidWorkloadError("buffer size must be positive")
+    return buffer_elems
 
 
 @dataclass(frozen=True)
@@ -86,7 +125,7 @@ class TensorOperator:
         if not self.dims:
             raise OperatorError(f"operator {self.name!r} needs at least one loop dim")
         for dim, extent in self.dims.items():
-            if not isinstance(extent, int) or extent <= 0:
+            if isinstance(extent, bool) or not isinstance(extent, int) or extent <= 0:
                 raise OperatorError(
                     f"operator {self.name!r} dim {dim!r} has invalid extent {extent!r}"
                 )

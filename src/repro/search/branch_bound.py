@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.operator import TensorOperator
-from ..dataflow.cost import memory_access
+from ..dataflow.cost import PartialSumConvention, memory_access
 from ..dataflow.scheduling import Schedule, all_schedules
 from ..dataflow.spec import Dataflow
 from ..dataflow.tiling import Tiling
@@ -70,12 +70,22 @@ def _linear_cost(
     operator: TensorOperator,
     mult_dims: Dict[str, Optional[str]],
     trips: Dict[str, int],
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
 ) -> int:
     total = 0
     for tensor in operator.tensors:
         dim = mult_dims[tensor.name]
         factor = trips[dim] if dim is not None else 1
-        total += tensor.size * factor
+        if (
+            tensor.name == operator.output.name
+            and convention is PartialSumConvention.READ_WRITE
+        ):
+            # 2*passes - 1 accesses per element: still linear and still
+            # monotonically increasing in the trip count, so the
+            # cheapest-corner bound stays valid.
+            total += tensor.size * (2 * factor - 1)
+        else:
+            total += tensor.size * factor
     return total
 
 
@@ -97,8 +107,16 @@ def _optimize_order(
     operator: TensorOperator,
     order: Tuple[str, ...],
     buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    budget: Optional[List[int]] = None,
 ) -> Optional[Tuple[int, Dict[str, int], int]]:
-    """Global optimum (cost, trips, nodes) for one loop order, or None."""
+    """Global optimum (cost, trips, nodes) for one loop order, or None.
+
+    ``budget`` is a shared single-element node allowance (mutated in
+    place); when it runs out the search stops expanding and returns the
+    best found so far, which may be suboptimal but is always feasible.
+    """
+
     mult_dims = _multiplier_dims(operator, order)
     dims = list(operator.dims)
     root = _Box(
@@ -110,13 +128,17 @@ def _optimize_order(
     stack: List[_Box] = [root]
     nodes = 0
     while stack:
+        if budget is not None:
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
         box = stack.pop()
         nodes += 1
         # Feasibility: the most-tiled corner has the smallest footprint.
         if _min_footprint(operator, box.high) > buffer_elems:
             continue
         # Bound: the least-tiled corner has the smallest cost.
-        bound = _linear_cost(operator, mult_dims, box.low)
+        bound = _linear_cost(operator, mult_dims, box.low, convention)
         if best_cost is not None and bound >= best_cost:
             continue
         # Is the cheapest corner itself feasible?  Then it is this box's
@@ -145,16 +167,24 @@ def _optimize_order(
 def branch_and_bound_search(
     operator: TensorOperator,
     buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    max_nodes: Optional[int] = None,
 ) -> Optional[SearchResult]:
     """Provably optimal dataflow over the modeled space (all orders).
 
-    Returns ``None`` when no dataflow fits the buffer.
+    Returns ``None`` when no dataflow fits the buffer.  ``max_nodes``
+    bounds the total nodes expanded across all loop orders (the
+    certification layer's budgeted probe); an exhausted budget returns the
+    best feasible dataflow found so far, dropping the optimality proof.
     """
 
     best: Optional[Tuple[int, Dataflow]] = None
     nodes = 0
+    budget = [max_nodes] if max_nodes is not None else None
     for schedule in all_schedules(operator):
-        outcome = _optimize_order(operator, schedule.order, buffer_elems)
+        outcome = _optimize_order(
+            operator, schedule.order, buffer_elems, convention, budget
+        )
         if outcome is None:
             continue
         cost, trips, visited = outcome
@@ -164,7 +194,7 @@ def branch_and_bound_search(
             for dim, extent in operator.dims.items()
         }
         dataflow = Dataflow(Tiling(tiles), schedule)
-        total = memory_access(operator, dataflow).total
+        total = memory_access(operator, dataflow, convention).total
         if best is None or total < best[0]:
             best = (total, dataflow)
     if best is None:
@@ -193,6 +223,8 @@ class FusedBBResult:
 def branch_and_bound_fused_search(
     ops: List[TensorOperator],
     buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    max_nodes: Optional[int] = None,
 ) -> Optional[FusedBBResult]:
     """Provably optimal *fused* dataflow for a two-matmul chain.
 
@@ -203,12 +235,16 @@ def branch_and_bound_fused_search(
       (evaluated through :func:`fused_memory_access`; fused cost is
       monotone in every trip count, so the corner bounds the box);
     * the structure (shared loops over the intermediate's dims, one private
-      loop per operator) is fixed -- the orders of shared dims do not
-      affect the reuse-rule cost, and private loops cannot legally move
-      outside the shared nest.
+      loop per operator) is fixed, but every permutation of the shared
+      dims is enumerated -- a tensor indexed by only one common dim is
+      re-swept by common loops ordered before it, so the order changes
+      cost; private loops cannot legally move outside the shared nest.
 
     Used to certify that the Fig. 4 pattern set plus integer refinement
     (`repro.core.fusion.optimize_fused`) covers the global fused optimum.
+    ``max_nodes`` bounds the nodes expanded across all shared orders (the
+    certification layer's budgeted probe); exhausting it returns the best
+    feasible dataflow found so far without the optimality proof.
     """
 
     from ..dataflow.fusion_nest import (
@@ -248,7 +284,7 @@ def branch_and_bound_fused_search(
             )
 
         def true_cost(trips: Dict[str, int]) -> Optional[int]:
-            report = fused_memory_access(chain, build(trips))
+            report = fused_memory_access(chain, build(trips), convention)
             return report.total if report.fusable else None
 
         def footprint(trips: Dict[str, int]) -> int:
@@ -261,6 +297,8 @@ def branch_and_bound_fused_search(
             )
         ]
         while stack:
+            if max_nodes is not None and nodes >= max_nodes:
+                break
             low, high = stack.pop()
             nodes += 1
             if footprint(high) > buffer_elems:

@@ -92,9 +92,11 @@ from .intra_cache import (
 from .metrics import CounterRegistry, Stopwatch
 from .report import BatchEntry, BatchReport
 from .requests import (
+    PARANOID_KINDS,
     REQUEST_KINDS,
     AnalysisRequest,
     RequestError,
+    apply_paranoid,
     fusion_request,
     graph_plan_request,
     intra_request,
@@ -137,6 +139,7 @@ __all__ = [
     "JournalExistsError",
     "JournalVersionError",
     "LRUCache",
+    "PARANOID_KINDS",
     "PERMANENT",
     "PermanentError",
     "PoolBrokenError",
@@ -152,6 +155,7 @@ __all__ = [
     "TransientError",
     "WorkerCrashError",
     "active_fault_plan",
+    "apply_paranoid",
     "cached_optimize_intra",
     "classify_error_name",
     "classify_exception",

@@ -60,7 +60,13 @@ from .faults import active_fault_plan
 from .journal import BatchJournal
 from .metrics import CounterRegistry, Stopwatch
 from .report import BatchEntry, BatchReport
-from .requests import AnalysisRequest, RequestError, parse_request, request_key
+from .requests import (
+    AnalysisRequest,
+    RequestError,
+    apply_paranoid,
+    parse_request,
+    request_key,
+)
 from .resilience import CircuitBreaker, RetryPolicy
 from .workers import result_digest, run_payload
 
@@ -173,6 +179,12 @@ class EngineConfig:
     #: pools) a worker respawn, the same escalation path as a preempted
     #: deadline.  ``None`` disables the watchdog.
     stall_timeout_seconds: Optional[float] = None
+    #: Rewrite every certification-capable request (intra/fusion) to run
+    #: under paranoid certification: results are independently audited and
+    #: cross-checked against a budgeted branch-and-bound probe, with the
+    #: self-healing fallback on discrepancy.  Changes request keys (a
+    #: paranoid result record carries a certificate an ordinary one lacks).
+    paranoid: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs <= 0:
@@ -281,6 +293,8 @@ class BatchEngine:
                 request = (
                     raw if isinstance(raw, AnalysisRequest) else parse_request(raw)
                 )
+                if self.config.paranoid:
+                    request = apply_paranoid(request)
             except RequestError as exc:
                 self.counters.increment("errors")
                 self.breaker.record_failure(exc.kind, PERMANENT)

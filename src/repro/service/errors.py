@@ -10,11 +10,17 @@ cache, and replay from a warm cache file.
 
 Transient by construction: deadline overruns, worker crashes, broken
 pools, corrupted result envelopes.  Permanent by construction: malformed
-requests (:class:`~repro.service.requests.RequestError`), infeasible
+requests (:class:`~repro.service.requests.RequestError`), structurally
+invalid workloads (:class:`~repro.ir.operator.InvalidWorkloadError` --
+zero/negative dims, non-positive or non-integer buffer sizes), infeasible
 buffers (:class:`~repro.core.intra.InfeasibleError`), impossible fusions
-(:class:`~repro.dataflow.fusion_nest.FusionError`), unknown models, and a
-tripped circuit breaker.  Anything unrecognized defaults to permanent --
-retrying an unknown failure mode is how retry storms start.
+(:class:`~repro.dataflow.fusion_nest.FusionError`), certification
+failures (:class:`~repro.verify.CertificationError` -- the audit recount
+is deterministic, so a failed certificate fails identically on every
+retry), unknown models, and a tripped circuit breaker.  All of these are
+``ValueError`` subclasses outside :data:`_TRANSIENT_NAMES`, so the
+name-based default covers them.  Anything unrecognized defaults to
+permanent -- retrying an unknown failure mode is how retry storms start.
 """
 
 from __future__ import annotations

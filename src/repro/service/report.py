@@ -89,6 +89,56 @@ class BatchReport:
     def result_records(self) -> List[Dict[str, Any]]:
         return [entry.result_record() for entry in self.entries]
 
+    # ------------------------------------------------------------------
+    # Certification surfacing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _certifications(record: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """All certificate dicts embedded in one result record.
+
+        Intra results carry one ``certification`` dict; fusion results
+        carry a mapping of them (one per unfused operator plus the fused
+        winner).
+        """
+
+        result = record.get("result")
+        if not isinstance(result, dict):
+            return []
+        certification = result.get("certification")
+        if certification is None:
+            return []
+        if "checks" in certification:
+            return [certification]
+        return [
+            value
+            for value in certification.values()
+            if isinstance(value, dict) and "checks" in value
+        ]
+
+    @property
+    def certified(self) -> int:
+        """Entries whose result carries at least one passing certificate."""
+        count = 0
+        for entry in self.entries:
+            if not entry.ok:
+                continue
+            certifications = self._certifications(entry.record)
+            if certifications and all(c.get("ok") for c in certifications):
+                count += 1
+        return count
+
+    def discrepancies(self) -> List[Dict[str, Any]]:
+        """All discrepancy reports recorded by healed certificates."""
+        found: List[Dict[str, Any]] = []
+        for entry in self.entries:
+            if not entry.ok:
+                continue
+            for certification in self._certifications(entry.record):
+                discrepancy = certification.get("discrepancy")
+                if discrepancy:
+                    found.append(discrepancy)
+        return found
+
     def to_jsonl(self) -> str:
         """One sorted-key JSON object per request, in input order."""
         return "\n".join(
@@ -106,6 +156,8 @@ class BatchReport:
         return {
             "requests": self.requests,
             "errors": self.errors,
+            "certified": self.certified,
+            "discrepancies": len(self.discrepancies()),
             "computed": self.computed,
             "cached_answers": self.cached_answers,
             "deduplicated": self.deduplicated,
@@ -147,6 +199,11 @@ class BatchReport:
             f" size={cache['size']}/{cache['maxsize']}"
             f" hit_rate={cache['hit_rate']:.1%}",
         ]
+        if summary["certified"] or summary["discrepancies"]:
+            lines.append(
+                f"certification : certified={summary['certified']}"
+                f" discrepancies={summary['discrepancies']}"
+            )
         journal = summary["journal"]
         if journal:
             lines.append(

@@ -50,6 +50,8 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[str, bool, Any]]] = {
         "l": (_INT, True, None),
         "buffer_elems": (_INT, True, None),
         "convention": (_STR, False, "single"),
+        "certify": (_BOOL, False, False),
+        "paranoid": (_BOOL, False, False),
     },
     "fusion": {
         "m": (_INT, True, None),
@@ -59,6 +61,8 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[str, bool, Any]]] = {
         "buffer_elems": (_INT, True, None),
         "include_cross": (_BOOL, False, False),
         "convention": (_STR, False, "single"),
+        "certify": (_BOOL, False, False),
+        "paranoid": (_BOOL, False, False),
     },
     "graph_plan": {
         "model": (_STR, True, None),
@@ -80,6 +84,11 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[str, bool, Any]]] = {
 }
 
 REQUEST_KINDS: Tuple[str, ...] = tuple(sorted(_SCHEMAS))
+
+#: Request kinds that understand the ``certify``/``paranoid`` params.
+PARANOID_KINDS: Tuple[str, ...] = tuple(
+    sorted(kind for kind, schema in _SCHEMAS.items() if "paranoid" in schema)
+)
 
 
 @dataclass(frozen=True)
@@ -172,6 +181,27 @@ def parse_request(payload: Mapping[str, Any]) -> AnalysisRequest:
     )
 
 
+def apply_paranoid(request: AnalysisRequest) -> AnalysisRequest:
+    """Rewrite a request to run under paranoid certification.
+
+    Kinds that do not understand the ``paranoid`` param pass through
+    untouched.  Note the rewrite changes the request's canonical payload
+    and therefore its :func:`request_key` -- paranoid and ordinary runs of
+    the same analysis are distinct cache entries by design (their result
+    records differ: only the former carries a certificate).
+    """
+
+    if request.kind not in PARANOID_KINDS:
+        return request
+    params = request.param_dict
+    if params.get("paranoid"):
+        return request
+    params["paranoid"] = True
+    return AnalysisRequest(
+        kind=request.kind, params=tuple(sorted(params.items()))
+    )
+
+
 def request_key(request: AnalysisRequest) -> str:
     """Stable content-addressed key: SHA-256 over the canonical JSON."""
     canonical = json.dumps(
@@ -184,7 +214,13 @@ def request_key(request: AnalysisRequest) -> str:
 # Convenience constructors
 # ----------------------------------------------------------------------
 def intra_request(
-    m: int, k: int, l: int, buffer_elems: int, convention: str = "single"
+    m: int,
+    k: int,
+    l: int,
+    buffer_elems: int,
+    convention: str = "single",
+    certify: bool = False,
+    paranoid: bool = False,
 ) -> AnalysisRequest:
     return parse_request(
         {
@@ -192,6 +228,8 @@ def intra_request(
             "m": m, "k": k, "l": l,
             "buffer_elems": buffer_elems,
             "convention": convention,
+            "certify": certify,
+            "paranoid": paranoid,
         }
     )
 
@@ -204,6 +242,8 @@ def fusion_request(
     buffer_elems: int,
     include_cross: bool = False,
     convention: str = "single",
+    certify: bool = False,
+    paranoid: bool = False,
 ) -> AnalysisRequest:
     return parse_request(
         {
@@ -212,6 +252,8 @@ def fusion_request(
             "buffer_elems": buffer_elems,
             "include_cross": include_cross,
             "convention": convention,
+            "certify": certify,
+            "paranoid": paranoid,
         }
     )
 

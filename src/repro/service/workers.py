@@ -52,8 +52,14 @@ def _convention(name: str) -> PartialSumConvention:
     )
 
 
+def _certification_dict(result: Any) -> Optional[Dict[str, Any]]:
+    """JSON form of an attached certificate (ints/strs/bools only)."""
+    certificate = getattr(result, "certificate", None)
+    return None if certificate is None else certificate.as_dict()
+
+
 def _intra_result_dict(result: Any) -> Dict[str, Any]:
-    return {
+    record = {
         "operator": result.operator.name,
         "dims": dict(result.operator.dims),
         "memory_access": result.memory_access,
@@ -68,12 +74,20 @@ def _intra_result_dict(result: Any) -> Dict[str, Any]:
             for name, entry in sorted(result.report.per_tensor.items())
         },
     }
+    certification = _certification_dict(result)
+    if certification is not None:
+        record["certification"] = certification
+    return record
 
 
 def _execute_intra(params: Mapping[str, Any]) -> Dict[str, Any]:
     op = matmul("mm", params["m"], params["k"], params["l"])
     result = optimize_intra(
-        op, params["buffer_elems"], _convention(params["convention"])
+        op,
+        params["buffer_elems"],
+        _convention(params["convention"]),
+        certify=params.get("certify", False),
+        paranoid=params.get("paranoid", False),
     )
     return _intra_result_dict(result)
 
@@ -86,8 +100,10 @@ def _execute_fusion(params: Mapping[str, Any]) -> Dict[str, Any]:
         params["buffer_elems"],
         include_cross=params["include_cross"],
         convention=_convention(params["convention"]),
+        certify=params.get("certify", False),
+        paranoid=params.get("paranoid", False),
     )
-    return {
+    record = {
         "ops": [op.name for op in decision.ops],
         "unfused_memory_access": decision.unfused_memory_access,
         "fused_memory_access": decision.fused_memory_access,
@@ -96,6 +112,19 @@ def _execute_fusion(params: Mapping[str, Any]) -> Dict[str, Any]:
         "saving": round(decision.saving, 6),
         "fused": None if decision.fused is None else decision.fused.describe(),
     }
+    certifications = {}
+    for intra in decision.unfused:
+        certification = _certification_dict(intra)
+        if certification is not None:
+            certifications[intra.operator.name] = certification
+    fused_certification = (
+        None if decision.fused is None else _certification_dict(decision.fused)
+    )
+    if fused_certification is not None:
+        certifications["fused"] = fused_certification
+    if certifications:
+        record["certification"] = certifications
+    return record
 
 
 def _execute_graph_plan(params: Mapping[str, Any]) -> Dict[str, Any]:

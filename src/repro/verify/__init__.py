@@ -1,0 +1,58 @@
+"""Self-verification layer: certificates, audits, and healing fallbacks.
+
+Independently validates optimization results from :mod:`repro.core`
+against first-principles recounts (:mod:`repro.verify.audit`), the
+Theorem lower bound, and -- in paranoid mode -- a budgeted
+branch-and-bound probe with a self-healing fallback
+(:mod:`repro.verify.certify`).
+
+Import direction: this package imports :mod:`repro.core` and
+:mod:`repro.search`; :mod:`repro.core` only imports it lazily inside the
+``certify=``/``paranoid=`` paths, so there is no cycle at import time.
+"""
+
+from .audit import (
+    audit_footprint,
+    audit_fused_footprint,
+    audit_fused_memory_access,
+    audit_memory_access,
+    simulate_memory_access,
+)
+from .certificate import (
+    Certificate,
+    CertificationError,
+    CheckResult,
+    DiscrepancyReport,
+)
+from .certify import (
+    DEFAULT_PROBE_NODES,
+    DEFAULT_SIMULATE_LIMIT,
+    CertifiedFused,
+    CertifiedIntra,
+    certify_fused,
+    certify_intra,
+    drain_discrepancies,
+    list_discrepancies,
+    record_discrepancy,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificationError",
+    "CertifiedFused",
+    "CertifiedIntra",
+    "CheckResult",
+    "DEFAULT_PROBE_NODES",
+    "DEFAULT_SIMULATE_LIMIT",
+    "DiscrepancyReport",
+    "audit_footprint",
+    "audit_fused_footprint",
+    "audit_fused_memory_access",
+    "audit_memory_access",
+    "certify_fused",
+    "certify_intra",
+    "drain_discrepancies",
+    "list_discrepancies",
+    "record_discrepancy",
+    "simulate_memory_access",
+]

@@ -94,6 +94,17 @@ class TestFig9:
         )
         assert "principle" in render_fig9(points)
 
+    def test_certified_sweep(self):
+        """Every principle point survives independent certification."""
+        op = matmul("t", 64, 48, 56)
+        points = run_fig9(
+            operators=[op],
+            buffer_sweep_bytes=[256, 2048, 16384],
+            include_genetic=False,
+            certify=True,
+        )
+        assert all(p.certified for p in points)
+
 
 class TestFig10:
     @pytest.fixture(scope="class")

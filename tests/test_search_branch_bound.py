@@ -118,21 +118,15 @@ class TestFusedPatternsCertifiedOptimal:
             budget,
         )
 
-    @pytest.mark.xfail(
-        strict=False,
-        reason=(
-            "known gap (ROADMAP.md): on this degenerate shape the fused "
-            "B&B reaches MA 3936 via an uneven tiling the Fig. 4 pattern "
-            "set cannot express (pattern-set best: 3964)"
-        ),
-    )
     def test_roadmap_counterexample_m43_k2_l19_n23(self):
-        """Pinned counterexample from the ROADMAP: hypothesis once found
-        (m=43, k=2, l=19, n=23, budget=173) where the full arrow set is
-        ~0.7% above the exact fused optimum.  Kept as a non-strict xfail so
-        the gap is tracked explicitly instead of ambushing the randomized
-        test above -- if a future pattern-set extension closes it, this
-        starts XPASS-ing and should be promoted to a plain assertion."""
+        """Pinned counterexample once tracked in the ROADMAP: hypothesis
+        found (m=43, k=2, l=19, n=23, budget=173) where the full arrow set
+        sat ~0.7% above the exact fused optimum (3964 vs 3936).  The gap
+        was not an inexpressible uneven tiling -- the tiles were fine -- but
+        the role-priority shared-loop order: with K untiled, A's multiplier
+        depends on whether M or L is outermost, and the optimum needs the
+        non-priority (L, M) order.  ``optimize_fused`` now enumerates every
+        permutation of the shared dims, so this asserts exact equality."""
         from repro.core import optimize_fused
         from repro.search import branch_and_bound_fused_search
 
