@@ -27,11 +27,24 @@ Subpackages
 ``repro.workloads``   the seven Table II transformer models
 ``repro.experiments`` per-table/figure reproduction harnesses
 ``repro.service``     batch analysis engine (parallel + cached + metered)
+``repro.server``      HTTP serving daemon + client over the batch engine
 """
 
-from . import arch, core, dataflow, experiments, ir, search, service, workloads
+# Version is defined before the subpackage imports so that subpackages
+# (e.g. repro.server.protocol) can read it during package initialization.
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from . import (  # noqa: E402
+    arch,
+    core,
+    dataflow,
+    experiments,
+    ir,
+    search,
+    server,
+    service,
+    workloads,
+)
 
 __all__ = [
     "arch",
@@ -40,6 +53,7 @@ __all__ = [
     "experiments",
     "ir",
     "search",
+    "server",
     "service",
     "workloads",
     "__version__",

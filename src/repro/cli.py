@@ -15,9 +15,16 @@ batch FILE          evaluate JSON-lines analysis requests through the
                     batch engine (``--jobs``, ``--cache-file``, ``--stats``,
                     retry/deadline/breaker knobs, ``--strict``,
                     ``--paranoid`` for certified-and-probed results)
+serve               run the long-lived HTTP serving daemon over the batch
+                    engine (``--port --jobs --queue-depth --rate-limit
+                    --paranoid --journal``; SIGTERM drains losslessly)
+call FILE           evaluate requests against a running ``repro serve``
+                    daemon via :class:`repro.server.ReproClient`
+                    (deterministic retries on 429/503; ``--health``,
+                    ``--server-stats``)
 selfcheck           run a small fault-injected batch end to end and verify
-                    the resilience and certification layers held (CI smoke
-                    test)
+                    the resilience, certification, and serving layers held
+                    (CI smoke test)
 tables              render paper Tables I-III
 fig9 / fig10 / fig11 / fig12
                     regenerate a paper figure's rows/series
@@ -60,12 +67,20 @@ def _buffer_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .server.protocol import version_banner
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Principle-based dataflow optimization for operator-fused "
             "tensor accelerators (DAC 2025 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=version_banner(),
+        help="print package + protocol versions and exit",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -287,6 +302,181 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_ENABLE_FAULT_INJECTION=1 in the environment",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived HTTP serving daemon over the batch engine "
+        "(admission control, rate limiting, live /metrics; SIGTERM drains "
+        "in-flight work losslessly)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 for all interfaces)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="TCP port (default 8177; 0 picks an ephemeral port, printed "
+        "on stderr at startup)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="engine thread-pool width per analyze call (default 1)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache bound in entries (default 4096)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="analyze calls executing at once (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="analyze calls allowed to wait for a slot before the server "
+        "sheds load with 503 + Retry-After (default 16)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="PER_SECOND",
+        help="per-client admission rate; an empty token bucket answers "
+        "429 + Retry-After (default 0: disabled)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="token-bucket burst capacity (default: max(1, rate-limit))",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline applied when the client sends "
+        "no X-Repro-Deadline (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ceiling on client-requested deadlines (default: unbounded)",
+    )
+    serve.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run every certification-capable request under paranoid "
+        "certification (audited + branch-and-bound probed)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal: completed requests are fsync'd here "
+        "and flushed on drain, so a killed daemon resumes warm",
+    )
+    serve.add_argument(
+        "--cache-file",
+        default=None,
+        help="persistent result cache: warmed at boot if it exists, "
+        "saved back on graceful shutdown",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="dev-only fault injection spec; requires "
+        "REPRO_ENABLE_FAULT_INJECTION=1 in the environment",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log per-request access lines to stderr",
+    )
+
+    call = commands.add_parser(
+        "call",
+        help="evaluate JSON-lines analysis requests against a running "
+        "`repro serve` daemon (client-side one-shot)",
+    )
+    call.add_argument(
+        "requests",
+        nargs="?",
+        default="-",
+        help="JSON-lines request file, or '-' for stdin (default)",
+    )
+    call.add_argument(
+        "--url",
+        default="http://127.0.0.1:8177",
+        help="server base URL (default http://127.0.0.1:8177)",
+    )
+    call.add_argument(
+        "--output",
+        default="-",
+        help="JSON-lines results file, or '-' for stdout (default)",
+    )
+    call.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline forwarded as X-Repro-Deadline",
+    )
+    call.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream the batch in chunks of N requests (default 0: one "
+        "submission)",
+    )
+    call.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="total attempts for 429/503/transient failures (default 5)",
+    )
+    call.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.05,
+        help="base deterministic backoff between attempts in seconds "
+        "(default 0.05)",
+    )
+    call.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-exchange socket timeout in seconds (default 60)",
+    )
+    call.add_argument(
+        "--health",
+        action="store_true",
+        help="just GET /healthz, print it, and exit (readiness probe)",
+    )
+    call.add_argument(
+        "--server-stats",
+        action="store_true",
+        help="print the server's /stats rollup to stderr after the call",
+    )
+    call.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any request in the batch errored",
+    )
+
     selfcheck = commands.add_parser(
         "selfcheck",
         help="run a small fault-injected batch and verify the resilience "
@@ -503,42 +693,59 @@ def _read_batch_payloads(source: str):
                 yield line
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
+def _arm_fault_injection(spec: Optional[str]) -> Optional[int]:
+    """Arm the env-guarded dev fault harness; returns an exit code on error.
+
+    The harness must be unreachable from production invocations unless
+    explicitly armed via ``REPRO_ENABLE_FAULT_INJECTION=1``.
+    """
+
     import os
 
     from .service import (
         FAULTS_ENV,
         FAULTS_GUARD_ENV,
+        FaultSpecError,
+        parse_fault_spec,
+        set_fault_plan,
+    )
+
+    if spec is None:
+        return None
+    if os.environ.get(FAULTS_GUARD_ENV) != "1":
+        print(
+            f"error: --inject-faults requires {FAULTS_GUARD_ENV}=1 "
+            "in the environment (dev/test harness only)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        set_fault_plan(parse_fault_spec(spec))
+    except FaultSpecError as exc:
+        print(f"error: bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    # Export for process-pool children (incl. spawn start method).
+    os.environ[FAULTS_ENV] = spec
+    return None
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import (
         RESUMABLE_EXIT_CODE,
         BatchEngine,
         BatchInterrupted,
         BatchJournal,
         EngineConfig,
-        FaultSpecError,
         JournalError,
         JournalExistsError,
-        parse_fault_spec,
-        set_fault_plan,
         shutdown_guard,
     )
 
-    if args.inject_faults is not None:
-        # Env-guarded dev flag: the fault harness must be unreachable
-        # from production invocations unless explicitly armed.
-        if os.environ.get(FAULTS_GUARD_ENV) != "1":
-            print(
-                f"error: --inject-faults requires {FAULTS_GUARD_ENV}=1 "
-                "in the environment (dev/test harness only)",
-                file=sys.stderr,
-            )
-            return 2
-        try:
-            set_fault_plan(parse_fault_spec(args.inject_faults))
-        except FaultSpecError as exc:
-            print(f"error: bad fault spec: {exc}", file=sys.stderr)
-            return 2
-        # Export for process-pool children (incl. spawn start method).
-        os.environ[FAULTS_ENV] = args.inject_faults
+    failure = _arm_fault_injection(args.inject_faults)
+    if failure is not None:
+        return failure
 
     if args.resume and not args.journal:
         print("error: --resume requires --journal PATH", file=sys.stderr)
@@ -624,6 +831,163 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if (args.strict and report.errors) else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon until SIGTERM/SIGINT, then drain losslessly.
+
+    The first signal stops admission (new analyze calls get 503 +
+    ``Retry-After``), waits for every accepted request to finish, flushes
+    the journal and the persistent cache, and exits 0.  A second signal
+    force-quits, matching ``repro batch`` semantics.
+    """
+
+    import os
+
+    from .server import ReproServer, ServerConfig
+    from .server.protocol import PROTOCOL_VERSION
+    from .service import shutdown_guard
+
+    failure = _arm_fault_injection(args.inject_faults)
+    if failure is not None:
+        return failure
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_size=args.cache_size,
+            max_concurrency=args.max_concurrency,
+            queue_depth=args.queue_depth,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            default_deadline=args.deadline,
+            max_deadline=args.max_deadline,
+            paranoid=args.paranoid,
+            journal_path=args.journal,
+            verbose=args.verbose,
+        )
+        server = ReproServer(config)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot start server: {exc}", file=sys.stderr)
+        return 2
+    if args.cache_file and os.path.exists(args.cache_file):
+        try:
+            loaded = server.app.load_cache(args.cache_file)
+            print(
+                f"repro serve: warmed {loaded} cache entr"
+                f"{'y' if loaded == 1 else 'ies'} from {args.cache_file}",
+                file=sys.stderr,
+            )
+        except (ValueError, OSError, KeyError, TypeError) as exc:
+            print(
+                f"warning: ignoring unreadable cache file "
+                f"{args.cache_file} ({exc})",
+                file=sys.stderr,
+            )
+    server.start()
+    # The "listening" line is the startup contract: scripts (and the CI
+    # smoke step) parse the bound address from it, which is how an
+    # ephemeral --port 0 becomes discoverable.
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(protocol {PROTOCOL_VERSION}, jobs={args.jobs}, "
+        f"max_concurrency={config.max_concurrency}, "
+        f"queue_depth={config.queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    with shutdown_guard() as stop:
+        stop.wait()
+    drained = server.shutdown(drain=True)
+    if args.cache_file:
+        saved = server.app.save_cache(args.cache_file)
+        print(
+            f"repro serve: saved {saved} cache entries to {args.cache_file}",
+            file=sys.stderr,
+        )
+    stats = server.app.stats_dict()
+    print(
+        "repro serve: drained and stopped "
+        f"(analyze_calls={stats['serving'].get('analyze_calls', 0)}, "
+        f"requests_served={stats['serving'].get('requests_served', 0)})",
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """One-shot client: ship requests to a live daemon, print results.
+
+    Output is byte-identical to ``repro batch`` on the same request file
+    -- the server serves the engine's deterministic JSON-lines stream and
+    this command writes it verbatim (re-canonicalized when ``--chunk-size``
+    splits the batch).
+    """
+
+    import json
+
+    from .server import (
+        ReproClient,
+        ServerError,
+        ServerUnavailableError,
+        canonical_record_line,
+    )
+
+    try:
+        client = ReproClient.from_url(
+            args.url,
+            timeout=args.timeout,
+            max_attempts=max(1, args.retries),
+            retry_base_delay=args.retry_delay,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.health:
+            print(json.dumps(client.health(), sort_keys=True, indent=2))
+            return 0
+        payloads = _read_batch_payloads(args.requests)
+        if args.chunk_size > 0:
+            lines = [
+                canonical_record_line(record)
+                for record in client.stream_batch(
+                    payloads, chunk_size=args.chunk_size,
+                    deadline=args.deadline,
+                )
+            ]
+        else:
+            lines = client.batch_lines(list(payloads), deadline=args.deadline)
+        results = "\n".join(lines)
+        if args.output == "-":
+            if results:
+                print(results)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(results + ("\n" if results else ""))
+        errors = sum(
+            1 for line in lines if not json.loads(line).get("ok")
+        )
+        if args.server_stats:
+            print(
+                json.dumps(client.stats(), sort_keys=True, indent=2),
+                file=sys.stderr,
+            )
+        if errors:
+            print(
+                f"call: {errors} of {len(lines)} request(s) failed",
+                file=sys.stderr,
+            )
+        return 1 if (args.strict and errors) else 0
+    except ServerUnavailableError as exc:
+        print(f"error: server unreachable: {exc}", file=sys.stderr)
+        return 3
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     """Smoke-test the resilience layer with a deterministic faulty batch.
 
@@ -643,6 +1007,12 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     the pinned ROADMAP counterexample (green-only fused patterns at
     m=43,k=2,l=19,n=23 @ 173 elements) down to the certified optimum with
     a populated discrepancy report.
+
+    Phase 4 proves the serving loop: a daemon is booted on an ephemeral
+    port, one paranoid-certified batch is pushed through
+    :class:`~repro.server.client.ReproClient`, the returned lines are
+    checked byte-identical to a direct engine run, and the server is
+    drained losslessly.
     """
 
     import tempfile
@@ -654,6 +1024,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         EngineConfig,
         injected_faults,
         intra_request,
+        parse_request,
         request_key,
         sweep_point_request,
     )
@@ -789,6 +1160,45 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         )
     certified_ma = healed.result.memory_access
 
+    # ------------------------------------------------------------------
+    # Phase 4: serving loop (daemon boot, client round-trip, drain).
+    # ------------------------------------------------------------------
+    from .server import ReproClient, ReproServer, ServerConfig
+
+    serve_requests = [
+        {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096,
+         "paranoid": True},
+        {"kind": "sweep_point", "m": 96, "k": 64, "l": 80,
+         "buffer_elems": 1024},
+    ]
+    direct = BatchEngine(EngineConfig(jobs=1, paranoid=False)).run_batch(
+        [parse_request(payload) for payload in serve_requests]
+    )
+    with ReproServer(ServerConfig(port=0, jobs=1)) as server:
+        with ReproClient(port=server.port) as client:
+            health = client.health()
+            served = client.batch_lines(serve_requests)
+        drained = server.shutdown(drain=True)
+        server_stats = server.app.stats_dict()
+    if "\n".join(served) != direct.to_jsonl():
+        failures.append(
+            "served batch output differs from direct engine run"
+        )
+    if direct.certified != 1:
+        failures.append(
+            "served paranoid request did not certify "
+            f"(certified={direct.certified}, expected 1)"
+        )
+    if not drained:
+        failures.append("server failed to drain in-flight work")
+    if server_stats["serving"].get("requests_served") != len(serve_requests):
+        failures.append(
+            "server counters disagree: requests_served="
+            f"{server_stats['serving'].get('requests_served')}, "
+            f"expected {len(serve_requests)}"
+        )
+    protocol = health.get("protocol")
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -799,7 +1209,9 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         f"resilience={report.resilience}; kill-resume ok "
         f"({replayed} replayed from the journal, byte-identical output); "
         "certification ok (corrupted claim caught, counterexample healed "
-        f"{green_only.memory_access}->{certified_ma})"
+        f"{green_only.memory_access}->{certified_ma}); "
+        f"serving ok (protocol {protocol}, byte-identical over HTTP, "
+        "lossless drain)"
     )
     return 0
 
@@ -818,6 +1230,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_certify(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "call":
+        return _cmd_call(args)
     if args.command == "selfcheck":
         return _cmd_selfcheck(args)
     if args.command == "explain":

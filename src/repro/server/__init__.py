@@ -1,0 +1,92 @@
+"""Network serving daemon over the batch analysis engine.
+
+Turns the one-shot CLI stack into a long-lived, queryable service: a
+stdlib-only threaded HTTP/JSON daemon (:mod:`~repro.server.app`,
+:mod:`~repro.server.http`) exposing ``POST /v1/analyze`` over the exact
+request schemas and content keys of :mod:`repro.service.requests` -- so
+the LRU result cache and the process-wide intra-operator cache keep
+earning across calls -- plus live observability (``/healthz``,
+``/readyz``, ``/metrics``, ``/stats``).  Admission control
+(:mod:`~repro.server.admission`) sheds load before it hurts: per-client
+token-bucket rate limiting (429), a bounded wait queue with backpressure
+(503 + ``Retry-After``), a max-concurrency semaphore, and per-request
+deadlines mapped onto the engine's ``deadline_seconds``.
+:class:`~repro.server.client.ReproClient` speaks the protocol with
+connection reuse, deterministic retry/backoff, and batch streaming; a
+version handshake (:mod:`~repro.server.protocol`) warns loudly on skew.
+Shutdown reuses :mod:`repro.service.shutdown` semantics: SIGTERM stops
+admission, drains in-flight work losslessly, and flushes the journal.
+
+Quick start::
+
+    from repro.server import ReproServer, ServerConfig, ReproClient
+
+    server = ReproServer(ServerConfig(port=0)).start()
+    with ReproClient(port=server.port) as client:
+        record = client.analyze(
+            {"kind": "intra", "m": 64, "k": 32, "l": 48,
+             "buffer_elems": 4096}
+        )
+    server.shutdown(drain=True)
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    QueueFullError,
+    RateLimitedError,
+    RateLimiter,
+    ServerDrainingError,
+    TokenBucket,
+)
+from .app import (
+    DRAIN_RETRY_AFTER,
+    BadRequestError,
+    ReproServer,
+    ServerApp,
+    ServerConfig,
+)
+from .client import (
+    RETRYABLE_STATUSES,
+    ClientError,
+    ProtocolMismatchWarning,
+    ReproClient,
+    ServerError,
+    ServerUnavailableError,
+    canonical_record_line,
+)
+from .http import HttpResponse, ReproHTTPServer
+from .protocol import (
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    protocol_info,
+    version_banner,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "BadRequestError",
+    "ClientError",
+    "DRAIN_RETRY_AFTER",
+    "HttpResponse",
+    "PROTOCOL_VERSION",
+    "ProtocolMismatchWarning",
+    "QueueFullError",
+    "RETRYABLE_STATUSES",
+    "RateLimitedError",
+    "RateLimiter",
+    "ReproClient",
+    "ReproHTTPServer",
+    "ReproServer",
+    "SERVER_NAME",
+    "ServerApp",
+    "ServerConfig",
+    "ServerDrainingError",
+    "ServerError",
+    "ServerUnavailableError",
+    "TokenBucket",
+    "canonical_record_line",
+    "protocol_info",
+    "version_banner",
+]

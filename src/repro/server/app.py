@@ -1,0 +1,583 @@
+"""The serving application: routes, engine wiring, drain, observability.
+
+:class:`ServerApp` is the daemon's brain.  It owns exactly one result
+cache, one intra-operator cache (process-wide already), one circuit
+breaker, and one counter registry -- shared by every request -- while
+each ``POST /v1/analyze`` call gets a lightweight
+:class:`~repro.service.engine.BatchEngine` facade over that shared state
+so per-request knobs (the deadline) never race between calls.  Requests
+ride the exact schemas and content keys of :mod:`repro.service.requests`,
+so a result served over the wire is byte-identical to the same analysis
+run through ``run_batch`` directly, and the LRU cache keeps earning
+across calls.
+
+Endpoints
+---------
+``POST /v1/analyze``  one JSON request object, or a JSON-lines /
+                      ``{"requests": [...]}`` batch; responses mirror the
+                      batch engine's deterministic result records
+``GET  /healthz``     liveness + protocol handshake (always 200)
+``GET  /readyz``      readiness (503 while draining)
+``GET  /metrics``     text exposition (Prometheus-flavored) or
+                      ``?format=json``
+``GET  /stats``       cache / admission / resilience / certification
+                      rollups as JSON
+
+Shutdown follows :mod:`repro.service.shutdown` semantics: draining stops
+*admission* (503 + ``Retry-After``), every already-accepted request runs
+to completion, and the journal (if any) is flushed before the process
+exits -- SIGTERM never loses accepted work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..service.engine import BatchEngine, EngineConfig
+from ..service.intra_cache import intra_cache_stats
+from ..service.journal import BatchJournal
+from ..service.metrics import CounterRegistry, LatencyReservoir, Stopwatch
+from ..service.report import BatchReport
+from .admission import AdmissionController, AdmissionError, ServerDrainingError
+from .http import HttpResponse, ReproHTTPServer, first_query_value
+from .protocol import protocol_info
+
+#: Retry-After hint handed out while the server drains for shutdown.
+DRAIN_RETRY_AFTER = 2.0
+
+
+class BadRequestError(ValueError):
+    """The request body could not be understood (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon tuning knobs (engine + admission + transport)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: Engine pool width for each analyze call (thread executor).
+    jobs: int = 1
+    cache_size: int = 4096
+    #: Concurrent analyze calls executing (each may fan out ``jobs`` wide).
+    max_concurrency: int = 4
+    #: Analyze calls allowed to wait for a slot before 503s start.
+    queue_depth: int = 16
+    #: Per-client admission rate in requests/second (0 disables).
+    rate_limit: float = 0.0
+    #: Token-bucket burst capacity (None: max(1, int(rate_limit))).
+    burst: Optional[int] = None
+    #: Default per-request deadline applied when the client sends none.
+    default_deadline: Optional[float] = None
+    #: Ceiling on client-requested deadlines (None: unbounded).
+    max_deadline: Optional[float] = None
+    #: Run every certifiable request under paranoid certification.
+    paranoid: bool = False
+    #: Write-ahead journal path (None: no journal).
+    journal_path: Optional[str] = None
+    max_body_bytes: int = 8 << 20
+    #: Ceiling on requests per analyze call (split bigger batches).
+    max_batch_requests: int = 10000
+    #: Log per-request access lines to stderr.
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if self.rate_limit < 0:
+            raise ValueError("rate_limit must be non-negative")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive")
+        if self.max_deadline is not None and self.max_deadline <= 0:
+            raise ValueError("max_deadline must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be positive")
+
+
+class ServerApp:
+    """Routes + shared engine state + graceful drain."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self._engine_config = EngineConfig(
+            jobs=self.config.jobs,
+            cache_size=self.config.cache_size,
+            executor="thread",
+            deadline_seconds=self.config.default_deadline,
+            paranoid=self.config.paranoid,
+        )
+        #: Owns the shared cache / counters / breaker every call reuses.
+        self._base = BatchEngine(self._engine_config)
+        self.admission = AdmissionController(
+            max_concurrency=self.config.max_concurrency,
+            queue_depth=self.config.queue_depth,
+            rate_limit=self.config.rate_limit,
+            burst=self.config.burst,
+        )
+        self.serving = CounterRegistry()
+        self.latency = LatencyReservoir()
+        self.uptime = Stopwatch()
+        self.max_body_bytes = self.config.max_body_bytes
+        self._journal: Optional[BatchJournal] = None
+        if self.config.journal_path:
+            self._journal = BatchJournal(self.config.journal_path, resume=True)
+        #: The journal is single-writer; journaled runs serialize on this.
+        self._journal_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._inflight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting analyze work; in-flight requests keep running."""
+        with self._state_lock:
+            self._draining = True
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no analyze call is in flight; True if drained."""
+        with self._idle:
+            if self._inflight == 0:
+                return True
+            return self._idle.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        if self._journal is not None:
+            self._journal.flush()
+            self._journal.close()
+            self._journal = None
+
+    def log(self, message: str, access: bool = False) -> None:
+        if access and not self.config.verbose:
+            return
+        import sys
+
+        print(f"repro serve: {message}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Engine access
+    # ------------------------------------------------------------------
+    def _engine_for(self, deadline: Optional[float]) -> BatchEngine:
+        """A per-call engine facade over the shared cache/counters/breaker.
+
+        ``run_batch`` keeps per-run state on the engine instance, so
+        concurrent calls each get their own; the expensive, shared parts
+        (LRU cache, counter registry, circuit breaker -- all thread-safe)
+        are swapped in so results and statistics accumulate across calls.
+        """
+
+        if deadline == self._engine_config.deadline_seconds:
+            config = self._engine_config
+        else:
+            config = replace(self._engine_config, deadline_seconds=deadline)
+        engine = BatchEngine(config)
+        engine.cache = self._base.cache
+        engine.counters = self._base.counters
+        engine.breaker = self._base.breaker
+        return engine
+
+    def load_cache(self, path: str) -> int:
+        return self._base.load_cache(path)
+
+    def save_cache(self, path: str) -> int:
+        return self._base.save_cache(path)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+        client: str,
+    ) -> HttpResponse:
+        self.serving.increment("http_requests")
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/readyz" and method == "GET":
+            return self._readyz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics(query)
+        if path == "/stats" and method == "GET":
+            return self._stats()
+        if path == "/v1/analyze":
+            if method != "POST":
+                return HttpResponse.error(
+                    405, "MethodNotAllowed", "use POST /v1/analyze"
+                )
+            return self._analyze(query, headers, body, client)
+        self.serving.increment("http_not_found")
+        return HttpResponse.error(
+            404,
+            "NotFound",
+            f"no route {method} {path}; see /healthz /readyz /metrics "
+            "/stats /v1/analyze",
+        )
+
+    # ------------------------------------------------------------------
+    # Observability endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> HttpResponse:
+        payload = dict(protocol_info())
+        payload.update(
+            {
+                "ok": True,
+                "draining": self.draining,
+                "uptime_seconds": round(self.uptime.elapsed(), 3),
+            }
+        )
+        return HttpResponse.json(payload)
+
+    def _readyz(self) -> HttpResponse:
+        if self.draining:
+            return HttpResponse.error(
+                503,
+                "ServerDrainingError",
+                "server is draining for shutdown",
+                retry_after=DRAIN_RETRY_AFTER,
+            )
+        return HttpResponse.json({"ready": True})
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """The /stats payload: every rollup the daemon keeps."""
+        serving = self.serving.as_dict()
+        return {
+            "protocol": protocol_info(),
+            "uptime_seconds": round(self.uptime.elapsed(), 3),
+            "config": {
+                "jobs": self.config.jobs,
+                "max_concurrency": self.config.max_concurrency,
+                "queue_depth": self.config.queue_depth,
+                "rate_limit": self.config.rate_limit,
+                "paranoid": self.config.paranoid,
+                "journal": bool(self.config.journal_path),
+                "default_deadline": self.config.default_deadline,
+            },
+            "serving": serving,
+            "admission": self.admission.snapshot(),
+            "latency": self.latency.summary(),
+            "cache": self._base.cache.stats().as_dict(),
+            "intra_cache": intra_cache_stats().as_dict(),
+            "engine_counters": self._base.counters.as_dict(),
+            "breaker": self._base.breaker.snapshot(),
+            "certification": {
+                "certified": serving.get("certified", 0),
+                "discrepancies": serving.get("discrepancies", 0),
+            },
+            "journal": (
+                self._journal.stats() if self._journal is not None else None
+            ),
+        }
+
+    def _stats(self) -> HttpResponse:
+        return HttpResponse.json(self.stats_dict())
+
+    def _metrics(self, query: Dict[str, List[str]]) -> HttpResponse:
+        stats = self.stats_dict()
+        if first_query_value(query, "format") == "json":
+            return HttpResponse.json(stats)
+        lines: List[str] = ["# repro serve metrics"]
+
+        def emit(name: str, value: Any, labels: str = "") -> None:
+            if value is None or isinstance(value, bool):
+                return
+            lines.append(f"repro_{name}{labels} {value}")
+
+        emit("uptime_seconds", stats["uptime_seconds"])
+        for name, value in stats["serving"].items():
+            emit("serving_total", value, f'{{counter="{name}"}}')
+        admission = stats["admission"]
+        for name in (
+            "active",
+            "waiting",
+            "admitted",
+            "rejected_rate_limited",
+            "rejected_queue_full",
+        ):
+            emit(f"admission_{name}", admission[name])
+        latency = stats["latency"]
+        emit("latency_seconds_count", latency["count"])
+        for quantile in ("p50", "p95", "p99"):
+            emit(
+                "latency_seconds",
+                latency[quantile],
+                f'{{quantile="{quantile[1:]}"}}',
+            )
+        emit("latency_seconds_max", latency["max"])
+        for scope in ("cache", "intra_cache"):
+            for name in ("hits", "misses", "evictions", "size"):
+                emit(f"{scope}_{name}", stats[scope][name])
+        for name, value in stats["engine_counters"].items():
+            emit("engine_total", value, f'{{counter="{name}"}}')
+        return HttpResponse.text("\n".join(lines) + "\n")
+
+    # ------------------------------------------------------------------
+    # The analyze endpoint
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_payloads(
+        body: bytes, content_type: str
+    ) -> Tuple[List[Union[Dict[str, Any], str]], bool]:
+        """Decode the request body into engine payloads.
+
+        Returns ``(payloads, single)``.  Accepted shapes: one JSON
+        object (single mode), a JSON array, ``{"requests": [...]}``, or
+        JSON-lines (forced by an ``application/x-ndjson`` content type).
+        Undecodable JSON-lines entries pass through as raw strings so
+        the engine records a structured per-line error at the right
+        index, exactly like ``repro batch``.
+        """
+
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise BadRequestError(f"body is not valid UTF-8: {exc}") from None
+        stripped = text.strip()
+        if not stripped:
+            raise BadRequestError("empty request body")
+        ndjson = content_type.split(";")[0].strip() == "application/x-ndjson"
+        if not ndjson:
+            try:
+                decoded = json.loads(stripped)
+            except ValueError:
+                ndjson = True  # multi-line body: fall through to JSON-lines
+            else:
+                if isinstance(decoded, list):
+                    return list(decoded), False
+                if isinstance(decoded, dict) and "requests" in decoded:
+                    requests = decoded["requests"]
+                    if not isinstance(requests, list):
+                        raise BadRequestError('"requests" must be a list')
+                    return list(requests), False
+                if isinstance(decoded, dict):
+                    return [decoded], True
+                raise BadRequestError(
+                    "body must be a JSON object, array, or JSON lines"
+                )
+        payloads: List[Union[Dict[str, Any], str]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payloads.append(json.loads(line))
+            except ValueError:
+                payloads.append(line)  # engine records the structured error
+        if not payloads:
+            raise BadRequestError("empty request body")
+        return payloads, False
+
+    def _deadline_from(
+        self, query: Dict[str, List[str]], headers: Mapping[str, str]
+    ) -> Optional[float]:
+        raw = headers.get("x-repro-deadline") or first_query_value(
+            query, "deadline"
+        )
+        if raw is None:
+            return self.config.default_deadline
+        try:
+            deadline = float(raw)
+        except ValueError:
+            raise BadRequestError(
+                f"deadline must be a positive number, got {raw!r}"
+            ) from None
+        if deadline <= 0:
+            raise BadRequestError("deadline must be positive")
+        if self.config.max_deadline is not None:
+            deadline = min(deadline, self.config.max_deadline)
+        return deadline
+
+    def _analyze(
+        self,
+        query: Dict[str, List[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+        client: str,
+    ) -> HttpResponse:
+        watch = Stopwatch()
+        self.serving.increment("analyze_calls")
+        with self._state_lock:
+            if self._draining:
+                self.serving.increment("rejected_draining")
+                drain = ServerDrainingError(
+                    "server is draining for shutdown; retry against "
+                    "another instance",
+                    retry_after=DRAIN_RETRY_AFTER,
+                )
+                return self._admission_response(drain)
+            # Accepted: from here the request is guaranteed to complete
+            # (the drain waits on this counter).
+            self._inflight += 1
+        try:
+            try:
+                payloads, single = self._parse_payloads(
+                    body, headers.get("content-type", "")
+                )
+                deadline = self._deadline_from(query, headers)
+            except BadRequestError as exc:
+                self.serving.increment("bad_requests")
+                return HttpResponse.error(400, "BadRequest", str(exc))
+            if len(payloads) > self.config.max_batch_requests:
+                self.serving.increment("bad_requests")
+                return HttpResponse.error(
+                    400,
+                    "BatchTooLarge",
+                    f"{len(payloads)} requests exceed the per-call limit "
+                    f"of {self.config.max_batch_requests}; split the batch",
+                )
+            try:
+                with self.admission.admit(client):
+                    report = self._run(payloads, deadline)
+            except AdmissionError as exc:
+                return self._admission_response(exc)
+            return self._report_response(report, single)
+        finally:
+            self.latency.record(watch.stop())
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _run(
+        self,
+        payloads: List[Union[Dict[str, Any], str]],
+        deadline: Optional[float],
+    ) -> BatchReport:
+        engine = self._engine_for(deadline)
+        if self._journal is not None:
+            with self._journal_lock:
+                report = engine.run_batch(payloads, journal=self._journal)
+        else:
+            report = engine.run_batch(payloads)
+        self.serving.increment("requests_served", report.requests)
+        self.serving.increment("request_errors", report.errors)
+        self.serving.increment("cached_answers", report.cached_answers)
+        self.serving.increment("computed", report.computed)
+        if report.certified:
+            self.serving.increment("certified", report.certified)
+        discrepancies = len(report.discrepancies())
+        if discrepancies:
+            self.serving.increment("discrepancies", discrepancies)
+        return report
+
+    def _admission_response(self, exc: AdmissionError) -> HttpResponse:
+        self.serving.increment(f"http_{exc.status}")
+        return HttpResponse.error(
+            exc.status, exc.error_type, str(exc), retry_after=exc.retry_after
+        )
+
+    @staticmethod
+    def _report_response(report: BatchReport, single: bool) -> HttpResponse:
+        headers = {
+            "X-Repro-Requests": str(report.requests),
+            "X-Repro-Errors": str(report.errors),
+            "X-Repro-Cached": str(report.cached_answers),
+        }
+        if single:
+            record = report.entries[0].result_record()
+            body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            return HttpResponse(
+                status=200,
+                body=(body + "\n").encode("utf-8"),
+                content_type="application/json",
+                headers=headers,
+            )
+        # The exact bytes `repro batch` would print: the wire format IS
+        # the engine's deterministic JSON-lines stream.
+        return HttpResponse.ndjson(report.to_jsonl(), headers=headers)
+
+
+class ReproServer:
+    """The daemon: an HTTP server bound to a :class:`ServerApp`.
+
+    ``start()`` serves from a background thread (tests, embedding);
+    ``serve_forever()`` blocks (the CLI).  ``shutdown(drain=True)``
+    performs the lossless drain: stop admission, wait for in-flight
+    work, stop the listener, flush the journal.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.app = ServerApp(self.config)
+        self.httpd = ReproHTTPServer(
+            (self.config.host, self.config.port), self.app
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self._drained = True
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Stop the daemon; returns True if the drain completed.
+
+        Idempotent: explicit calls compose with ``__exit__`` (the second
+        call reports the first call's drain outcome).
+        """
+        if self._stopped:
+            return self._drained
+        self._stopped = True
+        drained = True
+        if drain:
+            self.app.begin_drain()
+            drained = self.app.wait_idle(timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.close()
+        self._drained = drained
+        return drained
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(drain=True)

@@ -1,0 +1,433 @@
+"""``ReproClient``: a retrying, connection-reusing client for the daemon.
+
+One persistent ``http.client.HTTPConnection`` per client (re-opened
+transparently when the server or a middlebox drops it), deterministic
+retry/backoff on admission pushback (429/503, honoring the server's
+``Retry-After`` hint up to a cap) and on transient transport errors,
+batch submission that round-trips the engine's byte-exact JSON-lines
+stream, and a protocol handshake that warns *loudly* on a version
+mismatch instead of silently misreading responses.
+
+Backoff reuses :class:`repro.service.resilience.RetryPolicy`: delays are
+hashed from the request path and attempt number, never drawn from a
+random source, so a flaky session replays identically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import sys
+import time
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+from urllib.parse import urlsplit
+
+from ..service.resilience import RetryPolicy
+from .protocol import PROTOCOL_VERSION
+
+#: HTTP statuses that mean "try again later" (admission pushback).
+RETRYABLE_STATUSES = (429, 503)
+
+PayloadLike = Union[Mapping[str, Any], str]
+
+
+class ClientError(Exception):
+    """Base class for client-side failures."""
+
+
+class ServerUnavailableError(ClientError):
+    """The server could not be reached (after any configured retries)."""
+
+
+class ServerError(ClientError):
+    """The server answered with an error status.
+
+    ``status`` is the HTTP status; ``retry_after`` carries the server's
+    hint (seconds) when one was sent; ``payload`` is the decoded error
+    body when it was JSON.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+        self.payload = payload or {}
+
+
+class ProtocolMismatchWarning(UserWarning):
+    """The server speaks a different protocol version than this client."""
+
+
+class ReproClient:
+    """Talk to a ``repro serve`` daemon.
+
+    >>> with ReproClient(port=8177) as client:
+    ...     record = client.analyze(
+    ...         {"kind": "intra", "m": 64, "k": 32, "l": 48,
+    ...          "buffer_elems": 4096}
+    ...     )
+
+    ``max_attempts`` covers admission pushback (429/503) and transient
+    transport failures alike; permanent HTTP errors (400, 404...) never
+    retry.  ``sleep`` is injectable so tests never wait.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout: float = 60.0,
+        max_attempts: int = 5,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 2.0,
+        client_id: str = "repro-client",
+        check_protocol: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.client_id = client_id
+        self.check_protocol = check_protocol
+        self.retry_max_delay = retry_max_delay
+        self._policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=retry_base_delay,
+            max_delay=retry_max_delay,
+            sleep=sleep,
+        )
+        self._sleep = sleep
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._server_info: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs: Any) -> "ReproClient":
+        """Build a client from ``http://host:port`` (path/scheme ignored)."""
+        parsed = urlsplit(url if "//" in url else f"//{url}")
+        if not parsed.hostname:
+            raise ValueError(f"cannot parse server URL {url!r}")
+        return cls(
+            host=parsed.hostname, port=parsed.port or 8177, **kwargs
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._conn = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        retry: bool = True,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange with deterministic retry/backoff.
+
+        Retries transient transport errors and 429/503 responses (up to
+        ``max_attempts`` total); the backoff before attempt ``n`` is the
+        larger of the deterministic policy delay and the server's
+        ``Retry-After`` hint capped at ``retry_max_delay``.
+        """
+
+        send_headers = {
+            "X-Repro-Client": self.client_id,
+            "Accept": "application/json",
+        }
+        if headers:
+            send_headers.update(headers)
+        attempts = self.max_attempts if retry else 1
+        attempt = 0
+        last_error: Optional[Exception] = None
+        while attempt < attempts:
+            attempt += 1
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=send_headers)
+                response = conn.getresponse()
+                data = response.read()
+                status = response.status
+                response_headers = {
+                    key.lower(): value
+                    for key, value in response.getheaders()
+                }
+            except (
+                ConnectionError,
+                socket.timeout,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                # Transient transport failure: reconnect and retry.
+                self._drop_connection()
+                last_error = exc
+                if attempt < attempts:
+                    self._policy.backoff(attempt + 1, key=path)
+                    continue
+                raise ServerUnavailableError(
+                    f"{method} {self.url}{path} failed after "
+                    f"{attempt} attempt(s): {exc}"
+                ) from exc
+            if status in RETRYABLE_STATUSES and attempt < attempts:
+                hint = self._retry_after(response_headers, data)
+                delay = self._policy.delay_for(attempt + 1, key=path)
+                if hint is not None:
+                    delay = max(delay, min(hint, self.retry_max_delay))
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            if status >= 400:
+                raise self._server_error(status, response_headers, data)
+            return status, response_headers, data
+        raise ServerUnavailableError(
+            f"{method} {self.url}{path} failed after {attempts} "
+            f"attempt(s): {last_error}"
+        )
+
+    @staticmethod
+    def _retry_after(
+        headers: Mapping[str, str], data: bytes
+    ) -> Optional[float]:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            precise = payload.get("error", {}).get("retry_after_seconds")
+            if precise is not None:
+                return float(precise)
+        except (ValueError, AttributeError):
+            pass
+        raw = headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _server_error(
+        status: int, headers: Mapping[str, str], data: bytes
+    ) -> ServerError:
+        message = data.decode("utf-8", "replace").strip()
+        payload: Optional[Dict[str, Any]] = None
+        try:
+            decoded = json.loads(message)
+            if isinstance(decoded, dict):
+                payload = decoded
+                error = decoded.get("error", {})
+                message = error.get("message", message)
+        except ValueError:
+            pass
+        return ServerError(
+            status,
+            message,
+            retry_after=ReproClient._retry_after(headers, data),
+            payload=payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Handshake + observability
+    # ------------------------------------------------------------------
+    def handshake(self) -> Dict[str, Any]:
+        """GET /healthz, check the protocol version, cache the result.
+
+        A mismatch warns loudly -- a :class:`ProtocolMismatchWarning`
+        *and* a stderr line -- but does not raise: an operator mid-rollout
+        should see the skew, not an outage.
+        """
+
+        if self._server_info is not None:
+            return self._server_info
+        info = self.health()
+        server_protocol = info.get("protocol")
+        if self.check_protocol and server_protocol != PROTOCOL_VERSION:
+            message = (
+                f"protocol mismatch: server {self.url} speaks protocol "
+                f"{server_protocol!r} (version {info.get('version')!r}), "
+                f"this client speaks {PROTOCOL_VERSION}; responses may be "
+                "misinterpreted -- upgrade the older side"
+            )
+            warnings.warn(message, ProtocolMismatchWarning, stacklevel=2)
+            print(f"repro client: WARNING: {message}", file=sys.stderr)
+        self._server_info = info
+        return info
+
+    def health(self) -> Dict[str, Any]:
+        _, _, data = self._request("GET", "/healthz")
+        return json.loads(data.decode("utf-8"))
+
+    def ready(self) -> bool:
+        try:
+            self._request("GET", "/readyz", retry=False)
+        except (ServerError, ServerUnavailableError):
+            return False
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        _, _, data = self._request("GET", "/stats")
+        return json.loads(data.decode("utf-8"))
+
+    def metrics(self, fmt: str = "text") -> str:
+        path = "/metrics?format=json" if fmt == "json" else "/metrics"
+        _, _, data = self._request("GET", path)
+        return data.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _analyze_headers(
+        self, deadline: Optional[float], content_type: str
+    ) -> Dict[str, str]:
+        headers = {"Content-Type": content_type}
+        if deadline is not None:
+            headers["X-Repro-Deadline"] = f"{deadline:g}"
+        return headers
+
+    def analyze(
+        self,
+        request: Mapping[str, Any],
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Evaluate one request; returns its deterministic result record."""
+        self.handshake()
+        body = json.dumps(dict(request)).encode("utf-8")
+        _, _, data = self._request(
+            "POST",
+            "/v1/analyze",
+            body=body,
+            headers=self._analyze_headers(deadline, "application/json"),
+        )
+        return json.loads(data.decode("utf-8"))
+
+    @staticmethod
+    def _encode_batch(payloads: Iterable[PayloadLike]) -> bytes:
+        """JSON-lines encoding; raw strings pass through untouched.
+
+        A raw (undecodable) line still occupies its input position, so
+        the server's engine records its structured error at the right
+        index -- the same contract as ``repro batch`` reading a file.
+        """
+
+        lines: List[str] = []
+        for payload in payloads:
+            if isinstance(payload, str):
+                lines.append(payload.replace("\n", " "))
+            else:
+                lines.append(json.dumps(dict(payload)))
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def batch_lines(
+        self,
+        payloads: Iterable[PayloadLike],
+        deadline: Optional[float] = None,
+    ) -> List[str]:
+        """Submit a batch; returns the server's raw JSON-lines verbatim.
+
+        These are byte-for-byte the lines ``repro batch`` would print
+        for the same requests (the server serves the engine's
+        deterministic stream unmodified).
+        """
+
+        self.handshake()
+        body = self._encode_batch(payloads)
+        if len(body) == 1:  # just the newline: nothing to submit
+            return []
+        _, _, data = self._request(
+            "POST",
+            "/v1/analyze",
+            body=body,
+            headers=self._analyze_headers(deadline, "application/x-ndjson"),
+        )
+        text = data.decode("utf-8")
+        return [line for line in text.splitlines() if line]
+
+    def run_batch(
+        self,
+        payloads: Iterable[PayloadLike],
+        deadline: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit a batch; returns decoded result records in input order."""
+        return [json.loads(line) for line in self.batch_lines(payloads, deadline)]
+
+    def stream_batch(
+        self,
+        payloads: Iterable[PayloadLike],
+        chunk_size: int = 64,
+        deadline: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a large batch in chunks, yielding records as chunks land.
+
+        Indexes are rewritten to the global input position, so the
+        record stream is identical to one monolithic submission; each
+        chunk rides the ordinary retry/backoff machinery independently,
+        bounding both request size and the blast radius of a retry.
+        """
+
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        base = 0
+        chunk: List[PayloadLike] = []
+        for payload in payloads:
+            chunk.append(payload)
+            if len(chunk) >= chunk_size:
+                for record in self.run_batch(chunk, deadline=deadline):
+                    record["index"] = base + record["index"]
+                    yield record
+                base += len(chunk)
+                chunk = []
+        if chunk:
+            for record in self.run_batch(chunk, deadline=deadline):
+                record["index"] = base + record["index"]
+                yield record
+
+
+def canonical_record_line(record: Mapping[str, Any]) -> str:
+    """Serialize a result record exactly as the engine's JSON-lines do."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,42 @@
+"""Shared protocol identity for the serving daemon and its clients.
+
+One place names the wire contract: the package version, the protocol
+version (bumped on any incompatible change to endpoints, payload shapes,
+or admission semantics), and the persisted-cache schema the server's
+engine speaks.  The daemon reports it from ``GET /healthz``, the CLI
+from ``repro --version``, and :class:`~repro.server.client.ReproClient`
+checks it during its handshake -- a mismatch is warned about loudly on
+the client side instead of silently misinterpreting responses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .. import __version__ as PACKAGE_VERSION
+from ..service.engine import CACHE_SCHEMA_VERSION
+
+#: Wire-protocol version.  Bump on any incompatible change to the HTTP
+#: endpoints, request/response shapes, or admission headers.
+PROTOCOL_VERSION = 1
+
+#: Server software identity reported by ``/healthz``.
+SERVER_NAME = "repro-server"
+
+
+def protocol_info() -> Dict[str, Any]:
+    """The handshake payload shared by ``/healthz`` and the client."""
+    return {
+        "server": SERVER_NAME,
+        "version": PACKAGE_VERSION,
+        "protocol": PROTOCOL_VERSION,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+    }
+
+
+def version_banner() -> str:
+    """Human-readable one-liner for ``repro --version``."""
+    return (
+        f"repro {PACKAGE_VERSION} "
+        f"(protocol {PROTOCOL_VERSION}, cache schema {CACHE_SCHEMA_VERSION})"
+    )

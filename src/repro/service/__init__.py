@@ -89,7 +89,7 @@ from .intra_cache import (
     intra_cache_stats,
     operator_signature,
 )
-from .metrics import CounterRegistry, Stopwatch
+from .metrics import CounterRegistry, LatencyReservoir, Stopwatch
 from .report import BatchEntry, BatchReport
 from .requests import (
     PARANOID_KINDS,
@@ -139,6 +139,7 @@ __all__ = [
     "JournalExistsError",
     "JournalVersionError",
     "LRUCache",
+    "LatencyReservoir",
     "PARANOID_KINDS",
     "PERMANENT",
     "PermanentError",

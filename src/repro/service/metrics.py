@@ -1,16 +1,19 @@
 """Lightweight observability primitives for the batch engine.
 
-Monotonic-clock stopwatches and a thread-safe counter registry -- enough to
-meter a batch (wall time, per-request latency, error/dedup counts) without
-pulling in a metrics framework.  The engine snapshots these into each
-:class:`repro.service.report.BatchReport`.
+Monotonic-clock stopwatches, a thread-safe counter registry, and a
+bounded latency reservoir with percentile summaries -- enough to meter a
+batch (wall time, per-request latency distribution, error/dedup counts)
+without pulling in a metrics framework.  The engine snapshots these into
+each :class:`repro.service.report.BatchReport`; the serving daemon keeps
+a process-lifetime reservoir for ``GET /metrics``.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from typing import Dict, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 
 class Stopwatch:
@@ -61,3 +64,89 @@ class CounterRegistry:
     def as_dict(self) -> Dict[str, int]:
         with self._lock:
             return dict(sorted(self._counters.items()))
+
+
+class LatencyReservoir:
+    """A bounded, deterministic latency sample with percentile summaries.
+
+    Holds at most ``capacity`` samples no matter how many are recorded.
+    When full it *decimates*: every other retained sample is dropped and
+    the acceptance stride doubles, leaving a uniform systematic sample
+    of the whole stream -- no randomness involved, so summaries are
+    reproducible run to run (classic reservoir sampling would make
+    p-quantiles flutter across identical runs).
+
+    ``count``/``mean``/``max`` are exact over *all* recorded values;
+    only the percentile estimates come from the bounded sample.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._stride = 1
+        self._skipped = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+            self._skipped += 1
+            if self._skipped < self._stride:
+                return
+            self._skipped = 0
+            self._samples.append(seconds)
+            if len(self._samples) >= self.capacity:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile over the sample; None when empty."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = max(1, math.ceil(fraction * len(samples)))
+        return samples[min(rank, len(samples)) - 1]
+
+    def summary(self, digits: int = 6) -> Dict[str, Any]:
+        """Counters + p50/p95/p99 in one JSON-able dict."""
+        with self._lock:
+            count = self._count
+            total = self._total
+            maximum = self._max
+            samples = sorted(self._samples)
+
+        def rank(fraction: float) -> Optional[float]:
+            if not samples:
+                return None
+            position = max(1, math.ceil(fraction * len(samples)))
+            return round(samples[min(position, len(samples)) - 1], digits)
+
+        return {
+            "count": count,
+            "mean": round(total / count, digits) if count else 0.0,
+            "max": round(maximum, digits),
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "samples": len(samples),
+        }

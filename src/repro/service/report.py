@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .cache import CacheStats
+from .metrics import LatencyReservoir
 
 
 @dataclass(frozen=True)
@@ -147,6 +148,22 @@ class BatchReport:
         )
 
     # ------------------------------------------------------------------
+    def latency_summary(self) -> Dict[str, Any]:
+        """p50/p95/p99 of computed-request latencies (bounded reservoir).
+
+        Cached and replayed answers are excluded -- their ``seconds`` is
+        0.0 bookkeeping, not a measured evaluation -- so the percentiles
+        describe what computing a request actually cost.
+        """
+
+        reservoir = LatencyReservoir()
+        reservoir.extend(
+            entry.seconds
+            for entry in self.entries
+            if not entry.cached and not entry.replayed and entry.key is not None
+        )
+        return reservoir.summary()
+
     def summary_dict(self) -> Dict[str, Any]:
         kinds: Dict[str, int] = {}
         for entry in self.entries:
@@ -167,6 +184,7 @@ class BatchReport:
             "executor": self.executor,
             "wall_seconds": round(self.wall_seconds, 6),
             "max_request_seconds": round(max(seconds), 6) if seconds else 0.0,
+            "latency": self.latency_summary(),
             "kinds": dict(sorted(kinds.items())),
             "cache": self.cache.as_dict(),
             "counters": dict(sorted(self.counters.items())),
@@ -194,6 +212,15 @@ class BatchReport:
             f" executor={summary['executor']}",
             f"wall time     : {summary['wall_seconds']:.3f}s"
             f" (slowest request {summary['max_request_seconds']:.3f}s)",
+        ]
+        latency = summary["latency"]
+        if latency["count"]:
+            lines.append(
+                f"latency       : p50={latency['p50']:.3f}s"
+                f" p95={latency['p95']:.3f}s p99={latency['p99']:.3f}s"
+                f" (computed n={latency['count']})"
+            )
+        lines += [
             f"cache         : hits={cache['hits']} misses={cache['misses']}"
             f" evictions={cache['evictions']}"
             f" size={cache['size']}/{cache['maxsize']}"

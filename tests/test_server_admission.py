@@ -1,0 +1,243 @@
+"""Unit tests for the daemon's admission gates and latency reservoir.
+
+Everything here runs against a fake clock -- no sleeps, no sockets --
+so the token-bucket math, queue bounds, and reservoir decimation are
+checked exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import (
+    AdmissionController,
+    QueueFullError,
+    RateLimitedError,
+    RateLimiter,
+    TokenBucket,
+)
+from repro.service import LatencyReservoir
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == pytest.approx(0.5)
+        clock.advance(0.25)  # half a token refilled
+        assert bucket.try_acquire() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)  # would refill 1000 tokens uncapped
+        assert bucket.available() == pytest.approx(2.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+# ----------------------------------------------------------------------
+# RateLimiter
+# ----------------------------------------------------------------------
+class TestRateLimiter:
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.check("alice")
+        with pytest.raises(RateLimitedError):
+            limiter.check("alice")
+        limiter.check("bob")  # unaffected by alice's empty bucket
+
+    def test_rejection_carries_retry_hint(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=1, clock=clock)
+        limiter.check("c")
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.check("c")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == pytest.approx(0.5)
+
+    def test_refill_readmits(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        limiter.check("c")
+        with pytest.raises(RateLimitedError):
+            limiter.check("c")
+        clock.advance(1.0)
+        limiter.check("c")
+
+    def test_default_burst_tracks_rate(self):
+        assert RateLimiter(rate=8.0).burst == 8
+        assert RateLimiter(rate=0.5).burst == 1
+
+    def test_bucket_table_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=2, clock=clock)
+        limiter.check("a")
+        with pytest.raises(RateLimitedError):
+            limiter.check("a")
+        # Two new identities evict "a"'s (least-recently-used) bucket...
+        limiter.check("b")
+        limiter.check("c")
+        # ...so "a" starts over with a full bucket (errs toward admitting).
+        limiter.check("a")
+        assert limiter.snapshot()["clients"] == 2
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_admits_up_to_max_concurrency(self):
+        controller = AdmissionController(max_concurrency=2, queue_depth=0)
+        ctx_a, ctx_b = controller.admit("x"), controller.admit("x")
+        ctx_a.__enter__()
+        ctx_b.__enter__()
+        assert controller.snapshot()["active"] == 2
+        with pytest.raises(QueueFullError) as excinfo:
+            with controller.admit("x"):
+                pass  # pragma: no cover - never admitted
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after > 0
+        ctx_b.__exit__(None, None, None)
+        ctx_a.__exit__(None, None, None)
+        snap = controller.snapshot()
+        assert snap["active"] == 0
+        assert snap["admitted"] == 2
+        assert snap["rejected_queue_full"] == 1
+
+    def test_queue_depth_lets_callers_wait_for_a_slot(self):
+        controller = AdmissionController(max_concurrency=1, queue_depth=1)
+        holder = controller.admit("x")
+        holder.__enter__()
+        entered = threading.Event()
+        released = threading.Event()
+
+        def queued_caller():
+            with controller.admit("x"):
+                entered.set()
+                released.wait(timeout=5.0)
+
+        thread = threading.Thread(target=queued_caller, daemon=True)
+        thread.start()
+        # The queued caller is waiting, not rejected...
+        for _ in range(100):
+            if controller.snapshot()["waiting"] == 1:
+                break
+            threading.Event().wait(0.01)
+        assert controller.snapshot()["waiting"] == 1
+        assert not entered.is_set()
+        # ...and a third caller overflows the queue.
+        with pytest.raises(QueueFullError):
+            with controller.admit("x"):
+                pass  # pragma: no cover
+        holder.__exit__(None, None, None)
+        assert entered.wait(timeout=5.0)
+        released.set()
+        thread.join(timeout=5.0)
+        assert controller.snapshot()["active"] == 0
+
+    def test_rate_limit_gate_applies_before_slots(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_concurrency=4, queue_depth=4, rate_limit=1.0, burst=1,
+            clock=clock,
+        )
+        with controller.admit("chatty"):
+            pass
+        with pytest.raises(RateLimitedError):
+            with controller.admit("chatty"):
+                pass  # pragma: no cover
+        snap = controller.snapshot()
+        assert snap["rejected_rate_limited"] == 1
+        assert snap["rate_limit"]["burst"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_depth=-1)
+
+
+# ----------------------------------------------------------------------
+# LatencyReservoir
+# ----------------------------------------------------------------------
+class TestLatencyReservoir:
+    def test_exact_count_mean_max(self):
+        reservoir = LatencyReservoir(capacity=4)
+        reservoir.extend([0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
+        summary = reservoir.summary()
+        assert summary["count"] == 6
+        assert summary["mean"] == pytest.approx(0.35)
+        assert summary["max"] == pytest.approx(0.6)
+
+    def test_sample_stays_bounded(self):
+        reservoir = LatencyReservoir(capacity=16)
+        reservoir.extend(float(i) for i in range(10_000))
+        summary = reservoir.summary()
+        assert summary["count"] == 10_000
+        assert summary["samples"] < 16
+        # Decimation keeps a uniform systematic sample, so the median
+        # estimate stays in the middle of the stream.
+        assert 2_000 <= summary["p50"] <= 8_000
+
+    def test_deterministic_across_identical_streams(self):
+        values = [((i * 7919) % 1000) / 1000.0 for i in range(5000)]
+        first = LatencyReservoir(capacity=64)
+        second = LatencyReservoir(capacity=64)
+        first.extend(values)
+        second.extend(values)
+        assert first.summary() == second.summary()
+
+    def test_percentiles_nearest_rank(self):
+        reservoir = LatencyReservoir(capacity=512)
+        reservoir.extend(float(i) for i in range(1, 101))
+        assert reservoir.percentile(0.50) == 50.0
+        assert reservoir.percentile(0.95) == 95.0
+        assert reservoir.percentile(0.99) == 99.0
+        assert reservoir.percentile(1.0) == 100.0
+
+    def test_empty_summary(self):
+        summary = LatencyReservoir().summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert LatencyReservoir().percentile(0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=1)
+        with pytest.raises(ValueError):
+            LatencyReservoir().percentile(0.0)

@@ -1,0 +1,238 @@
+"""End-to-end tests for the serving CLI: ``repro serve`` / ``repro call``.
+
+The in-process tests boot a :class:`ReproServer` and drive ``repro call``
+through ``main()`` so its output can be diffed byte-for-byte against
+``repro batch``.  The subprocess tests exercise the real daemon contract:
+the parseable "listening on" startup line, and a SIGTERM that lands while
+a request is in flight yet loses nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.server import ReproServer, ServerConfig
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+REQUEST_LINES = [
+    {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
+    {"kind": "fusion", "m": 96, "k": 64, "l": 80, "n": 72,
+     "buffer_elems": 16384},
+    {"kind": "sweep_point", "m": 32, "k": 32, "l": 32, "buffer_elems": 1024},
+    {"kind": "graph_plan", "model": "NotAModel", "buffer_elems": 1024},
+]
+
+
+def _write_requests(path):
+    path.write_text(
+        "\n".join(json.dumps(line) for line in REQUEST_LINES) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture
+def live_server():
+    with ReproServer(ServerConfig(port=0, jobs=2)) as server:
+        yield server
+
+
+class TestVersionBanner:
+    def test_version_reports_protocol_and_cache_schema(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        banner = capsys.readouterr().out
+        assert banner.startswith("repro ")
+        assert "protocol" in banner
+        assert "cache schema" in banner
+
+
+class TestCallCommand:
+    def test_call_output_is_byte_identical_to_batch(
+        self, live_server, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        assert main(["batch", str(requests)]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(["call", str(requests), "--url", live_server.url]) == 0
+        call_out = capsys.readouterr().out
+        assert call_out == batch_out
+
+    def test_chunked_call_is_byte_identical_too(
+        self, live_server, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        assert main(["batch", str(requests)]) == 0
+        batch_out = capsys.readouterr().out
+        assert (
+            main(["call", str(requests), "--url", live_server.url,
+                  "--chunk-size", "1"])
+            == 0
+        )
+        assert capsys.readouterr().out == batch_out
+
+    def test_output_file_and_server_stats(
+        self, live_server, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        output = tmp_path / "results.jsonl"
+        assert (
+            main(["call", str(requests), "--url", live_server.url,
+                  "--output", str(output), "--server-stats"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        # stderr carries the stats JSON followed by the failure summary
+        # line (the request file deliberately contains one bad request).
+        stats, _ = json.JSONDecoder().raw_decode(
+            captured.err[captured.err.index("{"):]
+        )
+        assert stats["serving"]["requests_served"] == len(REQUEST_LINES)
+        records = [
+            json.loads(line)
+            for line in output.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [record["index"] for record in records] == [0, 1, 2, 3]
+
+    def test_strict_exits_nonzero_on_request_errors(
+        self, live_server, tmp_path, capsys
+    ):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)  # the graph_plan line errors
+        assert (
+            main(["call", str(requests), "--url", live_server.url,
+                  "--strict"])
+            == 1
+        )
+        assert "failed" in capsys.readouterr().err
+
+    def test_health_probe(self, live_server, capsys):
+        assert main(["call", "--health", "--url", live_server.url]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["ok"] is True
+        assert health["server"] == "repro-server"
+
+    def test_unreachable_server_exits_3(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        # A port from the ephemeral range with (almost surely) no listener;
+        # a single attempt fails fast.
+        assert (
+            main(["call", str(requests), "--url", "http://127.0.0.1:1",
+                  "--retries", "1", "--timeout", "2"])
+            == 3
+        )
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestServeSubprocess:
+    """The real daemon contract: boot, serve, SIGTERM, lose nothing."""
+
+    @staticmethod
+    def _spawn_server(extra_args=(), extra_env=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_FAULTS", None)
+        if extra_env:
+            env.update(extra_env)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             *extra_args],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        # The startup contract: a parseable "listening on URL" stderr line.
+        line = process.stderr.readline()
+        assert "listening on" in line, line
+        url = next(
+            token for token in line.split() if token.startswith("http://")
+        )
+        return process, url
+
+    @staticmethod
+    def _run_call(url, requests_path, timeout=120):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_FAULTS", None)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "call", str(requests_path),
+             "--url", url],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=timeout,
+        )
+
+    def test_sigterm_mid_flight_drains_losslessly(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        # Every intra evaluation in the *server* stalls 0.8s, giving
+        # SIGTERM a wide-open window to land while work is in flight.
+        process, url = self._spawn_server(
+            extra_env={"REPRO_FAULTS": "delay:intra:seconds=0.8"}
+        )
+        try:
+            call = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "call", str(requests),
+                 "--url", url],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": REPO_SRC + os.pathsep
+                    + os.environ.get("PYTHONPATH", ""),
+                },
+                text=True,
+            )
+            time.sleep(0.4)  # inside the delayed evaluation window
+            process.send_signal(signal.SIGTERM)
+            call_out, call_err = call.communicate(timeout=120)
+            _, serve_err = process.communicate(timeout=120)
+        finally:
+            process.kill()
+            call.kill()
+        assert process.returncode == 0, serve_err
+        assert call.returncode == 0, call_err
+        # The in-flight batch was accepted before the signal: every one
+        # of its records must have been computed and returned.
+        records = [json.loads(line) for line in call_out.splitlines()]
+        assert [record["index"] for record in records] == [0, 1, 2, 3]
+        assert "drained and stopped" in serve_err
+        # And the drain must match what an undisturbed run produces.
+        assert main(["batch", str(requests)]) == 0
+        assert call_out == capsys.readouterr().out
+
+    def test_serve_call_roundtrip_with_cache_persistence(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        _write_requests(requests)
+        cache_file = tmp_path / "server.cache"
+        process, url = self._spawn_server(
+            extra_args=("--cache-file", str(cache_file))
+        )
+        try:
+            first = self._run_call(url, requests)
+            second = self._run_call(url, requests)
+            process.send_signal(signal.SIGTERM)
+            _, serve_err = process.communicate(timeout=120)
+        finally:
+            process.kill()
+        assert first.returncode == 0, first.stderr
+        assert second.returncode == 0, second.stderr
+        assert first.stdout == second.stdout
+        assert process.returncode == 0, serve_err
+        assert "saved" in serve_err and "cache" in serve_err
+        assert cache_file.exists()
