@@ -1,0 +1,152 @@
+"""Micro-benchmark harness: ``repro bench``.
+
+Times the three layers whose speed the roadmap actually tracks:
+
+* ``optimize_intra`` -- the principle-based single-operator optimizer
+  (the paper's core loop; microseconds matter because sweeps call it
+  thousands of times);
+* ``optimize_fused`` -- the fused-chain dataflow search;
+* end-to-end ``repro batch`` throughput through the full service stack
+  (parse -> cache -> pool -> report), in requests/second.
+
+Methodology: every measurement is the **median of best-of-``repeats``
+wall times** on fixed, representative shapes -- medians because a shared
+CI box has tail noise, fixed shapes so numbers are comparable across
+commits.  Results land in a ``BENCH_<date>.json`` with enough machine
+context (python version, platform) to judge whether two files are even
+comparable.  This is a trend tool, not a marketing tool: compare numbers
+from the same machine class only.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Any, Callable, Dict, List
+
+from .core import optimize_fused, optimize_intra
+from .ir import matmul
+from .service import BatchEngine, EngineConfig, intra_request
+
+#: Bumped when the measurement methodology changes enough that old and
+#: new BENCH files must not be trend-compared.
+BENCH_SCHEMA_VERSION = 1
+
+#: Fixed shapes: a small, a paper-typical, and a skinny-K operator.
+INTRA_SHAPES = ((64, 32, 48), (512, 256, 256), (1024, 16, 1024))
+FUSED_CHAINS = ((64, 32, 48, 56), (512, 256, 256, 128))
+BUFFER_ELEMS = 64 << 10
+
+
+def _time_call(fn: Callable[[], Any], repeats: int) -> Dict[str, Any]:
+    """Median/min/max of ``repeats`` timed calls (seconds)."""
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "repeats": repeats,
+        "median_seconds": round(statistics.median(times), 6),
+        "min_seconds": round(min(times), 6),
+        "max_seconds": round(max(times), 6),
+    }
+
+
+def bench_intra(repeats: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for m, k, l in INTRA_SHAPES:
+        op = matmul("mm", m, k, l)
+        out[f"{m}x{k}x{l}"] = _time_call(
+            lambda op=op: optimize_intra(op, BUFFER_ELEMS), repeats
+        )
+    return out
+
+
+def bench_fused(repeats: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for m, k, l, n in FUSED_CHAINS:
+        op1 = matmul("mm1", m, k, l)
+        op2 = matmul("mm2", m, l, n, a=op1.output)
+        out[f"{m}x{k}x{l}x{n}"] = _time_call(
+            lambda ops=[op1, op2]: optimize_fused(ops, BUFFER_ELEMS), repeats
+        )
+    return out
+
+
+def bench_batch(batch_requests: int, jobs: int) -> Dict[str, Any]:
+    """Cold-cache end-to-end batch throughput (requests/second).
+
+    Every request is unique (the ``m`` dimension varies) so the LRU
+    cache cannot answer any of them -- this measures the compute path,
+    not cache lookup.
+    """
+
+    requests = [
+        intra_request(32 + index, 24, 40, 4096)
+        for index in range(batch_requests)
+    ]
+    engine = BatchEngine(EngineConfig(jobs=jobs, cache_size=4))
+    start = time.perf_counter()
+    report = engine.run_batch(requests)
+    wall = time.perf_counter() - start
+    if report.errors:
+        raise RuntimeError(
+            f"bench batch had {report.errors} errors; timings are invalid"
+        )
+    return {
+        "requests": batch_requests,
+        "jobs": jobs,
+        "wall_seconds": round(wall, 6),
+        "requests_per_second": round(batch_requests / wall, 3) if wall else 0.0,
+    }
+
+
+def run_bench(
+    repeats: int = 5, batch_requests: int = 200, jobs: int = 2
+) -> Dict[str, Any]:
+    """Run every benchmark; returns the JSON-able result document."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "date": time.strftime("%Y-%m-%d"),
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "buffer_elems": BUFFER_ELEMS,
+        "optimize_intra": bench_intra(repeats),
+        "optimize_fused": bench_fused(repeats),
+        "batch": bench_batch(batch_requests, jobs),
+    }
+
+
+def render_bench_text(result: Dict[str, Any]) -> str:
+    lines = [
+        "bench summary",
+        "-------------",
+        f"python {result['machine']['python']} "
+        f"({result['machine']['platform']})",
+    ]
+    for section in ("optimize_intra", "optimize_fused"):
+        for shape, timing in result[section].items():
+            lines.append(
+                f"{section:<16} {shape:<16} "
+                f"median={timing['median_seconds'] * 1e3:.3f}ms "
+                f"(min={timing['min_seconds'] * 1e3:.3f}ms)"
+            )
+    batch = result["batch"]
+    lines.append(
+        f"{'batch':<16} {batch['requests']} reqs @ jobs={batch['jobs']}: "
+        f"{batch['requests_per_second']:.1f} req/s "
+        f"({batch['wall_seconds']:.3f}s wall)"
+    )
+    return "\n".join(lines)
+
+
+def write_bench(result: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(result, sort_keys=True, indent=2) + "\n")

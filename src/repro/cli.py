@@ -17,7 +17,12 @@ batch FILE          evaluate JSON-lines analysis requests through the
                     ``--paranoid`` for certified-and-probed results)
 serve               run the long-lived HTTP serving daemon over the batch
                     engine (``--port --jobs --queue-depth --rate-limit
-                    --paranoid --journal``; SIGTERM drains losslessly)
+                    --paranoid --journal``; SIGTERM drains losslessly;
+                    ``--shards N`` puts N journal-backed worker processes
+                    behind the same endpoints with kill-one-shard
+                    resilience)
+bench               time optimize_intra / optimize_fused / end-to-end
+                    batch throughput and write a ``BENCH_<date>.json``
 call FILE           evaluate requests against a running ``repro serve``
                     daemon via :class:`repro.server.ReproClient`
                     (deterministic retries on 429/503; ``--health``,
@@ -404,6 +409,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="log per-request access lines to stderr",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N worker processes behind the front end, each owning a "
+        "rendezvous-hashed slice of the keyspace with its own cache and "
+        "journal; a killed worker is respawned with its journal replayed "
+        "(default 0: classic single-process daemon)",
+    )
+    serve.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --shards workers "
+        "(default: platform default)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="time optimize_intra, optimize_fused, and end-to-end batch "
+        "throughput; writes a BENCH_<date>.json trend file",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timed calls per micro-benchmark shape (default 5)",
+    )
+    bench.add_argument(
+        "--batch-requests",
+        type=int,
+        default=200,
+        help="unique requests in the end-to-end throughput run "
+        "(default 200)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="engine pool width for the throughput run (default 2)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="result file (default BENCH_<date>.json in the current "
+        "directory; '-' skips the file and prints JSON to stdout)",
     )
 
     call = commands.add_parser(
@@ -844,11 +898,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .server import ReproServer, ServerConfig
     from .server.protocol import PROTOCOL_VERSION
-    from .service import shutdown_guard
+    from .service import FileLock, FileLockedError, shutdown_guard
 
     failure = _arm_fault_injection(args.inject_faults)
     if failure is not None:
         return failure
+    if args.shards < 0:
+        print(
+            "error: --shards must be >= 0 (0 = single-process)",
+            file=sys.stderr,
+        )
+        return 2
+    sharded = args.shards > 0
     try:
         config = ServerConfig(
             host=args.host,
@@ -865,53 +926,132 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             journal_path=args.journal,
             verbose=args.verbose,
         )
-        server = ReproServer(config)
-    except (ValueError, OSError) as exc:
+    except ValueError as exc:
         print(f"error: cannot start server: {exc}", file=sys.stderr)
         return 2
-    if args.cache_file and os.path.exists(args.cache_file):
-        try:
-            loaded = server.app.load_cache(args.cache_file)
-            print(
-                f"repro serve: warmed {loaded} cache entr"
-                f"{'y' if loaded == 1 else 'ies'} from {args.cache_file}",
-                file=sys.stderr,
-            )
-        except (ValueError, OSError, KeyError, TypeError) as exc:
-            print(
-                f"warning: ignoring unreadable cache file "
-                f"{args.cache_file} ({exc})",
-                file=sys.stderr,
-            )
-    server.start()
-    # The "listening" line is the startup contract: scripts (and the CI
-    # smoke step) parse the bound address from it, which is how an
-    # ephemeral --port 0 becomes discoverable.
-    print(
-        f"repro serve: listening on {server.url} "
-        f"(protocol {PROTOCOL_VERSION}, jobs={args.jobs}, "
-        f"max_concurrency={config.max_concurrency}, "
-        f"queue_depth={config.queue_depth})",
-        file=sys.stderr,
-        flush=True,
-    )
-    with shutdown_guard() as stop:
-        stop.wait()
-    drained = server.shutdown(drain=True)
+    # Daemon-lifetime ownership of the persistent cache file: two daemons
+    # saving one cache race each other's os.replace. Shard workers derive
+    # per-shard paths from it, so one router-level lock covers them all.
+    cache_lock = None
     if args.cache_file:
-        saved = server.app.save_cache(args.cache_file)
+        try:
+            cache_lock = FileLock(
+                args.cache_file + ".lock", purpose="cache file"
+            ).acquire()
+        except FileLockedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        if sharded:
+            from .shard import ShardBootError, ShardedServer
+
+            try:
+                server = ShardedServer(
+                    config,
+                    shards=args.shards,
+                    cache_file=args.cache_file,
+                    start_method=args.start_method,
+                )
+            except (ShardBootError, ValueError, OSError) as exc:
+                print(f"error: cannot start server: {exc}", file=sys.stderr)
+                return 2
+        else:
+            try:
+                server = ReproServer(config)
+            except (ValueError, OSError) as exc:
+                print(f"error: cannot start server: {exc}", file=sys.stderr)
+                return 2
+            if args.cache_file and os.path.exists(args.cache_file):
+                try:
+                    loaded = server.app.load_cache(args.cache_file)
+                    print(
+                        f"repro serve: warmed {loaded} cache entr"
+                        f"{'y' if loaded == 1 else 'ies'} from "
+                        f"{args.cache_file}",
+                        file=sys.stderr,
+                    )
+                except (ValueError, OSError, KeyError, TypeError) as exc:
+                    print(
+                        f"warning: ignoring unreadable cache file "
+                        f"{args.cache_file} ({exc})",
+                        file=sys.stderr,
+                    )
+        server.start()
+        # The "listening" line is the startup contract: scripts (and the
+        # CI smoke step) parse the bound address from it, which is how an
+        # ephemeral --port 0 becomes discoverable.
         print(
-            f"repro serve: saved {saved} cache entries to {args.cache_file}",
+            f"repro serve: listening on {server.url} "
+            f"(protocol {PROTOCOL_VERSION}, jobs={args.jobs}, "
+            f"max_concurrency={config.max_concurrency}, "
+            f"queue_depth={config.queue_depth}"
+            + (f", shards={args.shards}" if sharded else "")
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        )
+        if sharded:
+            pids = " ".join(
+                str(pid) for pid in server.app.supervisor.pids if pid
+            )
+            print(f"repro serve: shard pids {pids}", file=sys.stderr, flush=True)
+        with shutdown_guard() as stop:
+            stop.wait()
+        if sharded:
+            # Read counters while the fleet is still up; the drain below
+            # stops the workers (they save their own per-shard caches).
+            stats = server.app.stats_dict()
+            drained = server.shutdown(drain=True)
+            served = stats["serving"].get("requests_served", 0)
+        else:
+            drained = server.shutdown(drain=True)
+            if args.cache_file:
+                saved = server.app.save_cache(args.cache_file)
+                print(
+                    f"repro serve: saved {saved} cache entries to "
+                    f"{args.cache_file}",
+                    file=sys.stderr,
+                )
+            stats = server.app.stats_dict()
+            served = stats["serving"].get("requests_served", 0)
+        print(
+            "repro serve: drained and stopped "
+            f"(analyze_calls={stats['serving'].get('analyze_calls', 0)}, "
+            f"requests_served={served})",
             file=sys.stderr,
         )
-    stats = server.app.stats_dict()
-    print(
-        "repro serve: drained and stopped "
-        f"(analyze_calls={stats['serving'].get('analyze_calls', 0)}, "
-        f"requests_served={stats['serving'].get('requests_served', 0)})",
-        file=sys.stderr,
+        return 0 if drained else 1
+    finally:
+        if cache_lock is not None:
+            cache_lock.release()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the micro/throughput benchmarks and persist the trend file."""
+    import json
+    import time
+
+    from .bench import render_bench_text, run_bench, write_bench
+
+    if args.repeats < 1 or args.batch_requests < 1 or args.jobs < 1:
+        print(
+            "error: --repeats, --batch-requests, and --jobs must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_bench(
+        repeats=args.repeats,
+        batch_requests=args.batch_requests,
+        jobs=args.jobs,
     )
-    return 0 if drained else 1
+    print(render_bench_text(result), file=sys.stderr)
+    if args.output == "-":
+        print(json.dumps(result, sort_keys=True, indent=2))
+        return 0
+    path = args.output or f"BENCH_{time.strftime('%Y%m%d')}.json"
+    write_bench(result, path)
+    print(f"bench: wrote {path}", file=sys.stderr)
+    return 0
 
 
 def _cmd_call(args: argparse.Namespace) -> int:
@@ -1013,6 +1153,13 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     :class:`~repro.server.client.ReproClient`, the returned lines are
     checked byte-identical to a direct engine run, and the server is
     drained losslessly.
+
+    Phase 5 proves the sharded tier survives shard death: a 3-shard
+    :class:`~repro.shard.ShardedServer` (per-shard journals, slowed by an
+    injected per-request delay) serves a batch while the shard that owns
+    the first request is SIGKILLed mid-flight; the supervisor must
+    respawn it (journal replayed by the successor) and the batch must
+    still complete byte-identical to a direct single-process run.
     """
 
     import tempfile
@@ -1199,6 +1346,89 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         )
     protocol = health.get("protocol")
 
+    # ------------------------------------------------------------------
+    # Phase 5: sharded tier (kill one shard mid-batch, lossless respawn).
+    # ------------------------------------------------------------------
+    import os
+    import signal
+    import threading
+    import time
+
+    from .shard import ShardedServer, rendezvous_shard, routing_key
+
+    shard_requests = [
+        {"kind": "intra", "m": 40 + step, "k": 24, "l": 32,
+         "buffer_elems": 8192}
+        for step in range(12)
+    ]
+    shard_direct = BatchEngine(EngineConfig(jobs=2)).run_batch(
+        [parse_request(payload) for payload in shard_requests]
+    )
+    shard_count = 3
+    victim_index = rendezvous_shard(routing_key(shard_requests[0]), shard_count)
+    respawns = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        # The delay paces the batch so the SIGKILL lands mid-flight; the
+        # env export lets the shard worker processes inherit it.
+        with injected_faults("delay:intra:seconds=0.12", export_env=True):
+            sharded = ShardedServer(
+                ServerConfig(
+                    port=0, jobs=1, journal_path=f"{tmpdir}/shards.journal"
+                ),
+                shards=shard_count,
+                health_interval=0.2,
+            ).start()
+            try:
+                outcome: dict = {}
+
+                def _run_shard_batch() -> None:
+                    try:
+                        with ReproClient(
+                            port=sharded.port, timeout=120.0
+                        ) as shard_client:
+                            outcome["lines"] = shard_client.batch_lines(
+                                shard_requests
+                            )
+                    except Exception as exc:  # surfaced as a failure below
+                        outcome["error"] = repr(exc)
+
+                runner = threading.Thread(target=_run_shard_batch)
+                runner.start()
+                time.sleep(0.5)  # a few delayed requests deep into the batch
+                victim = sharded.app.supervisor.handles[victim_index]
+                victim_pid = victim.pid
+                os.kill(victim_pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+                runner.join(timeout=90.0)
+                if runner.is_alive():
+                    failures.append(
+                        "sharded batch hung after shard kill (still running "
+                        "after 90s)"
+                    )
+                elif "error" in outcome:
+                    failures.append(
+                        f"sharded batch errored after shard kill: "
+                        f"{outcome['error']}"
+                    )
+                elif "\n".join(outcome["lines"]) != shard_direct.to_jsonl():
+                    failures.append(
+                        "sharded batch output differs from direct run "
+                        "after shard kill"
+                    )
+                snapshot = sharded.app.supervisor.snapshot()
+                respawns = snapshot["respawns"]
+                if respawns < 1:
+                    failures.append(
+                        "killed shard was never respawned "
+                        f"(snapshot {snapshot})"
+                    )
+                if victim.pid == victim_pid:
+                    failures.append(
+                        "victim shard still reports the killed pid "
+                        f"{victim_pid}"
+                    )
+            finally:
+                sharded.shutdown(drain=True)
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -1211,7 +1441,9 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         "certification ok (corrupted claim caught, counterexample healed "
         f"{green_only.memory_access}->{certified_ma}); "
         f"serving ok (protocol {protocol}, byte-identical over HTTP, "
-        "lossless drain)"
+        "lossless drain); "
+        f"sharding ok (shard killed mid-batch, {respawns} respawn, "
+        "byte-identical completion)"
     )
     return 0
 
@@ -1232,6 +1464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "call":
         return _cmd_call(args)
     if args.command == "selfcheck":

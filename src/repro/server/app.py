@@ -53,6 +53,152 @@ class BadRequestError(ValueError):
     """The request body could not be understood (HTTP 400)."""
 
 
+def parse_analyze_payloads(
+    body: bytes, content_type: str
+) -> Tuple[List[Union[Dict[str, Any], str]], bool]:
+    """Decode a ``POST /v1/analyze`` body into engine payloads.
+
+    Returns ``(payloads, single)``.  Accepted shapes: one JSON object
+    (single mode), a JSON array, ``{"requests": [...]}``, or JSON-lines
+    (forced by an ``application/x-ndjson`` content type).  Undecodable
+    JSON-lines entries pass through as raw strings so the engine records
+    a structured per-line error at the right index, exactly like
+    ``repro batch``.  Shared by the single-process :class:`ServerApp`
+    and the sharded router, so both fronts accept identical bodies.
+    """
+
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BadRequestError(f"body is not valid UTF-8: {exc}") from None
+    stripped = text.strip()
+    if not stripped:
+        raise BadRequestError("empty request body")
+    ndjson = content_type.split(";")[0].strip() == "application/x-ndjson"
+    if not ndjson:
+        try:
+            decoded = json.loads(stripped)
+        except ValueError:
+            ndjson = True  # multi-line body: fall through to JSON-lines
+        else:
+            if isinstance(decoded, list):
+                return list(decoded), False
+            if isinstance(decoded, dict) and "requests" in decoded:
+                requests = decoded["requests"]
+                if not isinstance(requests, list):
+                    raise BadRequestError('"requests" must be a list')
+                return list(requests), False
+            if isinstance(decoded, dict):
+                return [decoded], True
+            raise BadRequestError(
+                "body must be a JSON object, array, or JSON lines"
+            )
+    payloads: List[Union[Dict[str, Any], str]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payloads.append(json.loads(line))
+        except ValueError:
+            payloads.append(line)  # engine records the structured error
+    if not payloads:
+        raise BadRequestError("empty request body")
+    return payloads, False
+
+
+def resolve_deadline(
+    query: Dict[str, List[str]],
+    headers: Mapping[str, str],
+    default_deadline: Optional[float],
+    max_deadline: Optional[float],
+) -> Optional[float]:
+    """The effective per-request deadline for one analyze call.
+
+    ``X-Repro-Deadline`` (or ``?deadline=``) wins over the server
+    default, clamped by ``max_deadline``; malformed values raise
+    :class:`BadRequestError`.
+    """
+
+    raw = headers.get("x-repro-deadline") or first_query_value(
+        query, "deadline"
+    )
+    if raw is None:
+        return default_deadline
+    try:
+        deadline = float(raw)
+    except ValueError:
+        raise BadRequestError(
+            f"deadline must be a positive number, got {raw!r}"
+        ) from None
+    if deadline <= 0:
+        raise BadRequestError("deadline must be positive")
+    if max_deadline is not None:
+        deadline = min(deadline, max_deadline)
+    return deadline
+
+
+def render_metrics_text(stats: Dict[str, Any]) -> str:
+    """Prometheus-flavored text exposition of a /stats payload.
+
+    Shared by the single-process app and the sharded router: the router
+    feeds an *aggregated* stats dict (reservoirs merged, counters
+    summed) and gets the same metric names out, plus per-shard health
+    gauges when a ``shards`` rollup is present.
+    """
+
+    lines: List[str] = ["# repro serve metrics"]
+
+    def emit(name: str, value: Any, labels: str = "") -> None:
+        if value is None or isinstance(value, bool):
+            return
+        lines.append(f"repro_{name}{labels} {value}")
+
+    emit("uptime_seconds", stats["uptime_seconds"])
+    for name, value in stats["serving"].items():
+        emit("serving_total", value, f'{{counter="{name}"}}')
+    admission = stats["admission"]
+    for name in (
+        "active",
+        "waiting",
+        "admitted",
+        "rejected_rate_limited",
+        "rejected_queue_full",
+    ):
+        emit(f"admission_{name}", admission[name])
+    latency = stats["latency"]
+    emit("latency_seconds_count", latency["count"])
+    for quantile in ("p50", "p95", "p99"):
+        emit(
+            "latency_seconds",
+            latency[quantile],
+            f'{{quantile="{quantile[1:]}"}}',
+        )
+    emit("latency_seconds_max", latency["max"])
+    for scope in ("cache", "intra_cache"):
+        for name in ("hits", "misses", "evictions", "size"):
+            emit(f"{scope}_{name}", stats[scope][name])
+    for name, value in stats["engine_counters"].items():
+        emit("engine_total", value, f'{{counter="{name}"}}')
+    shards = stats.get("shards")
+    if shards:
+        emit("shards_total", shards["count"])
+        emit("shards_ready", shards["ready"])
+        emit("shards_respawns_total", shards["respawns"])
+        for shard in shards["shards"]:
+            emit(
+                "shard_up",
+                1 if shard["state"] == "ready" else 0,
+                f'{{shard="{shard["label"]}"}}',
+            )
+            emit(
+                "shard_respawns",
+                shard["respawns"],
+                f'{{shard="{shard["label"]}"}}',
+            )
+    return "\n".join(lines) + "\n"
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """Daemon tuning knobs (engine + admission + transport)."""
@@ -298,40 +444,7 @@ class ServerApp:
         stats = self.stats_dict()
         if first_query_value(query, "format") == "json":
             return HttpResponse.json(stats)
-        lines: List[str] = ["# repro serve metrics"]
-
-        def emit(name: str, value: Any, labels: str = "") -> None:
-            if value is None or isinstance(value, bool):
-                return
-            lines.append(f"repro_{name}{labels} {value}")
-
-        emit("uptime_seconds", stats["uptime_seconds"])
-        for name, value in stats["serving"].items():
-            emit("serving_total", value, f'{{counter="{name}"}}')
-        admission = stats["admission"]
-        for name in (
-            "active",
-            "waiting",
-            "admitted",
-            "rejected_rate_limited",
-            "rejected_queue_full",
-        ):
-            emit(f"admission_{name}", admission[name])
-        latency = stats["latency"]
-        emit("latency_seconds_count", latency["count"])
-        for quantile in ("p50", "p95", "p99"):
-            emit(
-                "latency_seconds",
-                latency[quantile],
-                f'{{quantile="{quantile[1:]}"}}',
-            )
-        emit("latency_seconds_max", latency["max"])
-        for scope in ("cache", "intra_cache"):
-            for name in ("hits", "misses", "evictions", "size"):
-                emit(f"{scope}_{name}", stats[scope][name])
-        for name, value in stats["engine_counters"].items():
-            emit("engine_total", value, f'{{counter="{name}"}}')
-        return HttpResponse.text("\n".join(lines) + "\n")
+        return HttpResponse.text(render_metrics_text(stats))
 
     # ------------------------------------------------------------------
     # The analyze endpoint
@@ -340,74 +453,17 @@ class ServerApp:
     def _parse_payloads(
         body: bytes, content_type: str
     ) -> Tuple[List[Union[Dict[str, Any], str]], bool]:
-        """Decode the request body into engine payloads.
-
-        Returns ``(payloads, single)``.  Accepted shapes: one JSON
-        object (single mode), a JSON array, ``{"requests": [...]}``, or
-        JSON-lines (forced by an ``application/x-ndjson`` content type).
-        Undecodable JSON-lines entries pass through as raw strings so
-        the engine records a structured per-line error at the right
-        index, exactly like ``repro batch``.
-        """
-
-        try:
-            text = body.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise BadRequestError(f"body is not valid UTF-8: {exc}") from None
-        stripped = text.strip()
-        if not stripped:
-            raise BadRequestError("empty request body")
-        ndjson = content_type.split(";")[0].strip() == "application/x-ndjson"
-        if not ndjson:
-            try:
-                decoded = json.loads(stripped)
-            except ValueError:
-                ndjson = True  # multi-line body: fall through to JSON-lines
-            else:
-                if isinstance(decoded, list):
-                    return list(decoded), False
-                if isinstance(decoded, dict) and "requests" in decoded:
-                    requests = decoded["requests"]
-                    if not isinstance(requests, list):
-                        raise BadRequestError('"requests" must be a list')
-                    return list(requests), False
-                if isinstance(decoded, dict):
-                    return [decoded], True
-                raise BadRequestError(
-                    "body must be a JSON object, array, or JSON lines"
-                )
-        payloads: List[Union[Dict[str, Any], str]] = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payloads.append(json.loads(line))
-            except ValueError:
-                payloads.append(line)  # engine records the structured error
-        if not payloads:
-            raise BadRequestError("empty request body")
-        return payloads, False
+        return parse_analyze_payloads(body, content_type)
 
     def _deadline_from(
         self, query: Dict[str, List[str]], headers: Mapping[str, str]
     ) -> Optional[float]:
-        raw = headers.get("x-repro-deadline") or first_query_value(
-            query, "deadline"
+        return resolve_deadline(
+            query,
+            headers,
+            self.config.default_deadline,
+            self.config.max_deadline,
         )
-        if raw is None:
-            return self.config.default_deadline
-        try:
-            deadline = float(raw)
-        except ValueError:
-            raise BadRequestError(
-                f"deadline must be a positive number, got {raw!r}"
-            ) from None
-        if deadline <= 0:
-            raise BadRequestError("deadline must be positive")
-        if self.config.max_deadline is not None:
-            deadline = min(deadline, self.config.max_deadline)
-        return deadline
 
     def _analyze(
         self,
@@ -459,6 +515,25 @@ class ServerApp:
                 self._inflight -= 1
                 if self._inflight == 0:
                     self._idle.notify_all()
+
+    def run_payloads(
+        self,
+        payloads: List[Union[Dict[str, Any], str]],
+        deadline: Optional[float] = None,
+    ) -> BatchReport:
+        """Run decoded payloads through the shared engine state.
+
+        The non-HTTP entry point shard workers use: identical engine
+        semantics (cache, journal, serving counters) and identical
+        per-call latency accounting as ``POST /v1/analyze``, minus the
+        transport and admission layers (the router owns those).
+        """
+
+        watch = Stopwatch()
+        try:
+            return self._run(payloads, deadline)
+        finally:
+            self.latency.record(watch.stop())
 
     def _run(
         self,

@@ -78,7 +78,15 @@ from .journal import (
     BatchJournal,
     JournalError,
     JournalExistsError,
+    JournalLockedError,
     JournalVersionError,
+)
+from .locking import (
+    LOCKING_SUPPORTED,
+    FileLock,
+    FileLockedError,
+    lock_handle,
+    unlock_handle,
 )
 from .shutdown import RESUMABLE_EXIT_CODE, ShutdownRequested, shutdown_guard
 from .intra_cache import (
@@ -132,12 +140,16 @@ __all__ = [
     "FaultClause",
     "FaultPlan",
     "FaultSpecError",
+    "FileLock",
+    "FileLockedError",
     "InjectedFaultError",
     "JOURNAL_FORMAT",
     "JOURNAL_SCHEMA_VERSION",
     "JournalError",
     "JournalExistsError",
+    "JournalLockedError",
     "JournalVersionError",
+    "LOCKING_SUPPORTED",
     "LRUCache",
     "LatencyReservoir",
     "PARANOID_KINDS",
@@ -169,6 +181,7 @@ __all__ = [
     "injected_faults",
     "intra_cache_stats",
     "intra_request",
+    "lock_handle",
     "operator_signature",
     "parse_fault_spec",
     "parse_request",
@@ -181,4 +194,5 @@ __all__ = [
     "set_fault_plan",
     "shutdown_guard",
     "sweep_point_request",
+    "unlock_handle",
 ]

@@ -44,6 +44,7 @@ import time
 from typing import Any, Dict, Optional
 
 from .errors import PERMANENT, record_category
+from .locking import FileLockedError, lock_handle
 
 #: Magic string identifying a journal file's header line.
 JOURNAL_FORMAT = "repro-batch-journal"
@@ -64,6 +65,18 @@ class JournalVersionError(JournalError):
 
 class JournalExistsError(JournalError):
     """Raised when a journal already exists and resume was not requested."""
+
+
+class JournalLockedError(JournalError):
+    """Raised when another live process holds the journal's write lock.
+
+    The journal is strictly single-writer: two processes appending to one
+    file interleave completion records and tear each other's lines.  The
+    advisory ``flock`` is taken on open and held for the journal's
+    lifetime; the kernel releases it on any process death (including
+    SIGKILL), so a respawned shard worker re-locks its predecessor's
+    journal cleanly.
+    """
 
 
 def _durable(record: Dict[str, Any]) -> bool:
@@ -116,18 +129,48 @@ class BatchJournal:
                     f"journal {self.path!r} already exists; resume it "
                     "explicitly or delete it to start over"
                 )
-            self._recover()
+            # Lock FIRST: recovery truncates the file, which must never
+            # happen to a journal another process is still writing.
+            self._open_locked()
+            try:
+                self._recover()
+            except BaseException:
+                self.close()
+                raise
         else:
             self._create()
 
     # ------------------------------------------------------------------
     # Open / recover
     # ------------------------------------------------------------------
+    def _open_locked(self) -> None:
+        """Open the append handle and take the single-writer flock.
+
+        Fails loudly with :class:`JournalLockedError` when another live
+        process holds the lock -- the one failure mode that must never be
+        papered over, because concurrent appends corrupt the file.
+        """
+
+        handle = open(self.path, "ab")
+        try:
+            lock_handle(handle, self.path, purpose="journal")
+        except FileLockedError:
+            handle.close()
+            raise JournalLockedError(
+                f"journal {self.path!r} is locked by another live process; "
+                "a journal has exactly one writer -- stop the other owner "
+                "or use a different --journal path"
+            ) from None
+        self._handle = handle
+
     def _create(self) -> None:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._handle = open(self.path, "ab")
+        self._open_locked()
+        self._write_header()
+
+    def _write_header(self) -> None:
         header = {
             "format": JOURNAL_FORMAT,
             "version": JOURNAL_SCHEMA_VERSION,
@@ -169,10 +212,10 @@ class BatchJournal:
             good_end = line_end
             offset = line_end
         if not parsed:
-            # Even the header was torn: start the journal over.
-            with open(self.path, "wb"):
-                pass
-            self._create()
+            # Even the header was torn: start the journal over (the
+            # already-locked append handle survives the truncate).
+            os.ftruncate(self._handle.fileno(), 0)
+            self._write_header()
             return
         header = parsed[0]
         if header.get("format") != JOURNAL_FORMAT:
@@ -196,9 +239,7 @@ class BatchJournal:
             if _durable(record):
                 self.completed[key] = record
         if good_end < len(raw):
-            with open(self.path, "r+b") as handle:
-                handle.truncate(good_end)
-        self._handle = open(self.path, "ab")
+            os.ftruncate(self._handle.fileno(), good_end)
 
     # ------------------------------------------------------------------
     # Appends

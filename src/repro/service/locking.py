@@ -1,0 +1,138 @@
+"""Advisory file locking so shared state files have exactly one writer.
+
+Two processes appending to one write-ahead journal interleave records and
+tear lines; two daemons saving one cache file race each other's
+``os.replace``.  Both are operator mistakes that should fail *loudly at
+startup*, not corrupt state silently at 3am.  This module wraps
+``fcntl.flock`` (advisory, non-blocking, exclusive) behind a small
+portable API:
+
+* :func:`lock_handle` locks an already-open file handle for its
+  lifetime -- the journal locks its append handle this way, so a second
+  process opening the same journal raises immediately.
+* :class:`FileLock` owns a separate ``<path>.lock`` file for
+  resource-level ownership (e.g. a daemon's ``--cache-file``), held for
+  the daemon's lifetime and released on close or process death.
+
+The kernel drops ``flock`` locks automatically when the holding process
+dies -- including SIGKILL -- which is exactly the semantics a respawned
+shard worker needs: the corpse's journal lock evaporates with it, and
+the replacement re-locks cleanly.
+
+On platforms without ``fcntl`` (Windows) locking degrades to a no-op:
+the serving tier there loses the belt-and-braces guard but keeps
+working.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, IO, Optional
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+
+#: Whether advisory locking is actually enforced on this platform.
+LOCKING_SUPPORTED = fcntl is not None
+
+
+class FileLockedError(OSError):
+    """The file is exclusively locked by another live process."""
+
+    def __init__(self, path: str, purpose: str = "file"):
+        self.path = path
+        super().__init__(
+            f"{purpose} {path!r} is locked by another process; two "
+            "processes must never share it -- stop the other owner or "
+            "point this one at a different path"
+        )
+
+
+def lock_handle(handle: IO[Any], path: str, purpose: str = "file") -> bool:
+    """Take an exclusive, non-blocking advisory lock on an open handle.
+
+    Returns ``True`` when the lock was taken (or locking is unsupported
+    on this platform); raises :class:`FileLockedError` when another
+    process holds it.  The lock lives as long as the handle (or the
+    process): closing either releases it.
+    """
+
+    if fcntl is None:  # pragma: no cover - Windows
+        return True
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        raise FileLockedError(path, purpose=purpose) from None
+    return True
+
+
+def unlock_handle(handle: IO[Any]) -> None:
+    """Release a :func:`lock_handle` lock early (closing also releases)."""
+    if fcntl is None:  # pragma: no cover - Windows
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    except (OSError, ValueError):  # closed handle: lock already gone
+        pass
+
+
+class FileLock:
+    """Process-lifetime ownership of a resource via a ``.lock`` sidecar.
+
+    >>> lock = FileLock("/tmp/results.cache.lock", purpose="cache file")
+    >>> lock.acquire()   # raises FileLockedError if another daemon owns it
+    >>> ...
+    >>> lock.release()
+
+    The sidecar file is created if missing and never deleted (deleting a
+    locked-on file is a classic flock race); its content is the owning
+    PID, purely as a debugging breadcrumb.
+    """
+
+    def __init__(self, path: str, purpose: str = "file"):
+        self.path = os.path.abspath(path)
+        self.purpose = purpose
+        self._handle: Optional[IO[Any]] = None
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def acquire(self) -> "FileLock":
+        if self._handle is not None:
+            return self
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        handle = open(self.path, "a+")
+        try:
+            lock_handle(handle, self.path, purpose=self.purpose)
+        except FileLockedError:
+            handle.close()
+            raise
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(str(os.getpid()))
+            handle.flush()
+        except OSError:  # breadcrumb only; the lock itself is what matters
+            pass
+        self._handle = handle
+        return self
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            unlock_handle(self._handle)
+        finally:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()

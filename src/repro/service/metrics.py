@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 
 class Stopwatch:
@@ -126,6 +126,89 @@ class LatencyReservoir:
             return None
         rank = max(1, math.ceil(fraction * len(samples)))
         return samples[min(rank, len(samples)) - 1]
+
+    # ------------------------------------------------------------------
+    # State transfer + merging (cross-process aggregation)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """The reservoir's full state as pure JSON (for IPC / persistence).
+
+        Round-trips through :meth:`from_state`; a shard worker ships this
+        over the wire so the router can :meth:`merge` reservoirs without
+        losing the exact ``count``/``mean``/``max`` bookkeeping.
+        """
+
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "count": self._count,
+                "total": self._total,
+                "max": self._max,
+                "stride": self._stride,
+                "skipped": self._skipped,
+                "samples": list(self._samples),
+            }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "LatencyReservoir":
+        """Rebuild a reservoir from :meth:`state_dict` output."""
+        reservoir = cls(capacity=int(state.get("capacity", 512)))
+        reservoir._count = int(state.get("count", 0))
+        reservoir._total = float(state.get("total", 0.0))
+        reservoir._max = float(state.get("max", 0.0))
+        reservoir._stride = max(1, int(state.get("stride", 1)))
+        reservoir._skipped = int(state.get("skipped", 0))
+        reservoir._samples = [float(v) for v in state.get("samples", [])]
+        return reservoir
+
+    def merge(self, other: Union["LatencyReservoir", Mapping[str, Any]]) -> None:
+        """Fold another reservoir's samples in, deterministically.
+
+        The exact counters (``count``/``total``/``max``) simply add; the
+        bounded sample is combined by *deterministic decimation*: both
+        sides are first thinned to the coarser of the two strides (keep
+        every ``stride_ratio``-th sample, oldest first -- the same
+        systematic rule :meth:`record` applies), concatenated self-first,
+        then halved until the capacity bound holds.  No randomness
+        anywhere, so merging the same shard states in the same order
+        always yields the same percentile summary.
+
+        Merge order matters (self's samples precede the other's before
+        any final decimation); callers aggregating several reservoirs
+        should merge in a fixed order -- the shard router merges in
+        shard-id order -- to keep aggregates reproducible.
+        """
+
+        if isinstance(other, LatencyReservoir):
+            state = other.state_dict()
+        else:
+            state = dict(other)
+        other_samples = [float(v) for v in state.get("samples", [])]
+        other_stride = max(1, int(state.get("stride", 1)))
+        with self._lock:
+            self._count += int(state.get("count", 0))
+            self._total += float(state.get("total", 0.0))
+            self._max = max(self._max, float(state.get("max", 0.0)))
+            stride = max(self._stride, other_stride)
+            mine = self._decimated(self._samples, self._stride, stride)
+            theirs = self._decimated(other_samples, other_stride, stride)
+            samples = mine + theirs
+            while len(samples) >= self.capacity:
+                samples = samples[::2]
+                stride *= 2
+            self._samples = samples
+            self._stride = stride
+            self._skipped = 0
+
+    @staticmethod
+    def _decimated(
+        samples: List[float], stride: int, target_stride: int
+    ) -> List[float]:
+        """Thin a systematic sample from ``stride`` to ``target_stride``."""
+        if target_stride <= stride or not samples:
+            return list(samples)
+        ratio = max(1, target_stride // stride)
+        return samples[::ratio]
 
     def summary(self, digits: int = 6) -> Dict[str, Any]:
         """Counters + p50/p95/p99 in one JSON-able dict."""

@@ -1,0 +1,78 @@
+"""Sharded multi-process serving tier: scale-out + kill-one-shard resilience.
+
+Puts N independent worker processes behind the existing HTTP front end.
+Each worker owns a rendezvous-hashed slice of the request keyspace with
+its *own* LRU result cache and write-ahead journal, so a request always
+lands where its answer is already cached or journaled; the router
+(:mod:`~repro.shard.router`) reassembles per-shard result streams into
+output **byte-identical** to single-process ``repro batch`` for any
+shard count.  The supervisor (:mod:`~repro.shard.supervisor`) health
+checks workers and respawns a dead one into its slot -- the successor
+re-locks and replays the victim's journal, so a SIGKILL mid-batch costs
+latency, never data.  ``/stats`` and ``/metrics`` aggregate across the
+fleet (counters summed, latency reservoirs merged deterministically);
+``/readyz`` reports ``degraded`` while a slot respawns.
+
+Quick start::
+
+    from repro.server import ServerConfig
+    from repro.shard import ShardedServer
+
+    server = ShardedServer(ServerConfig(port=0), shards=3).start()
+    ...
+    server.shutdown(drain=True)
+"""
+
+from .hashing import (
+    assignment_counts,
+    rendezvous_ranking,
+    rendezvous_score,
+    rendezvous_shard,
+    shard_label,
+)
+from .ipc import (
+    SHARD_IPC_VERSION,
+    ShardConnectionError,
+    ShardIPCError,
+    ShardProtocolError,
+    ShardTimeoutError,
+)
+from .router import (
+    SHARD_RETRY_AFTER,
+    ShardedApp,
+    ShardedServer,
+    routing_key,
+    shard_cache_file,
+    shard_server_config,
+)
+from .supervisor import (
+    ShardBootError,
+    ShardHandle,
+    ShardOpError,
+    ShardSupervisor,
+    wait_for_pid_change,
+)
+
+__all__ = [
+    "SHARD_IPC_VERSION",
+    "SHARD_RETRY_AFTER",
+    "ShardBootError",
+    "ShardConnectionError",
+    "ShardHandle",
+    "ShardIPCError",
+    "ShardOpError",
+    "ShardProtocolError",
+    "ShardSupervisor",
+    "ShardTimeoutError",
+    "ShardedApp",
+    "ShardedServer",
+    "assignment_counts",
+    "rendezvous_ranking",
+    "rendezvous_score",
+    "rendezvous_shard",
+    "routing_key",
+    "shard_cache_file",
+    "shard_label",
+    "shard_server_config",
+    "wait_for_pid_change",
+]

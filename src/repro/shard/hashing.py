@@ -1,0 +1,98 @@
+"""Rendezvous (highest-random-weight) hashing for shard routing.
+
+Every analysis request already has a canonical content-addressed SHA-256
+key (:func:`repro.service.requests.request_key`); the router must map
+that key onto one of N shard workers such that
+
+* the mapping is **deterministic** -- the same request always lands on
+  the same shard, so each shard's private LRU cache and write-ahead
+  journal keep earning across calls and across respawns;
+* **resizing moves minimal keys** -- growing N shards to N+1 reassigns
+  only ~1/(N+1) of the keyspace, instead of the ~100% reshuffle a naive
+  ``hash(key) % N`` causes.
+
+Rendezvous/HRW hashing gives both with no ring state to maintain: each
+(key, shard) pair gets a score from a cryptographic hash, and the key
+lives on the highest-scoring shard.  Removing a shard only re-homes the
+keys whose top choice died (they fall to their second choice); adding a
+shard only claims the keys it now wins.  Scores are SHA-256 based, so
+placement is stable across processes, Python versions, and
+``PYTHONHASHSEED`` (``hash()`` is deliberately avoided).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+#: Separator between shard label and key inside the scored digest input;
+#: NUL cannot appear in either, so concatenation is unambiguous.
+_SEP = b"\x00"
+
+
+def shard_label(shard_index: int) -> str:
+    """The stable identity string scored for a shard slot.
+
+    Labels are derived from the slot *index*, not the worker process:
+    a respawned worker inherits its predecessor's label, journal, and
+    keyspace slice.
+    """
+
+    return f"shard-{shard_index}"
+
+
+def rendezvous_score(key: str, label: str) -> int:
+    """The HRW weight of ``key`` on the shard named ``label``.
+
+    The first 8 bytes of ``SHA-256(label || NUL || key)`` as a big-endian
+    integer: uniform, deterministic, and independent per (key, shard)
+    pair, which is what makes the argmax stable under resize.
+    """
+
+    digest = hashlib.sha256(
+        label.encode("utf-8") + _SEP + key.encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_shard(key: str, shard_count: int) -> int:
+    """The shard index that owns ``key`` among ``shard_count`` shards."""
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    if shard_count == 1:
+        return 0
+    best_index = 0
+    best_score = -1
+    for index in range(shard_count):
+        score = rendezvous_score(key, shard_label(index))
+        # Ties broken toward the lower index; with a 64-bit hash they are
+        # astronomically rare, but determinism must not hinge on that.
+        if score > best_score:
+            best_score = score
+            best_index = index
+    return best_index
+
+
+def rendezvous_ranking(key: str, shard_count: int) -> List[int]:
+    """All shard indexes ordered from best to worst for ``key``.
+
+    ``ranking[0]`` is :func:`rendezvous_shard`; ``ranking[1]`` is where
+    the key re-homes if its owner is removed -- useful for tests proving
+    minimal movement and for future replication of hot keys.
+    """
+
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    scored = [
+        (rendezvous_score(key, shard_label(index)), -index)
+        for index in range(shard_count)
+    ]
+    return [-neg for _, neg in sorted(scored, reverse=True)]
+
+
+def assignment_counts(keys: Sequence[str], shard_count: int) -> List[int]:
+    """How many of ``keys`` each shard owns (balance diagnostics)."""
+    counts = [0] * shard_count
+    for key in keys:
+        counts[rendezvous_shard(key, shard_count)] += 1
+    return counts

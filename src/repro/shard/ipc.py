@@ -1,0 +1,101 @@
+"""Router <-> shard-worker IPC: framed JSON messages over a duplex pipe.
+
+The transport is a :class:`multiprocessing.connection.Connection` pair
+(created by ``multiprocessing.Pipe(duplex=True)``), which gives
+length-prefixed byte framing, inheritance across ``fork`` *and* pickling
+across ``spawn``, and -- crucially -- prompt ``EOFError``/``OSError`` on
+peer death, which is how the router detects a SIGKILLed shard.
+
+On top of the byte frames this module speaks **pure JSON** (never
+pickle): every frame is one JSON object with an ``op`` and a monotonic
+``seq``.  JSON keeps the wire format language-agnostic, diffable in
+tests, and immune to pickle's arbitrary-code-on-load hazard; the
+``seq`` echo lets the router detect a desynchronized reply stream after
+a partial failure instead of silently mismatching responses.
+
+All transport-level failures surface as :class:`ShardConnectionError`
+(peer dead / pipe broken) or :class:`ShardTimeoutError` (peer alive but
+unresponsive past a deadline) so the supervisor's respawn logic has
+exactly two conditions to handle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Framing protocol version, checked in the worker's hello frame.  Bump
+#: on any message-shape change; a mismatch fails shard boot loudly
+#: instead of desynchronizing the reply stream.
+SHARD_IPC_VERSION = 1
+
+
+class ShardIPCError(RuntimeError):
+    """Base class for shard IPC failures."""
+
+
+class ShardConnectionError(ShardIPCError):
+    """The peer is gone: broken pipe, EOF, or closed connection.
+
+    The router treats this as "the shard died" -- the transient,
+    respawn-and-retry branch of the failure taxonomy.
+    """
+
+
+class ShardTimeoutError(ShardIPCError):
+    """The peer did not answer within the allowed window."""
+
+
+class ShardProtocolError(ShardIPCError):
+    """The peer answered with a frame this build cannot understand."""
+
+
+def send_message(conn: Any, message: Dict[str, Any]) -> None:
+    """Send one JSON frame; raises :class:`ShardConnectionError` on death."""
+    data = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    try:
+        conn.send_bytes(data)
+    except (BrokenPipeError, EOFError, OSError, ValueError) as exc:
+        raise ShardConnectionError(f"peer gone during send: {exc!r}") from exc
+
+
+def recv_message(
+    conn: Any, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Receive one JSON frame.
+
+    ``timeout=None`` blocks until a frame arrives or the peer dies;
+    a finite timeout raises :class:`ShardTimeoutError` when it lapses
+    with the peer still alive (the connection stays usable).
+    """
+
+    try:
+        if timeout is not None and not conn.poll(timeout):
+            raise ShardTimeoutError(
+                f"no frame within {timeout:.3f}s (peer alive but silent)"
+            )
+        data = conn.recv_bytes()
+    except ShardTimeoutError:
+        raise
+    except (BrokenPipeError, EOFError, OSError, ValueError) as exc:
+        raise ShardConnectionError(f"peer gone during recv: {exc!r}") from exc
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ShardProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ShardProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_reply(seq: Any, exc: BaseException) -> Dict[str, Any]:
+    """A structured failure frame a worker sends instead of dying."""
+    return {
+        "seq": seq,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }

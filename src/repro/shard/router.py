@@ -1,0 +1,636 @@
+"""The shard router: HTTP front end over N worker processes.
+
+:class:`ShardedApp` speaks the exact same duck type as
+:class:`~repro.server.app.ServerApp` (``handle`` / ``max_body_bytes`` /
+``log``), so the stdlib HTTP transport
+(:class:`~repro.server.http.ReproHTTPServer`) is reused unchanged -- the
+sharded tier is a different *brain* behind the same wire.
+
+Request path:
+
+1.  ``POST /v1/analyze`` bodies are decoded with the same parser as the
+    single-process app (identical accepted shapes).
+2.  Every payload is routed by rendezvous hashing of its canonical
+    content key (:func:`~repro.service.requests.request_key`); payloads
+    that do not even parse are routed by a hash of their raw text --
+    their error records are deterministic, so any stable home works.
+3.  Per-shard sub-batches are dispatched concurrently, each remembering
+    the original global index of every payload.
+4.  Each shard's deterministic result records come back, their
+    ``index`` fields are rewritten to the global positions, and the
+    stream is re-serialized with sorted keys + compact separators --
+    **byte-identical** to ``repro batch`` on the same input, for any
+    shard count.
+
+Failure path: a dead shard surfaces as a connection error inside step 3;
+the supervisor respawns the slot (journal replayed by the successor) and
+the whole sub-batch is re-sent.  Replayed completions come back
+byte-identical from the journal and the rest recompute, so a SIGKILL
+mid-batch costs latency, never data.
+
+Aggregation: ``/stats`` and ``/metrics`` merge every live shard's
+rollups -- exact counters add, latency reservoirs merge with the
+deterministic decimation of
+:meth:`~repro.service.metrics.LatencyReservoir.merge` (in shard-id
+order, so aggregates are reproducible) -- and ``/readyz`` degrades to
+``"degraded"`` while any slot is mid-respawn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..server.admission import (
+    AdmissionController,
+    AdmissionError,
+    ServerDrainingError,
+)
+from ..server.app import (
+    DRAIN_RETRY_AFTER,
+    BadRequestError,
+    ServerConfig,
+    parse_analyze_payloads,
+    render_metrics_text,
+    resolve_deadline,
+)
+from ..server.http import HttpResponse, ReproHTTPServer, first_query_value
+from ..server.protocol import protocol_info
+from ..service.metrics import CounterRegistry, LatencyReservoir, Stopwatch
+from ..service.requests import RequestError, parse_request, request_key
+from .hashing import rendezvous_shard, shard_label
+from .ipc import ShardIPCError
+from .supervisor import ShardBootError, ShardOpError, ShardSupervisor
+
+#: Retry-After handed out when a shard stays unavailable through retries.
+SHARD_RETRY_AFTER = 2.0
+
+Payload = Union[Dict[str, Any], str]
+
+
+def routing_key(payload: Payload) -> str:
+    """The stable routing identity of one payload.
+
+    Valid requests route by their canonical content key, so a shard's
+    private cache and journal keep earning across calls and respawns.
+    Invalid payloads (parse failures) route by a hash of their raw text:
+    their error records are computed deterministically on any shard, so
+    all that matters is that the same garbage always lands in the same
+    place.
+    """
+
+    if isinstance(payload, Mapping):
+        try:
+            return request_key(parse_request(dict(payload)))
+        except (RequestError, TypeError, ValueError):
+            canonical = json.dumps(
+                payload, sort_keys=True, separators=(",", ":"), default=str
+            )
+    else:
+        canonical = str(payload)
+    return hashlib.sha256(canonical.encode("utf-8", "replace")).hexdigest()
+
+
+def shard_server_config(base: ServerConfig, shard_index: int) -> ServerConfig:
+    """The per-shard worker config derived from the router's config.
+
+    Each shard gets a private journal path (``<base>.shard-<i>``); the
+    admission knobs stay on the router (workers are driven serially over
+    the pipe, so worker-side admission would never trigger).
+    """
+
+    journal = (
+        f"{base.journal_path}.{shard_label(shard_index)}"
+        if base.journal_path
+        else None
+    )
+    return replace(base, journal_path=journal, verbose=False)
+
+
+def shard_cache_file(
+    cache_file: Optional[str], shard_index: int
+) -> Optional[str]:
+    """Per-shard result-cache persistence path (``<base>.shard-<i>``)."""
+    if not cache_file:
+        return None
+    return f"{cache_file}.{shard_label(shard_index)}"
+
+
+def _merge_counter_dicts(
+    into: Dict[str, Any], extra: Mapping[str, Any]
+) -> None:
+    """Sum numeric values key-wise (non-numeric values are kept as-is)."""
+    for name, value in extra.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        base = into.get(name, 0)
+        if isinstance(base, bool) or not isinstance(base, (int, float)):
+            continue
+        into[name] = base + value
+
+
+class ShardedApp:
+    """Routes + rendezvous dispatch + cross-shard aggregation."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        shards: int = 2,
+        cache_file: Optional[str] = None,
+        start_method: Optional[str] = None,
+        health_interval: float = 0.5,
+        dispatch_attempts: int = 3,
+        boot_timeout: float = 60.0,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.config = config or ServerConfig()
+        self.shards = shards
+        self.cache_file = cache_file
+        self.supervisor = ShardSupervisor(
+            shards,
+            lambda index: shard_server_config(self.config, index),
+            lambda index: shard_cache_file(cache_file, index),
+            start_method=start_method,
+            health_interval=health_interval,
+            boot_timeout=boot_timeout,
+            dispatch_attempts=dispatch_attempts,
+            log=self.log,
+        )
+        self.admission = AdmissionController(
+            max_concurrency=self.config.max_concurrency,
+            queue_depth=self.config.queue_depth,
+            rate_limit=self.config.rate_limit,
+            burst=self.config.burst,
+        )
+        #: Router-level counters (HTTP + dispatch); shard-side serving
+        #: counters live in the workers and are merged at read time.
+        self.serving = CounterRegistry()
+        self.uptime = Stopwatch()
+        self.max_body_bytes = self.config.max_body_bytes
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._inflight = 0
+        self._draining = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors ServerApp so ReproHTTPServer/drain code reuses)
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedApp":
+        """Boot every shard worker (loud failure if any cannot boot)."""
+        if not self._started:
+            self.supervisor.start()
+            self._started = True
+        return self
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        with self._state_lock:
+            self._draining = True
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        with self._idle:
+            if self._inflight == 0:
+                return True
+            return self._idle.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def close(self) -> None:
+        """Drain-stop every shard (journals flushed, caches saved)."""
+        self.supervisor.stop(drain=True)
+
+    def log(self, message: str, access: bool = False) -> None:
+        if access and not self.config.verbose:
+            return
+        import sys
+
+        print(f"repro serve: {message}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, List[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+        client: str,
+    ) -> HttpResponse:
+        self.serving.increment("http_requests")
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/readyz" and method == "GET":
+            return self._readyz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics(query)
+        if path == "/stats" and method == "GET":
+            return HttpResponse.json(self.stats_dict())
+        if path == "/v1/analyze":
+            if method != "POST":
+                return HttpResponse.error(
+                    405, "MethodNotAllowed", "use POST /v1/analyze"
+                )
+            return self._analyze(query, headers, body, client)
+        self.serving.increment("http_not_found")
+        return HttpResponse.error(
+            404,
+            "NotFound",
+            f"no route {method} {path}; see /healthz /readyz /metrics "
+            "/stats /v1/analyze",
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _healthz(self) -> HttpResponse:
+        payload = dict(protocol_info())
+        shards = self.supervisor.snapshot()
+        payload.update(
+            {
+                "ok": True,
+                "draining": self.draining,
+                "uptime_seconds": round(self.uptime.elapsed(), 3),
+                "shards": shards,
+            }
+        )
+        return HttpResponse.json(payload)
+
+    def _readyz(self) -> HttpResponse:
+        """Per-shard readiness: ready / degraded / draining.
+
+        The tier keeps serving while a shard respawns (its keyspace
+        slice just rides the retry path), so a mid-respawn tier is
+        ``degraded``, not down -- load balancers can keep it in rotation
+        and dashboards still see the event.
+        """
+
+        if self.draining:
+            return HttpResponse.error(
+                503,
+                "ServerDrainingError",
+                "server is draining for shutdown",
+                retry_after=DRAIN_RETRY_AFTER,
+            )
+        shards = self.supervisor.snapshot()
+        degraded = shards["ready"] < shards["count"]
+        return HttpResponse.json(
+            {
+                "ready": True,
+                "status": "degraded" if degraded else "ok",
+                "shards": shards,
+            }
+        )
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Cross-shard /stats: counters summed, reservoirs merged."""
+        serving: Dict[str, Any] = dict(self.serving.as_dict())
+        cache: Dict[str, Any] = {}
+        intra_cache: Dict[str, Any] = {}
+        engine_counters: Dict[str, Any] = {}
+        merged_latency = LatencyReservoir()
+        shard_details: List[Dict[str, Any]] = []
+        # Shard-id order: LatencyReservoir.merge is order-sensitive by
+        # design, and a fixed order keeps aggregate percentiles
+        # reproducible across scrapes of identical state.
+        for handle in self.supervisor.handles:
+            detail = handle.snapshot()
+            try:
+                reply = self.supervisor.call_with_retry(
+                    handle.index, "stats", timeout=30.0
+                )
+            except (ShardIPCError, ShardBootError) as exc:
+                detail["error"] = str(exc)
+                shard_details.append(detail)
+                continue
+            stats = reply.get("stats") or {}
+            detail["stats"] = stats
+            shard_details.append(detail)
+            _merge_counter_dicts(serving, stats.get("serving") or {})
+            _merge_counter_dicts(cache, stats.get("cache") or {})
+            _merge_counter_dicts(intra_cache, stats.get("intra_cache") or {})
+            _merge_counter_dicts(
+                engine_counters, stats.get("engine_counters") or {}
+            )
+            state = reply.get("latency_state")
+            if state:
+                merged_latency.merge(state)
+        for scope in (cache, intra_cache):
+            hits = scope.get("hits", 0)
+            misses = scope.get("misses", 0)
+            scope["hit_rate"] = (
+                round(hits / (hits + misses), 6) if hits + misses else 0.0
+            )
+        shards = self.supervisor.snapshot()
+        shards["shards"] = shard_details
+        return {
+            "protocol": protocol_info(),
+            "uptime_seconds": round(self.uptime.elapsed(), 3),
+            "config": {
+                "jobs": self.config.jobs,
+                "max_concurrency": self.config.max_concurrency,
+                "queue_depth": self.config.queue_depth,
+                "rate_limit": self.config.rate_limit,
+                "paranoid": self.config.paranoid,
+                "journal": bool(self.config.journal_path),
+                "default_deadline": self.config.default_deadline,
+                "shards": self.shards,
+            },
+            "serving": dict(sorted(serving.items())),
+            "admission": self.admission.snapshot(),
+            "latency": merged_latency.summary(),
+            "cache": cache,
+            "intra_cache": intra_cache,
+            "engine_counters": dict(sorted(engine_counters.items())),
+            "certification": {
+                "certified": serving.get("certified", 0),
+                "discrepancies": serving.get("discrepancies", 0),
+            },
+            "journal": None,  # per-shard journals live under "shards"
+            "shards": shards,
+        }
+
+    def _metrics(self, query: Dict[str, List[str]]) -> HttpResponse:
+        stats = self.stats_dict()
+        if first_query_value(query, "format") == "json":
+            return HttpResponse.json(stats)
+        return HttpResponse.text(render_metrics_text(stats))
+
+    # ------------------------------------------------------------------
+    # The analyze endpoint
+    # ------------------------------------------------------------------
+    def _analyze(
+        self,
+        query: Dict[str, List[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+        client: str,
+    ) -> HttpResponse:
+        self.serving.increment("analyze_calls")
+        with self._state_lock:
+            if self._draining:
+                self.serving.increment("rejected_draining")
+                drain = ServerDrainingError(
+                    "server is draining for shutdown; retry against "
+                    "another instance",
+                    retry_after=DRAIN_RETRY_AFTER,
+                )
+                return self._admission_response(drain)
+            self._inflight += 1
+        try:
+            try:
+                payloads, single = parse_analyze_payloads(
+                    body, headers.get("content-type", "")
+                )
+                deadline = resolve_deadline(
+                    query,
+                    headers,
+                    self.config.default_deadline,
+                    self.config.max_deadline,
+                )
+            except BadRequestError as exc:
+                self.serving.increment("bad_requests")
+                return HttpResponse.error(400, "BadRequest", str(exc))
+            if len(payloads) > self.config.max_batch_requests:
+                self.serving.increment("bad_requests")
+                return HttpResponse.error(
+                    400,
+                    "BatchTooLarge",
+                    f"{len(payloads)} requests exceed the per-call limit "
+                    f"of {self.config.max_batch_requests}; split the batch",
+                )
+            try:
+                with self.admission.admit(client):
+                    records, counts = self._dispatch(payloads, deadline)
+            except AdmissionError as exc:
+                return self._admission_response(exc)
+            except ShardOpError as exc:
+                self.serving.increment("shard_op_errors")
+                return HttpResponse.error(500, "ShardOpError", str(exc))
+            except (ShardIPCError, ShardBootError) as exc:
+                # Retries and a respawn attempt are already behind us;
+                # whatever is wrong needs longer than this request has.
+                self.serving.increment("shard_unavailable")
+                return HttpResponse.error(
+                    503,
+                    "ShardUnavailableError",
+                    f"a shard stayed unavailable through respawn: {exc}",
+                    retry_after=SHARD_RETRY_AFTER,
+                )
+            return self._records_response(records, counts, single)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _dispatch(
+        self,
+        payloads: List[Payload],
+        deadline: Optional[float],
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+        """Route, fan out, reassemble -- the heart of the tier.
+
+        Returns the result records *in global input order* plus the
+        summed report counters.  Raises the shard failure taxonomy when
+        a slice cannot be served even after respawn + retry.
+        """
+
+        groups: Dict[int, List[Tuple[int, Payload]]] = {}
+        for position, payload in enumerate(payloads):
+            shard = rendezvous_shard(routing_key(payload), self.shards)
+            groups.setdefault(shard, []).append((position, payload))
+
+        records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        counts = {
+            "requests": 0,
+            "errors": 0,
+            "cached": 0,
+            "computed": 0,
+            "replayed": 0,
+            "certified": 0,
+            "discrepancies": 0,
+        }
+        counts_lock = threading.Lock()
+
+        def run_shard(shard: int, items: List[Tuple[int, Payload]]) -> None:
+            reply = self.supervisor.call_with_retry(
+                shard,
+                "analyze",
+                payloads=[payload for _, payload in items],
+                deadline=deadline,
+            )
+            shard_records = reply.get("records")
+            if (
+                not isinstance(shard_records, list)
+                or len(shard_records) != len(items)
+            ):
+                raise ShardOpError(
+                    "analyze",
+                    "ShardProtocolError",
+                    f"{shard_label(shard)} returned "
+                    f"{len(shard_records or [])} records "
+                    f"for {len(items)} payloads",
+                )
+            for (position, _), record in zip(items, shard_records):
+                record["index"] = position
+                records[position] = record
+            with counts_lock:
+                for name in counts:
+                    counts[name] += int(reply.get(name) or 0)
+
+        ordered = sorted(groups.items())
+        if len(ordered) == 1:
+            run_shard(*ordered[0])
+        else:
+            with ThreadPoolExecutor(
+                max_workers=len(ordered),
+                thread_name_prefix="repro-shard-dispatch",
+            ) as pool:
+                futures = [
+                    pool.submit(run_shard, shard, items)
+                    for shard, items in ordered
+                ]
+                # Surface the first failure; remaining futures finish
+                # (their shards are independent) before the pool exits.
+                for future in futures:
+                    future.result()
+        assert all(record is not None for record in records)
+        return records, counts  # type: ignore[return-value]
+
+    def _records_response(
+        self,
+        records: List[Dict[str, Any]],
+        counts: Dict[str, int],
+        single: bool,
+    ) -> HttpResponse:
+        self.serving.increment("requests_routed", counts["requests"])
+        headers = {
+            "X-Repro-Requests": str(counts["requests"]),
+            "X-Repro-Errors": str(counts["errors"]),
+            "X-Repro-Cached": str(counts["cached"]),
+            "X-Repro-Shards": str(self.shards),
+        }
+        if single:
+            body = json.dumps(
+                records[0], sort_keys=True, separators=(",", ":")
+            )
+            return HttpResponse(
+                status=200,
+                body=(body + "\n").encode("utf-8"),
+                content_type="application/json",
+                headers=headers,
+            )
+        # Reassembled stream, re-serialized exactly like BatchReport
+        # .to_jsonl(): byte-identical to `repro batch` and to any other
+        # shard count.
+        lines = "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records
+        )
+        return HttpResponse.ndjson(lines, headers=headers)
+
+    def _admission_response(self, exc: AdmissionError) -> HttpResponse:
+        self.serving.increment(f"http_{exc.status}")
+        return HttpResponse.error(
+            exc.status, exc.error_type, str(exc), retry_after=exc.retry_after
+        )
+
+
+class ShardedServer:
+    """The sharded daemon: HTTP listener + router + shard fleet.
+
+    Mirrors :class:`~repro.server.app.ReproServer` (same start /
+    serve_forever / shutdown-with-drain / context-manager surface) so
+    the CLI and tests treat single-process and sharded tiers uniformly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        shards: int = 2,
+        cache_file: Optional[str] = None,
+        start_method: Optional[str] = None,
+        health_interval: float = 0.5,
+        dispatch_attempts: int = 3,
+        boot_timeout: float = 60.0,
+    ):
+        self.config = config or ServerConfig()
+        self.app = ShardedApp(
+            self.config,
+            shards=shards,
+            cache_file=cache_file,
+            start_method=start_method,
+            health_interval=health_interval,
+            dispatch_attempts=dispatch_attempts,
+            boot_timeout=boot_timeout,
+        )
+        # Boot the fleet before the listener: a tier that cannot serve
+        # its keyspace must fail loudly instead of accepting requests.
+        self.app.start()
+        self.httpd = ReproHTTPServer(
+            (self.config.host, self.config.port), self.app
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self._drained = True
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ShardedServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-sharded",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        if self._stopped:
+            return self._drained
+        self._stopped = True
+        drained = True
+        if drain:
+            self.app.begin_drain()
+            drained = self.app.wait_idle(timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.close()
+        self._drained = drained
+        return drained
+
+    def __enter__(self) -> "ShardedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(drain=True)

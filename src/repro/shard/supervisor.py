@@ -1,0 +1,458 @@
+"""Shard process supervision: boot, health, respawn-on-death.
+
+:class:`ShardSupervisor` owns N :class:`ShardHandle`\\ s, one per
+rendezvous slot.  A handle wraps the worker process plus its pipe and
+serializes all IPC on a per-shard lock (the worker loop is serial, so
+one outstanding op per shard is the invariant, not a limitation).
+
+Failure handling is built around one idea: **the slot outlives the
+process**.  When a worker dies -- detected either by a dispatch thread
+hitting :class:`~repro.shard.ipc.ShardConnectionError` mid-call or by the
+health monitor's liveness/ping sweep -- the handle respawns a fresh
+process into the same slot.  The successor re-locks the dead worker's
+journal (the kernel released the flock at death, even for SIGKILL),
+replays its completions, and resumes serving the same keyspace slice.
+A *generation counter* makes respawn race-free: every caller states
+which generation it observed dying, and only the first such claim
+respawns -- latecomers see the bumped generation and simply retry their
+call against the successor.
+
+The health monitor is deliberately polite: it only pings a shard whose
+lock it can take without blocking.  A busy shard (lock held by a
+dispatch thread) is *working*, not dead -- and if it died mid-call, the
+dispatch thread holding the lock gets the broken pipe first and handles
+it.  This keeps slow analyze calls from being misdiagnosed as hangs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..server.app import ServerConfig
+from .hashing import shard_label
+from .ipc import (
+    ShardConnectionError,
+    ShardIPCError,
+    ShardProtocolError,
+    ShardTimeoutError,
+    recv_message,
+    send_message,
+)
+from .worker import shard_worker_main
+
+#: Shard lifecycle states surfaced by /readyz and /stats.
+SHARD_STATES = ("starting", "ready", "respawning", "failed", "stopped")
+
+
+class ShardBootError(RuntimeError):
+    """A shard worker failed to boot (bad config, locked journal...)."""
+
+
+def _default_log(message: str) -> None:
+    import sys
+
+    print(f"repro shard: {message}", file=sys.stderr, flush=True)
+
+
+class ShardHandle:
+    """One rendezvous slot: the live worker process + its pipe.
+
+    All IPC goes through :meth:`call`, which holds the per-shard lock for
+    the full request/reply round trip -- the pipe carries exactly one
+    op at a time, so ``seq`` echoes are a desync alarm, not a routing
+    mechanism.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: ServerConfig,
+        cache_file: Optional[str],
+        context: multiprocessing.context.BaseContext,
+        boot_timeout: float = 60.0,
+        log: Callable[[str], None] = _default_log,
+    ):
+        self.index = index
+        self.label = shard_label(index)
+        self.config = config
+        self.cache_file = cache_file
+        self.boot_timeout = boot_timeout
+        #: Bumped on every successful (re)spawn; dispatchers quote the
+        #: generation they saw die so only one of them respawns it.
+        self.generation = 0
+        self.respawns = 0
+        self.state = "starting"
+        self.pid: Optional[int] = None
+        self.started_replay = 0
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn: Any = None
+        self._context = context
+        self._log = log
+        self._lock = threading.RLock()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker and wait for its hello frame."""
+        with self._lock:
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=shard_worker_main,
+                args=(
+                    child_conn,
+                    parent_conn,
+                    self.index,
+                    self.config,
+                    self.cache_file,
+                ),
+                name=f"repro-{self.label}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.process = process
+            self.conn = parent_conn
+            try:
+                hello = recv_message(parent_conn, timeout=self.boot_timeout)
+            except ShardIPCError as exc:
+                self._reap()
+                self.state = "failed"
+                raise ShardBootError(
+                    f"{self.label} sent no hello within "
+                    f"{self.boot_timeout:.0f}s: {exc}"
+                ) from exc
+            if not hello.get("ok"):
+                error = hello.get("error") or {}
+                self._reap()
+                self.state = "failed"
+                raise ShardBootError(
+                    f"{self.label} failed to boot: "
+                    f"{error.get('type', 'Error')}: "
+                    f"{error.get('message', 'unknown error')}"
+                )
+            self.pid = hello.get("pid")
+            self.started_replay = int(hello.get("journal_replayed") or 0)
+            self.state = "ready"
+            self._log(
+                f"{self.label} ready (pid {self.pid}, "
+                f"generation {self.generation}, "
+                f"journal replay {self.started_replay})"
+            )
+
+    def respawn(self, seen_generation: int) -> bool:
+        """Replace a dead worker; returns whether *this* call did it.
+
+        ``seen_generation`` is the generation the caller observed failing.
+        If another thread already respawned (generation moved on), this is
+        a no-op and the caller just retries against the successor.
+        """
+
+        with self._lock:
+            if self.generation != seen_generation:
+                return False
+            self.state = "respawning"
+            self.respawns += 1
+            self._log(
+                f"{self.label} died (generation {seen_generation}); "
+                "respawning"
+            )
+            self._reap()
+            self.generation += 1
+            try:
+                self.start()
+            except BaseException:
+                self.state = "failed"
+                raise
+            return True
+
+    def _reap(self) -> None:
+        """Close the pipe and bury the old process (lock held)."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        process = self.process
+        self.process = None
+        self.pid = None
+        if process is None:
+            return
+        process.join(timeout=0.5)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive() and hasattr(process, "kill"):
+            process.kill()
+            process.join(timeout=2.0)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Drain (flush journal, save cache) and stop the worker."""
+        with self._lock:
+            if self.conn is not None and drain:
+                try:
+                    self.call("drain", timeout=timeout)
+                except ShardIPCError:
+                    pass  # already dead; nothing left to flush
+            self._reap()
+            self.state = "stopped"
+
+    # ------------------------------------------------------------------
+    # IPC
+    # ------------------------------------------------------------------
+    def call(
+        self, op: str, timeout: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One request/reply round trip; raises the IPC taxonomy."""
+        with self._lock:
+            if self.conn is None:
+                raise ShardConnectionError(f"{self.label} is not running")
+            self._seq += 1
+            seq = self._seq
+            send_message(self.conn, {"op": op, "seq": seq, **fields})
+            reply = recv_message(self.conn, timeout=timeout)
+            if reply.get("seq") != seq:
+                # A desynchronized stream cannot be trusted for any
+                # future reply either; treat it as a dead shard.
+                raise ShardProtocolError(
+                    f"{self.label} answered seq {reply.get('seq')!r} "
+                    f"to request seq {seq}"
+                )
+            if not reply.get("ok"):
+                error = reply.get("error") or {}
+                raise ShardOpError(
+                    op,
+                    error.get("type", "Error"),
+                    error.get("message", "unknown error"),
+                )
+            return reply
+
+    def try_ping(self, timeout: float = 5.0) -> Optional[bool]:
+        """Non-blocking liveness probe for the health monitor.
+
+        Returns ``True`` (alive), ``False`` (dead/unresponsive), or
+        ``None`` when the shard is busy serving -- busy is not dead, and
+        the dispatch thread holding the lock will surface a real death
+        itself.
+        """
+
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            if self.conn is None or self.state != "ready":
+                return None
+            try:
+                self.call("ping", timeout=timeout)
+                return True
+            except ShardIPCError:
+                return False
+        finally:
+            self._lock.release()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State summary for /readyz, /stats, and the kill-shard tests."""
+        return {
+            "shard": self.index,
+            "label": self.label,
+            "state": self.state,
+            "pid": self.pid,
+            "generation": self.generation,
+            "respawns": self.respawns,
+            "journal_replayed_at_boot": self.started_replay,
+        }
+
+
+class ShardOpError(ShardIPCError):
+    """The worker answered with a structured failure frame.
+
+    Unlike a connection error this is *not* a shard death: the worker is
+    alive and made a deliberate statement about this op.  The router
+    maps it to a 500 for the offending call rather than a respawn.
+    """
+
+    def __init__(self, op: str, error_type: str, message: str):
+        super().__init__(f"shard op {op!r} failed: {error_type}: {message}")
+        self.op = op
+        self.error_type = error_type
+        self.error_message = message
+
+
+class ShardSupervisor:
+    """N shard handles + the health-monitor thread."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        config_for_shard: Callable[[int], ServerConfig],
+        cache_file_for_shard: Callable[[int], Optional[str]],
+        start_method: Optional[str] = None,
+        health_interval: float = 0.5,
+        boot_timeout: float = 60.0,
+        dispatch_attempts: int = 3,
+        log: Callable[[str], None] = _default_log,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        if dispatch_attempts < 1:
+            raise ValueError("dispatch_attempts must be at least 1")
+        self.shard_count = shard_count
+        self.dispatch_attempts = dispatch_attempts
+        self.health_interval = health_interval
+        self._log = log
+        context = multiprocessing.get_context(start_method)
+        self.handles: List[ShardHandle] = [
+            ShardHandle(
+                index,
+                config_for_shard(index),
+                cache_file_for_shard(index),
+                context,
+                boot_timeout=boot_timeout,
+                log=log,
+            )
+            for index in range(shard_count)
+        ]
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        for handle in self.handles:
+            handle.start()
+        if self.health_interval > 0:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor,
+                name="repro-shard-monitor",
+                daemon=True,
+            )
+            self._monitor_thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
+        for handle in self.handles:
+            handle.stop(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Dispatch with the transient-retry taxonomy
+    # ------------------------------------------------------------------
+    def call_with_retry(
+        self,
+        shard_index: int,
+        op: str,
+        timeout: Optional[float] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Call a shard; on death, respawn its slot and retry.
+
+        Shard death is *transient* by construction -- the successor
+        replays the journal, so a resent sub-batch completes losslessly
+        (journaled completions replay byte-identically, the rest simply
+        recompute).  :class:`ShardOpError` (worker alive, op rejected)
+        is permanent for this call and is never retried.
+        """
+
+        handle = self.handles[shard_index]
+        last: Optional[ShardIPCError] = None
+        for _ in range(self.dispatch_attempts):
+            seen = handle.generation
+            try:
+                return handle.call(op, timeout=timeout, **fields)
+            except ShardOpError:
+                raise
+            except ShardIPCError as exc:
+                last = exc
+                self._log(
+                    f"{handle.label} {op} failed ({exc}); "
+                    "respawning and retrying"
+                )
+                handle.respawn(seen)  # ShardBootError propagates: fatal
+        raise last if last is not None else ShardConnectionError(
+            f"{handle.label} unavailable"
+        )
+
+    # ------------------------------------------------------------------
+    # Health monitoring
+    # ------------------------------------------------------------------
+    def _monitor(self) -> None:
+        while not self._monitor_stop.wait(self.health_interval):
+            for handle in self.handles:
+                if self._monitor_stop.is_set():
+                    return
+                if handle.state != "ready":
+                    continue
+                process = handle.process
+                dead = process is not None and not process.is_alive()
+                if not dead:
+                    verdict = handle.try_ping(timeout=10.0)
+                    dead = verdict is False
+                if dead:
+                    try:
+                        handle.respawn(handle.generation)
+                    except BaseException as exc:
+                        self._log(
+                            f"{handle.label} respawn failed: {exc}; "
+                            "will retry on next sweep"
+                        )
+                        handle.state = "respawning"
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        states = [handle.snapshot() for handle in self.handles]
+        return {
+            "count": self.shard_count,
+            "ready": sum(1 for s in states if s["state"] == "ready"),
+            "respawns": sum(s["respawns"] for s in states),
+            "shards": states,
+        }
+
+    @property
+    def pids(self) -> List[Optional[int]]:
+        return [handle.pid for handle in self.handles]
+
+    @property
+    def all_ready(self) -> bool:
+        return all(handle.state == "ready" for handle in self.handles)
+
+
+def wait_for_pid_change(
+    supervisor: ShardSupervisor,
+    shard_index: int,
+    old_pid: Optional[int],
+    timeout: float = 30.0,
+) -> Optional[int]:
+    """Block until a shard's slot is serving under a new pid (tests/CI)."""
+    deadline = time.monotonic() + timeout
+    handle = supervisor.handles[shard_index]
+    while time.monotonic() < deadline:
+        pid = handle.pid
+        if pid is not None and pid != old_pid and handle.state == "ready":
+            return pid
+        time.sleep(0.05)
+    return None
+
+
+# Re-export for os.kill-based tests that only import this module.
+SIGKILL = getattr(os, "SIGKILL", 9)

@@ -1,0 +1,218 @@
+"""The shard worker process: one private :class:`ServerApp` per shard.
+
+A worker owns exactly one slice of the keyspace: its own LRU result
+cache, its own write-ahead journal (``<base>.shard-<i>``, advisory
+flock'd), and its own engine pool -- nothing is shared with sibling
+shards, so a SIGKILL to one worker cannot corrupt another's state.  The
+router drives the worker over a duplex pipe with the framed-JSON ops of
+:mod:`repro.shard.ipc`:
+
+``analyze``   run a payload sub-batch through the app, return the
+              deterministic result records plus report counters
+``stats``     the app's full ``/stats`` rollup + the latency reservoir's
+              transferable state (for cross-shard merging)
+``ping``      liveness probe for the supervisor's health monitor
+``drain``     flush the journal, persist the per-shard cache, ack, exit
+
+The loop is deliberately **serial**: one request at a time, in arrival
+order.  Parallelism comes from the engine pool *inside* an analyze call
+(``jobs`` wide) and from running N workers side by side -- never from
+interleaving ops on one pipe, which is what keeps a drain trivially safe
+and the reply stream impossible to desynchronize.
+
+Death semantics: handler errors are caught and returned as structured
+``error_reply`` frames (the worker never dies on a bad request); an
+``EOFError`` on the pipe means the router is gone, so the worker flushes
+and exits.  Only an actual kill takes the worker down -- and the kernel
+then releases its journal flock, which is exactly what lets the respawned
+successor re-lock and replay it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from typing import Any, Dict, Optional
+
+from ..server.app import ServerApp, ServerConfig
+from ..server.protocol import protocol_info
+from .hashing import shard_label
+from .ipc import (
+    SHARD_IPC_VERSION,
+    ShardConnectionError,
+    error_reply,
+    recv_message,
+    send_message,
+)
+
+
+def _log(shard_index: int, message: str) -> None:
+    print(
+        f"repro shard[{shard_label(shard_index)}]: {message}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _analyze_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
+    payloads = message.get("payloads")
+    if not isinstance(payloads, list) or not payloads:
+        raise ValueError("analyze op requires a non-empty payload list")
+    deadline = message.get("deadline")
+    if deadline is not None:
+        deadline = float(deadline)
+    report = app.run_payloads(payloads, deadline)
+    return {
+        "ok": True,
+        "records": report.result_records(),
+        "requests": report.requests,
+        "errors": report.errors,
+        "cached": report.cached_answers,
+        "computed": report.computed,
+        "replayed": report.replayed,
+        "certified": report.certified,
+        "discrepancies": len(report.discrepancies()),
+    }
+
+
+def _stats_reply(app: ServerApp, shard_index: int) -> Dict[str, Any]:
+    return {
+        "ok": True,
+        "shard": shard_index,
+        "label": shard_label(shard_index),
+        "pid": os.getpid(),
+        "stats": app.stats_dict(),
+        "latency_state": app.latency.state_dict(),
+    }
+
+
+def shard_worker_main(
+    conn: Any,
+    router_conn: Any,
+    shard_index: int,
+    config: ServerConfig,
+    cache_file: Optional[str] = None,
+) -> None:
+    """Entry point of a shard worker process.
+
+    Parameters
+    ----------
+    conn:
+        The worker's end of the duplex pipe.
+    router_conn:
+        The router's end, passed in only so the *child* can close its
+        inherited copy: under the ``fork`` start method every child
+        inherits both pipe ends, and a worker still holding the router's
+        write end would never see EOF when the router dies.
+    shard_index:
+        This worker's slot in the rendezvous ring (stable across
+        respawns; the journal and cache paths derive from it).
+    config:
+        The per-shard :class:`ServerConfig` -- ``journal_path`` already
+        points at this shard's private journal.
+    cache_file:
+        Optional per-shard result-cache persistence path, loaded at boot
+        (best effort) and saved on drain.
+    """
+
+    if router_conn is not None:
+        try:
+            router_conn.close()
+        except OSError:
+            pass
+    # The router coordinates shutdown via the `drain` op; a Ctrl-C or
+    # process-group TERM aimed at the front end must not snipe workers
+    # mid-drain.  SIGKILL (the failure being engineered for) is, by
+    # design, unblockable.
+    with_signals = hasattr(signal, "SIGTERM")
+    if with_signals:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    try:
+        app = ServerApp(config)
+    except BaseException as exc:  # boot failure must be loud, not a hang
+        send_message(
+            conn,
+            {
+                "op": "hello",
+                "ok": False,
+                "shard": shard_index,
+                "pid": os.getpid(),
+                "ipc_version": SHARD_IPC_VERSION,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            },
+        )
+        conn.close()
+        return
+
+    if cache_file and os.path.exists(cache_file):
+        try:
+            loaded = app.load_cache(cache_file)
+            if loaded:
+                _log(shard_index, f"warmed {loaded} cache entries")
+        except Exception as exc:
+            _log(shard_index, f"cache warm failed (continuing cold): {exc}")
+
+    send_message(
+        conn,
+        {
+            "op": "hello",
+            "ok": True,
+            "shard": shard_index,
+            "label": shard_label(shard_index),
+            "pid": os.getpid(),
+            "ipc_version": SHARD_IPC_VERSION,
+            "protocol": protocol_info(),
+            "journal_replayed": (
+                len(app._journal) if app._journal is not None else 0
+            ),
+        },
+    )
+
+    def persist() -> None:
+        if cache_file:
+            try:
+                app.save_cache(cache_file)
+            except Exception as exc:
+                _log(shard_index, f"cache save failed: {exc}")
+        app.close()  # flushes + closes the journal (idempotent)
+
+    try:
+        while True:
+            try:
+                message = recv_message(conn)
+            except ShardConnectionError:
+                # Router gone (crash or kill): nothing left to serve.
+                _log(shard_index, "router connection lost; shutting down")
+                persist()
+                return
+            op = message.get("op")
+            seq = message.get("seq")
+            try:
+                if op == "analyze":
+                    reply = _analyze_reply(app, message)
+                elif op == "stats":
+                    reply = _stats_reply(app, shard_index)
+                elif op == "ping":
+                    reply = {"ok": True, "pong": True, "pid": os.getpid()}
+                elif op == "drain":
+                    persist()
+                    send_message(conn, {"seq": seq, "ok": True, "drained": True})
+                    return
+                else:
+                    raise ValueError(f"unknown shard op {op!r}")
+            except BaseException as exc:
+                # A failed request must never kill the worker: the router
+                # gets a structured frame and decides (bad payloads are a
+                # client problem, not a shard-death).
+                reply = error_reply(seq, exc)
+            else:
+                reply["seq"] = seq
+            send_message(conn, reply)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,122 @@
+"""LatencyReservoir merging: the cross-shard aggregation primitive.
+
+``/metrics`` on the sharded tier is only trustworthy if merging per-shard
+reservoirs (a) keeps the exact counters exact, (b) stays within the
+capacity bound, and (c) is deterministic -- merge the same states in the
+same order, get the same percentiles, every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LatencyReservoir
+
+
+def filled(values, capacity=512):
+    reservoir = LatencyReservoir(capacity=capacity)
+    reservoir.extend(values)
+    return reservoir
+
+
+class TestStateTransfer:
+    def test_state_dict_round_trips(self):
+        original = filled([0.1 * i for i in range(1, 40)], capacity=16)
+        clone = LatencyReservoir.from_state(original.state_dict())
+        assert clone.state_dict() == original.state_dict()
+        assert clone.summary() == original.summary()
+
+    def test_state_is_pure_json(self):
+        import json
+
+        state = filled([0.5, 1.5]).state_dict()
+        assert json.loads(json.dumps(state)) == state
+
+
+class TestMergeCounters:
+    def test_exact_counters_add(self):
+        a = filled([1.0, 2.0, 3.0])
+        b = filled([10.0, 20.0])
+        a.merge(b)
+        summary = a.summary()
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx((1 + 2 + 3 + 10 + 20) / 5)
+        assert summary["max"] == 20.0
+
+    def test_merge_accepts_a_state_mapping(self):
+        a = filled([1.0])
+        a.merge(filled([2.0]).state_dict())
+        assert a.summary()["count"] == 2
+
+    def test_merge_empty_into_full_is_identity(self):
+        a = filled([0.25 * i for i in range(1, 21)])
+        before = a.summary()
+        a.merge(LatencyReservoir())
+        assert a.summary() == before
+
+    def test_merge_full_into_empty_adopts_everything(self):
+        b = filled([0.25 * i for i in range(1, 21)])
+        a = LatencyReservoir()
+        a.merge(b)
+        assert a.summary() == b.summary()
+
+    def test_merge_two_empties(self):
+        a = LatencyReservoir()
+        a.merge(LatencyReservoir())
+        assert a.summary()["count"] == 0
+        assert a.summary()["p50"] is None
+
+
+class TestMergeBounds:
+    def test_capacity_bound_holds_after_merging_unequal_sizes(self):
+        a = filled([0.001 * i for i in range(3000)], capacity=64)
+        b = filled([0.002 * i for i in range(7)], capacity=64)
+        a.merge(b)
+        state = a.state_dict()
+        assert len(state["samples"]) < 64
+        assert state["count"] == 3007
+
+    def test_many_shards_merge_without_blowup(self):
+        merged = LatencyReservoir(capacity=128)
+        for shard in range(16):
+            merged.merge(
+                filled([0.01 * (shard + 1)] * 500, capacity=128)
+            )
+        state = merged.state_dict()
+        assert state["count"] == 16 * 500
+        assert len(state["samples"]) < 128
+
+    def test_unequal_strides_decimate_to_the_coarser(self):
+        # a has recorded enough to decimate several times; b has not.
+        a = filled([0.001] * 5000, capacity=32)
+        b = filled([1.0] * 10, capacity=32)
+        stride_before = a.state_dict()["stride"]
+        a.merge(b)
+        assert a.state_dict()["stride"] >= stride_before
+
+
+class TestMergeDeterminism:
+    def test_same_inputs_same_order_same_summary(self):
+        def build():
+            merged = LatencyReservoir(capacity=64)
+            for shard in range(4):
+                merged.merge(
+                    filled(
+                        [0.01 * shard + 0.001 * i for i in range(200)],
+                        capacity=64,
+                    ).state_dict()
+                )
+            return merged.summary()
+
+        assert build() == build()
+
+    def test_percentiles_stay_plausible_after_merge(self):
+        # Two shards with disjoint latency bands: the merged p50 must
+        # land between the bands' medians, and p99 in the slow band.
+        fast = filled([0.010 + 0.0001 * i for i in range(300)])
+        slow = filled([1.000 + 0.0010 * i for i in range(300)])
+        fast.merge(slow)
+        summary = fast.summary()
+        assert 0.010 <= summary["p50"] <= 1.4
+        assert summary["p99"] >= 1.0
+        assert summary["count"] == 600

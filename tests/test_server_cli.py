@@ -198,7 +198,27 @@ class TestServeSubprocess:
                 },
                 text=True,
             )
-            time.sleep(0.4)  # inside the delayed evaluation window
+            # Wait until the server has actually received the analyze
+            # call (a fixed sleep races the client's interpreter startup
+            # on a loaded box), then land SIGTERM inside the 0.8s
+            # delayed evaluation window.
+            import urllib.request
+
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                        url + "/stats", timeout=5
+                    ) as response:
+                        stats = json.load(response)
+                    if stats["serving"].get("analyze_calls", 0) >= 1:
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.05)
+            else:
+                raise AssertionError("analyze call never reached the server")
+            time.sleep(0.2)  # inside the delayed evaluation
             process.send_signal(signal.SIGTERM)
             call_out, call_err = call.communicate(timeout=120)
             _, serve_err = process.communicate(timeout=120)

@@ -1,0 +1,139 @@
+"""Advisory locking: exactly one writer per journal / cache file.
+
+``flock`` conflicts apply between distinct open file descriptions even
+inside one process, so these tests exercise the real kernel behavior
+in-process: a second open of a locked journal must fail loudly, and the
+lock must evaporate when the holder closes (the stand-in for process
+death -- the kernel applies the same rule on SIGKILL).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    LOCKING_SUPPORTED,
+    BatchJournal,
+    FileLock,
+    FileLockedError,
+    JournalLockedError,
+    lock_handle,
+)
+
+needs_flock = pytest.mark.skipif(
+    not LOCKING_SUPPORTED, reason="fcntl.flock unavailable on this platform"
+)
+
+
+@needs_flock
+class TestLockHandle:
+    def test_second_handle_raises(self, tmp_path):
+        path = str(tmp_path / "state")
+        first = open(path, "ab")
+        second = open(path, "ab")
+        try:
+            lock_handle(first, path, purpose="state")
+            with pytest.raises(FileLockedError) as excinfo:
+                lock_handle(second, path, purpose="state")
+            assert "state" in str(excinfo.value)
+            assert path in str(excinfo.value)
+        finally:
+            first.close()
+            second.close()
+
+    def test_lock_released_when_holder_closes(self, tmp_path):
+        path = str(tmp_path / "state")
+        first = open(path, "ab")
+        lock_handle(first, path)
+        first.close()  # owner death: the kernel releases the flock
+        second = open(path, "ab")
+        try:
+            assert lock_handle(second, path) is True
+        finally:
+            second.close()
+
+
+@needs_flock
+class TestJournalLocking:
+    def test_live_journal_refuses_a_second_writer(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        try:
+            with pytest.raises(JournalLockedError) as excinfo:
+                BatchJournal(path, resume=True)
+            assert "exactly one writer" in str(excinfo.value)
+        finally:
+            journal.close()
+
+    def test_fresh_journal_is_locked_too(self, tmp_path):
+        # The lock must cover creation, not just resume: two processes
+        # racing to create the same journal is the same corruption.
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        try:
+            with pytest.raises(JournalLockedError):
+                BatchJournal(path, resume=True)
+        finally:
+            journal.close()
+
+    def test_closed_journal_resumes_cleanly(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        journal.record_completion(
+            "k1", {"index": 0, "key": "k1", "kind": "intra", "ok": True,
+                   "result": {"x": 1}}
+        )
+        journal.close()
+        resumed = BatchJournal(path, resume=True)
+        try:
+            assert list(resumed.completed) == ["k1"]
+        finally:
+            resumed.close()
+
+    def test_lock_failure_never_truncates_the_live_journal(self, tmp_path):
+        # Recovery truncates torn tails; a second opener must fail at the
+        # lock BEFORE any recovery write path can touch the live file.
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        journal.record_completion(
+            "k1", {"index": 0, "key": "k1", "kind": "intra", "ok": True,
+                   "result": {"x": 1}}
+        )
+        with open(path, "rb") as handle:
+            before = handle.read()
+        with pytest.raises(JournalLockedError):
+            BatchJournal(path, resume=True)
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+        journal.close()
+
+
+@needs_flock
+class TestFileLock:
+    def test_exclusive_between_two_locks(self, tmp_path):
+        path = str(tmp_path / "results.cache.lock")
+        lock = FileLock(path, purpose="cache file").acquire()
+        try:
+            with pytest.raises(FileLockedError):
+                FileLock(path, purpose="cache file").acquire()
+        finally:
+            lock.release()
+        # Released: the next owner walks right in.
+        with FileLock(path, purpose="cache file") as again:
+            assert again.held
+
+    def test_sidecar_survives_release(self, tmp_path):
+        # Deleting a flock'd sidecar is a classic race; the file must
+        # outlive its lock.
+        path = tmp_path / "cache.lock"
+        with FileLock(str(path)):
+            assert path.exists()
+        assert path.exists()
+
+    def test_acquire_is_idempotent_for_the_holder(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock")).acquire()
+        try:
+            assert lock.acquire() is lock
+        finally:
+            lock.release()
+        lock.release()  # double release is a no-op

@@ -1,0 +1,327 @@
+"""The sharded serving tier: byte-identity, resilience, aggregation.
+
+Most tests drive :class:`ShardedApp.handle` directly (real worker
+processes, no sockets -- the HTTP transport has its own suite); one
+end-to-end test goes through :class:`ShardedServer` + the real client.
+The two pivotal claims:
+
+* batch responses are byte-identical to a direct ``run_batch`` for ANY
+  shard count, and
+* SIGKILLing a shard mid-batch loses nothing -- the slot respawns, the
+  successor replays the dead worker's journal, and the batch completes
+  with identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.server import ReproClient, ServerConfig
+from repro.service import (
+    BatchEngine,
+    EngineConfig,
+    injected_faults,
+    parse_request,
+)
+from repro.shard import (
+    ShardedApp,
+    ShardedServer,
+    rendezvous_shard,
+    routing_key,
+    wait_for_pid_change,
+)
+
+REQUESTS = [
+    {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
+    {"kind": "fusion", "m": 96, "k": 64, "l": 80, "n": 72,
+     "buffer_elems": 16384},
+    {"kind": "sweep_point", "m": 32, "k": 32, "l": 32, "buffer_elems": 1024},
+    "this line is not json",
+    {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
+    {"kind": "intra", "m": 40, "k": 24, "l": 56, "buffer_elems": 8192},
+]
+
+
+def direct_jsonl(payloads):
+    engine = BatchEngine(EngineConfig(jobs=2))
+    return engine.run_batch(
+        [p if isinstance(p, str) else parse_request(p) for p in payloads]
+    ).to_jsonl()
+
+
+def ndjson_body(payloads):
+    return "\n".join(
+        p if isinstance(p, str) else json.dumps(p) for p in payloads
+    ).encode("utf-8")
+
+
+def make_app(tmp_path, shards, **overrides):
+    config = ServerConfig(
+        port=0, jobs=1, journal_path=str(tmp_path / "tier.journal")
+    )
+    app = ShardedApp(config, shards=shards, health_interval=0.2, **overrides)
+    return app.start()
+
+
+def post_batch(app, payloads):
+    return app.handle(
+        "POST",
+        "/v1/analyze",
+        {},
+        {"content-type": "application/x-ndjson"},
+        ndjson_body(payloads),
+        "test-client",
+    )
+
+
+# ----------------------------------------------------------------------
+# Byte-identity across shard counts
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_batch_matches_direct_run(self, tmp_path, shards):
+        expected = direct_jsonl(REQUESTS)
+        app = make_app(tmp_path, shards)
+        try:
+            response = post_batch(app, REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip("\n") == expected
+        finally:
+            app.close()
+        records = [json.loads(line) for line in expected.split("\n")]
+        assert [r["index"] for r in records] == list(range(len(REQUESTS)))
+
+    def test_single_mode_record(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            response = app.handle(
+                "POST",
+                "/v1/analyze",
+                {},
+                {"content-type": "application/json"},
+                json.dumps(REQUESTS[0]).encode("utf-8"),
+                "test-client",
+            )
+            assert response.status == 200
+            record = json.loads(response.body.decode("utf-8"))
+        finally:
+            app.close()
+        assert record == json.loads(direct_jsonl([REQUESTS[0]]))
+
+    def test_routing_is_cache_affine(self, tmp_path):
+        # The same request must land on the same shard, so the second
+        # submission is answered entirely from shard-local caches.  (No
+        # journal here: with one enabled, repeats are journal *replays*
+        # rather than cache hits, which is covered elsewhere.)
+        app = ShardedApp(
+            ServerConfig(port=0, jobs=1), shards=3, health_interval=0.2
+        ).start()
+        try:
+            first = post_batch(app, REQUESTS)
+            second = post_batch(app, REQUESTS)
+            assert first.body == second.body
+            # 6 payloads: 4 unique cacheable + 1 duplicate + 1 parse
+            # error; everything cacheable is a hit the second time.
+            assert int(second.headers["X-Repro-Cached"]) >= 4
+        finally:
+            app.close()
+
+    def test_bad_body_is_a_400_not_a_dispatch(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            response = app.handle(
+                "POST", "/v1/analyze", {}, {}, b"", "test-client"
+            )
+            assert response.status == 400
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# Kill-one-shard resilience
+# ----------------------------------------------------------------------
+class TestShardDeath:
+    def test_sigkill_mid_batch_completes_byte_identical(self, tmp_path):
+        payloads = [
+            {"kind": "intra", "m": 48 + i, "k": 24, "l": 32,
+             "buffer_elems": 8192}
+            for i in range(10)
+        ]
+        expected = direct_jsonl(payloads)
+        victim_index = rendezvous_shard(routing_key(payloads[0]), 3)
+        with injected_faults("delay:intra:seconds=0.1", export_env=True):
+            app = make_app(tmp_path, 3)
+            try:
+                outcome = {}
+
+                def run():
+                    outcome["response"] = post_batch(app, payloads)
+
+                runner = threading.Thread(target=run)
+                runner.start()
+                time.sleep(0.4)
+                victim = app.supervisor.handles[victim_index]
+                old_pid = victim.pid
+                os.kill(old_pid, signal.SIGKILL)
+                runner.join(timeout=60.0)
+                assert not runner.is_alive(), "batch hung after shard kill"
+                response = outcome["response"]
+                assert response.status == 200
+                assert (
+                    response.body.decode("utf-8").rstrip("\n") == expected
+                )
+                assert victim.pid != old_pid
+                assert victim.generation >= 1
+                assert app.supervisor.snapshot()["respawns"] >= 1
+            finally:
+                app.close()
+
+    def test_idle_shard_death_is_healed_by_the_monitor(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            victim = app.supervisor.handles[1]
+            old_pid = victim.pid
+            os.kill(old_pid, signal.SIGKILL)
+            new_pid = wait_for_pid_change(
+                app.supervisor, 1, old_pid, timeout=15.0
+            )
+            assert new_pid is not None and new_pid != old_pid
+            # The healed tier still serves its full keyspace.
+            response = post_batch(app, REQUESTS)
+            assert response.status == 200
+        finally:
+            app.close()
+
+    def test_successor_replays_the_dead_workers_journal(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            # Complete a batch so every touched shard journals results.
+            assert post_batch(app, REQUESTS).status == 200
+            target = app.supervisor.handles[
+                rendezvous_shard(routing_key(REQUESTS[0]), 2)
+            ]
+            old_pid = target.pid
+            os.kill(old_pid, signal.SIGKILL)
+            assert wait_for_pid_change(
+                app.supervisor, target.index, old_pid, timeout=15.0
+            )
+            assert target.started_replay >= 1
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# Aggregation + readiness
+# ----------------------------------------------------------------------
+class TestAggregation:
+    def test_stats_merge_counters_and_latency(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            assert post_batch(app, REQUESTS).status == 200
+            stats = app.stats_dict()
+        finally:
+            app.close()
+        assert stats["config"]["shards"] == 2
+        assert stats["serving"]["requests_served"] == len(REQUESTS)
+        # Both shards got a slice of the batch, so the merged reservoir
+        # saw one analyze execution per shard.
+        assert stats["latency"]["count"] >= 1
+        assert stats["cache"]["misses"] >= 4
+        assert stats["shards"]["count"] == 2
+        assert stats["shards"]["ready"] == 2
+        details = stats["shards"]["shards"]
+        assert {d["label"] for d in details} == {"shard-0", "shard-1"}
+        assert all("stats" in d for d in details)
+        # Per-shard journals are private and live under the shard detail.
+        assert all(
+            d["stats"]["journal"]["path"].endswith(d["label"])
+            for d in details
+        )
+
+    def test_metrics_exposition_has_shard_gauges(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            assert post_batch(app, REQUESTS).status == 200
+            response = app.handle(
+                "GET", "/metrics", {}, {}, b"", "test-client"
+            )
+        finally:
+            app.close()
+        text = response.body.decode("utf-8")
+        assert 'repro_shard_up{shard="shard-0"} 1' in text
+        assert 'repro_shard_up{shard="shard-1"} 1' in text
+        assert "repro_shards_total 2" in text
+        assert "repro_latency_seconds_count" in text
+
+    def test_readyz_degrades_while_a_slot_respawns(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            ready = app.handle("GET", "/readyz", {}, {}, b"", "c")
+            assert ready.status == 200
+            assert json.loads(ready.body)["status"] == "ok"
+            # Simulate a mid-respawn slot (the monitor races real kills).
+            app.supervisor.handles[1].state = "respawning"
+            degraded = app.handle("GET", "/readyz", {}, {}, b"", "c")
+            assert degraded.status == 200
+            payload = json.loads(degraded.body)
+            assert payload["status"] == "degraded"
+            assert payload["shards"]["ready"] == 1
+            app.supervisor.handles[1].state = "ready"
+        finally:
+            app.close()
+
+    def test_draining_rejects_new_analyze_calls(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            app.begin_drain()
+            response = post_batch(app, REQUESTS[:1])
+            assert response.status == 503
+            assert "Retry-After" in response.headers
+            ready = app.handle("GET", "/readyz", {}, {}, b"", "c")
+            assert ready.status == 503
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# End to end over real sockets
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_client_batch_over_http_matches_direct(self, tmp_path):
+        config = ServerConfig(
+            port=0, jobs=1, journal_path=str(tmp_path / "e2e.journal")
+        )
+        with ShardedServer(config, shards=3) as server:
+            with ReproClient(port=server.port) as client:
+                lines = client.batch_lines(REQUESTS)
+                health = client.health()
+        assert "\n".join(lines) == direct_jsonl(REQUESTS)
+        assert health["shards"]["count"] == 3
+        assert health["shards"]["ready"] == 3
+
+    def test_shutdown_drains_and_stops_every_worker(self, tmp_path):
+        config = ServerConfig(port=0, jobs=1)
+        server = ShardedServer(config, shards=2).start()
+        pids = [h.pid for h in server.app.supervisor.handles]
+        assert server.shutdown(drain=True)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in pids if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert not [pid for pid in pids if _pid_alive(pid)]
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True

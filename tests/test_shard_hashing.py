@@ -1,0 +1,91 @@
+"""Rendezvous-hash routing properties the sharded tier stands on.
+
+The tier's cache/journal affinity and its resize economics both reduce
+to properties of :mod:`repro.shard.hashing`: assignments must be stable
+(same key, same shard, forever), resizing must move only the minimal
+slice of the keyspace, and none of it may depend on ``hash()`` (which
+``PYTHONHASHSEED`` re-seeds per process -- poison for a tier whose
+workers are separate processes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.shard import (
+    assignment_counts,
+    rendezvous_ranking,
+    rendezvous_score,
+    rendezvous_shard,
+    shard_label,
+)
+
+KEYS = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(400)]
+
+
+class TestStability:
+    def test_same_key_same_shard_every_time(self):
+        for key in KEYS[:50]:
+            first = rendezvous_shard(key, 5)
+            assert all(rendezvous_shard(key, 5) == first for _ in range(3))
+
+    def test_scores_are_sha256_derived_not_hash_derived(self):
+        # Pin one concrete score so a silent switch to hash() (or a
+        # digest-slicing change) fails loudly instead of reshuffling
+        # every deployed journal's keyspace.
+        digest = hashlib.sha256(b"shard-0\x00k").digest()
+        assert rendezvous_score("k", shard_label(0)) == int.from_bytes(
+            digest[:8], "big"
+        )
+
+    def test_single_shard_owns_everything(self):
+        assert all(rendezvous_shard(key, 1) == 0 for key in KEYS[:20])
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            rendezvous_shard("k", 0)
+        with pytest.raises(ValueError):
+            rendezvous_ranking("k", 0)
+
+
+class TestMinimalMovement:
+    def test_growing_only_moves_keys_to_the_new_shard(self):
+        before = {key: rendezvous_shard(key, 4) for key in KEYS}
+        after = {key: rendezvous_shard(key, 5) for key in KEYS}
+        moved = {key for key in KEYS if before[key] != after[key]}
+        # Every moved key must have moved TO the new shard, never
+        # between surviving shards.
+        assert all(after[key] == 4 for key in moved)
+        # And roughly 1/5 of the keyspace moves (binomial slack).
+        assert len(moved) < len(KEYS) * 2 / 5
+
+    def test_shrinking_rehomes_only_the_dead_shards_keys(self):
+        before = {key: rendezvous_shard(key, 5) for key in KEYS}
+        after = {key: rendezvous_shard(key, 4) for key in KEYS}
+        for key in KEYS:
+            if before[key] != 4:  # shard 4 is the one being removed
+                assert after[key] == before[key]
+
+    def test_rehomed_keys_fall_to_their_second_choice(self):
+        for key in KEYS[:100]:
+            ranking = rendezvous_ranking(key, 5)
+            assert ranking[0] == rendezvous_shard(key, 5)
+            if ranking[0] == 4:
+                # Remove the winner: the key must land on its runner-up.
+                assert rendezvous_shard(key, 4) == ranking[1]
+
+    def test_ranking_is_a_permutation(self):
+        for key in KEYS[:20]:
+            assert sorted(rendezvous_ranking(key, 7)) == list(range(7))
+
+
+class TestBalance:
+    def test_no_shard_starves_or_hogs(self):
+        counts = assignment_counts(KEYS, 4)
+        assert sum(counts) == len(KEYS)
+        # Uniform expectation is 100 per shard; allow wide slack, forbid
+        # degenerate skew (a broken score function collapses to one bin).
+        assert min(counts) > 40
+        assert max(counts) < 200
