@@ -150,3 +150,54 @@ def render_bench_text(result: Dict[str, Any]) -> str:
 def write_bench(result: Dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(result, sort_keys=True, indent=2) + "\n")
+
+
+def read_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_regression(
+    result: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+) -> List[str]:
+    """Compare ``result`` to a committed baseline; returns violations.
+
+    Guards the headline number only -- end-to-end batch throughput --
+    because micro-benchmark medians on a shared CI box swing too much to
+    gate on, while a >30% collapse of whole-stack throughput means a
+    real regression (an accidental O(n^2), a lock on the hot path)
+    regardless of machine noise.  Schema mismatches refuse loudly
+    instead of comparing incomparables.
+    """
+
+    if not 0.0 < max_regression < 1.0:
+        raise ValueError("max_regression must be in (0, 1)")
+    problems: List[str] = []
+    if baseline.get("schema") != result.get("schema"):
+        problems.append(
+            f"bench schema mismatch: baseline schema "
+            f"{baseline.get('schema')!r} vs current "
+            f"{result.get('schema')!r}; re-baseline instead of comparing"
+        )
+        return problems
+    base_rps = (baseline.get("batch") or {}).get("requests_per_second")
+    cur_rps = (result.get("batch") or {}).get("requests_per_second")
+    if not base_rps or base_rps <= 0:
+        problems.append(
+            "baseline has no positive batch.requests_per_second; "
+            "re-baseline"
+        )
+        return problems
+    if cur_rps is None:
+        problems.append("current result has no batch.requests_per_second")
+        return problems
+    floor = base_rps * (1.0 - max_regression)
+    if cur_rps < floor:
+        problems.append(
+            f"batch throughput regressed {100 * (1 - cur_rps / base_rps):.1f}%: "
+            f"{cur_rps:.1f} req/s vs baseline {base_rps:.1f} req/s "
+            f"(floor {floor:.1f} at --max-regression {max_regression:g})"
+        )
+    return problems

@@ -1,0 +1,50 @@
+"""Deterministic chaos engineering for the serving tier.
+
+``repro chaos --seed 7 --shards 3`` boots a real sharded fleet, soaks
+it with steady request load, applies a *seeded, reproducible* fault
+timeline (worker kills, crash loops, SIGSTOP stalls, journal disk
+faults), and verifies the tier's promises held the whole way through:
+byte-identical output, no lost accepted work, conserved counters,
+truthful readiness, crash-loop containment, and disk-fault survival.
+
+The timeline grammar and generator live in
+:mod:`~repro.chaos.schedule`; the harness and its invariant checks in
+:mod:`~repro.chaos.harness`.  The same seed always reproduces the same
+schedule -- a chaos failure is a bug report you can re-run.
+"""
+
+from .harness import (
+    CHAOS_GRID,
+    ChaosConfig,
+    ChaosReport,
+    churn_payload,
+    oracle_jsonl,
+    run_chaos,
+)
+from .schedule import (
+    CHAOS_ACTIONS,
+    ChaosEvent,
+    describe_timeline,
+    format_event,
+    format_timeline,
+    generate_timeline,
+    parse_event,
+    parse_timeline,
+)
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "CHAOS_GRID",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosReport",
+    "churn_payload",
+    "describe_timeline",
+    "format_event",
+    "format_timeline",
+    "generate_timeline",
+    "oracle_jsonl",
+    "parse_event",
+    "parse_timeline",
+    "run_chaos",
+]

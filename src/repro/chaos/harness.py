@@ -1,0 +1,657 @@
+"""The chaos/soak harness: boot a real fleet, hurt it, prove invariants.
+
+:func:`run_chaos` boots a genuine :class:`~repro.shard.ShardedServer`
+(real worker processes, real sockets), drives a steady request load at
+it from a real :class:`~repro.server.client.ReproClient`, applies a
+seeded fault timeline (:mod:`repro.chaos.schedule`) from a side thread,
+and checks the tier's core promises the whole way through:
+
+1. **Byte identity** -- every successful batch response over the whole
+   soak is byte-identical to a fault-free oracle run
+   (:class:`~repro.service.engine.BatchEngine` directly, no server).
+   Kills, reroutes, respawns, and replays may cost latency; they may
+   never cost bytes.
+2. **No accepted request lost** -- a 200 response always carries every
+   record of its batch (implied by the byte comparison; short responses
+   are mismatches).
+3. **Counter conservation** -- the router's ``requests_routed`` counter
+   equals the number of requests the harness saw succeed, across every
+   respawn (router-side counters must not reset when workers die).
+4. **Readyz truthfulness** -- whenever ``/readyz`` is sampled,
+   ``status == "degraded"`` exactly when ``degraded_slots`` is non-empty
+   exactly when fewer than all slots are ready.
+5. **Containment** -- a crash-looping slot reaches ``failed`` within
+   the respawn budget and is re-admitted afterwards.
+6. **Disk-fault survival** -- an armed journal fault degrades the
+   worker's journal to non-durable mode *without the worker dying*
+   (same pid before and after).
+
+Determinism: the same ``(seed, shards, duration)`` triple always yields
+the same fault timeline (event *offsets* and victims; actual interleave
+with the load loop is OS scheduling and is why the invariants are
+properties, not traces).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..server.app import ServerConfig
+from ..server.client import ClientError, ReproClient
+from ..service.engine import BatchEngine, EngineConfig
+from ..service.faults import FAULTS_GUARD_ENV
+from ..service.requests import parse_request
+from ..shard.ipc import ShardIPCError
+from ..shard.supervisor import RespawnPolicy, ShardOpError
+from ..shard.router import ShardedServer
+from .schedule import (
+    ChaosEvent,
+    format_event,
+    generate_timeline,
+)
+
+Payload = Union[Dict[str, Any], str]
+
+#: The fixed request grid replayed every soak iteration and compared to
+#: the oracle.  Spans every request kind, includes a duplicate (cache /
+#: dedup path) and a raw non-JSON line (deterministic error record).
+CHAOS_GRID: List[Payload] = [
+    {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
+    {
+        "kind": "fusion",
+        "m": 96,
+        "k": 64,
+        "l": 80,
+        "n": 72,
+        "buffer_elems": 16384,
+    },
+    {"kind": "sweep_point", "m": 32, "k": 32, "l": 32, "buffer_elems": 1024},
+    "this line is not valid json",
+    {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
+    {"kind": "intra", "m": 40, "k": 24, "l": 56, "buffer_elems": 8192},
+]
+
+
+def oracle_jsonl(grid: Sequence[Payload]) -> str:
+    """The fault-free ground truth: a direct engine run, no server."""
+    engine = BatchEngine(EngineConfig(jobs=2))
+    report = engine.run_batch(
+        [p if isinstance(p, str) else parse_request(p) for p in grid]
+    )
+    return report.to_jsonl()
+
+
+def churn_payload(iteration: int) -> Dict[str, Any]:
+    """A fresh-keyed request per iteration.
+
+    The replayed grid is fully cached after iteration one, and cached
+    answers never touch the journal -- so an armed journal fault would
+    sit unfired forever.  Churn payloads carry novel keys, keeping
+    journal appends (and therefore the disk-fault path) live all soak.
+    """
+
+    return {
+        "kind": "sweep_point",
+        "m": 32 + (iteration % 64),
+        "k": 24 + (iteration // 64) % 64,
+        "l": 40,
+        "buffer_elems": 2048,
+    }
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Harness knobs; ``seed`` is the whole identity of a run."""
+
+    seed: int = 7
+    shards: int = 3
+    duration: float = 30.0
+    profile: str = "full"
+    #: Explicit timeline overriding the seeded generator (still applied
+    #: relative to soak start).
+    events: Optional[Sequence[ChaosEvent]] = None
+    #: Where per-shard journals live; a temp dir when None.
+    workdir: Optional[str] = None
+    #: Dispatch escalation timeout -- deliberately short so a stalled
+    #: shard is escalated within the soak window.
+    op_timeout: float = 8.0
+    respawn_policy: RespawnPolicy = field(
+        default_factory=lambda: RespawnPolicy(
+            backoff_base=0.1,
+            backoff_max=2.0,
+            max_rapid_deaths=3,
+            death_window=10.0,
+            failed_retry_interval=3.0,
+        )
+    )
+    log: Callable[[str], None] = lambda message: print(f"repro chaos: {message}")
+
+
+@dataclass
+class ChaosReport:
+    """What the soak proved (or failed to)."""
+
+    seed: int
+    shards: int
+    duration: float
+    profile: str
+    timeline: List[str] = field(default_factory=list)
+    iterations: int = 0
+    requests_ok: int = 0
+    calls_failed: int = 0
+    oracle_mismatches: int = 0
+    reroutes: int = 0
+    respawns: int = 0
+    contained: int = 0
+    timeouts: int = 0
+    readyz_samples: int = 0
+    degraded_samples: int = 0
+    journal_degraded: Optional[bool] = None
+    conservation: Optional[bool] = None
+    requests_routed: int = 0
+    invariant_failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.invariant_failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dict(self.__dict__)
+        data["passed"] = self.passed
+        return data
+
+
+class _EventApplier(threading.Thread):
+    """Applies the fault timeline against a live fleet."""
+
+    def __init__(
+        self,
+        server: ShardedServer,
+        events: Sequence[ChaosEvent],
+        report: ChaosReport,
+        config: ChaosConfig,
+        started: float,
+    ):
+        super().__init__(name="repro-chaos-events", daemon=True)
+        self.server = server
+        self.events = sorted(events, key=lambda e: e.at)
+        self.report = report
+        self.config = config
+        self.started = started
+        #: (shard, pid) recorded when a journal fault is armed, so the
+        #: verifier can prove the same worker survived its disk fault.
+        self.journal_fault: Optional[Dict[str, Any]] = None
+        self.crashloop_shard: Optional[int] = None
+        self.stall_shard: Optional[int] = None
+
+    # -- helpers -------------------------------------------------------
+    def _handle(self, shard: int):
+        return self.server.app.supervisor.handles[shard]
+
+    def _fail(self, message: str) -> None:
+        self.report.invariant_failures.append(message)
+        self.config.log(f"INVARIANT FAILED: {message}")
+
+    def _kill_pid(self, pid: Optional[int]) -> bool:
+        if pid is None:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+            return True
+        except (OSError, ProcessLookupError):
+            return False
+
+    def _wait_state(
+        self,
+        shard: int,
+        predicate: Callable[[Any], bool],
+        timeout: float,
+    ) -> bool:
+        deadline = time.monotonic() + timeout
+        handle = self._handle(shard)
+        while time.monotonic() < deadline:
+            if predicate(handle):
+                return True
+            time.sleep(0.05)
+        return False
+
+    # -- the actions ---------------------------------------------------
+    def _apply_kill(self, event: ChaosEvent) -> None:
+        handle = self._handle(event.shard)
+        for _ in range(max(1, event.count)):
+            old_pid = handle.pid
+            if self._kill_pid(old_pid):
+                self.config.log(
+                    f"killed shard {event.shard} (pid {old_pid})"
+                )
+            self._wait_state(
+                event.shard,
+                lambda h: h.state == "ready" and h.pid != old_pid,
+                timeout=20.0,
+            )
+
+    def _apply_crashloop(self, event: ChaosEvent) -> None:
+        self.crashloop_shard = event.shard
+        handle = self._handle(event.shard)
+        policy = self.config.respawn_policy
+        budget = (
+            event.count if event.count else policy.max_rapid_deaths + 2
+        )
+        kills = 0
+        while kills < budget:
+            pid = handle.pid
+            if handle.state == "failed":
+                break
+            if pid is not None and self._kill_pid(pid):
+                kills += 1
+                self.config.log(
+                    f"crashloop: killed shard {event.shard} "
+                    f"(pid {pid}, kill {kills}/{budget})"
+                )
+            # Wait for the slot to either respawn (next victim) or be
+            # quarantined (containment did its job).
+            self._wait_state(
+                event.shard,
+                lambda h: h.state == "failed"
+                or (h.state == "ready" and h.pid != pid),
+                timeout=20.0,
+            )
+        if event.count == 0:
+            # "Until contained": the loop must end in quarantine.
+            if not self._wait_state(
+                event.shard, lambda h: h.state == "failed", timeout=10.0
+            ):
+                self._fail(
+                    f"crash-looping shard {event.shard} was not "
+                    f"contained within {kills} kills "
+                    f"(budget {budget}); state={handle.state!r}"
+                )
+            else:
+                self.config.log(
+                    f"crashloop: shard {event.shard} contained after "
+                    f"{kills} kills"
+                )
+
+    def _apply_stall(self, event: ChaosEvent) -> None:
+        self.stall_shard = event.shard
+        handle = self._handle(event.shard)
+        pid = handle.pid
+        if pid is None:
+            self.report.notes.append(
+                f"stall skipped: shard {event.shard} had no pid"
+            )
+            return
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except (OSError, ProcessLookupError):
+            self.report.notes.append(
+                f"stall skipped: shard {event.shard} pid {pid} vanished"
+            )
+            return
+        self.config.log(
+            f"stalled shard {event.shard} (pid {pid}, SIGSTOP) for "
+            f"{event.duration:g}s"
+        )
+        time.sleep(event.duration)
+        # Escalation may have SIGKILLed the stopped worker already;
+        # resuming a corpse is a no-op we tolerate.
+        try:
+            os.kill(pid, signal.SIGCONT)
+            self.config.log(f"resumed shard {event.shard} (pid {pid})")
+        except (OSError, ProcessLookupError):
+            self.config.log(
+                f"stalled shard {event.shard} pid {pid} was escalated "
+                "(killed) before resume -- expected under a long stall"
+            )
+
+    def _apply_journal_fault(self, event: ChaosEvent) -> None:
+        handle = self._handle(event.shard)
+        pid = handle.pid
+        try:
+            handle.call(
+                "chaos",
+                timeout=10.0,
+                journal={"mode": event.mode, "after": 0},
+            )
+        except (ShardIPCError, ShardOpError) as exc:
+            self._fail(
+                f"could not arm journal fault on shard "
+                f"{event.shard}: {exc}"
+            )
+            return
+        self.journal_fault = {
+            "shard": event.shard,
+            "pid": pid,
+            "mode": event.mode,
+        }
+        self.config.log(
+            f"armed journal {event.mode} fault on shard {event.shard} "
+            f"(pid {pid})"
+        )
+
+    def _apply_ipc_delay(self, event: ChaosEvent) -> None:
+        handle = self._handle(event.shard)
+        handle.ipc_delay = event.duration
+        self.config.log(
+            f"slowed shard {event.shard} pipe by {event.duration:g}s/call"
+        )
+        time.sleep(max(1, event.count))
+        handle.ipc_delay = 0.0
+        self.config.log(f"restored shard {event.shard} pipe speed")
+
+    def run(self) -> None:
+        for event in self.events:
+            delay = self.started + event.at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self.config.log(f"applying: {format_event(event)}")
+            try:
+                if event.action == "kill":
+                    self._apply_kill(event)
+                elif event.action == "crashloop":
+                    self._apply_crashloop(event)
+                elif event.action == "stall":
+                    self._apply_stall(event)
+                elif event.action == "journal_fault":
+                    self._apply_journal_fault(event)
+                elif event.action == "ipc_delay":
+                    self._apply_ipc_delay(event)
+            except Exception as exc:  # applier bugs must be loud
+                self._fail(
+                    f"event {format_event(event)} raised "
+                    f"{type(exc).__name__}: {exc}"
+                )
+
+
+def _check_readyz(server: ShardedServer, report: ChaosReport) -> None:
+    """Sample /readyz and assert its self-consistency."""
+    response = server.app.handle("GET", "/readyz", {}, {}, b"", "chaos")
+    report.readyz_samples += 1
+    import json as _json
+
+    body = _json.loads(response.body.decode("utf-8"))
+    if "error" in body:  # draining: not sampled during the soak
+        return
+    degraded_slots = body.get("degraded_slots", [])
+    shards = body.get("shards", {})
+    degraded = bool(degraded_slots)
+    if degraded:
+        report.degraded_samples += 1
+        for slot in degraded_slots:
+            missing = {"shard", "state", "generation", "respawns"} - set(
+                slot
+            )
+            if missing:
+                report.invariant_failures.append(
+                    f"readyz degraded_slots entry missing fields "
+                    f"{sorted(missing)}: {slot}"
+                )
+    status_says = body.get("status") == "degraded"
+    counts_say = shards.get("ready", 0) < shards.get("count", 0)
+    if not (status_says == degraded == counts_say):
+        report.invariant_failures.append(
+            "readyz inconsistent: status={!r} degraded_slots={} "
+            "ready={}/{}".format(
+                body.get("status"),
+                len(degraded_slots),
+                shards.get("ready"),
+                shards.get("count"),
+            )
+        )
+
+
+def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
+    """Run one seeded chaos soak end to end; returns the report.
+
+    Never raises for an invariant violation -- failures are accumulated
+    in ``report.invariant_failures`` so a CI step can print all of them
+    before failing.  Raises only for harness-level impossibilities
+    (cannot boot the fleet, cannot bind a socket...).
+    """
+
+    config = config or ChaosConfig()
+    events = list(
+        config.events
+        if config.events is not None
+        else generate_timeline(
+            config.seed, config.shards, config.duration, config.profile
+        )
+    )
+    report = ChaosReport(
+        seed=config.seed,
+        shards=config.shards,
+        duration=config.duration,
+        profile=config.profile,
+        timeline=[format_event(event) for event in events],
+    )
+    oracle = oracle_jsonl(CHAOS_GRID)
+    started_wall = time.monotonic()
+
+    tmp = None
+    workdir = config.workdir
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        workdir = tmp.name
+
+    # Workers must inherit the fault-injection guard or the `chaos` IPC
+    # op refuses to arm anything.  Respawned workers spawn mid-soak, so
+    # the variable stays set until teardown.
+    old_guard = os.environ.get(FAULTS_GUARD_ENV)
+    os.environ[FAULTS_GUARD_ENV] = "1"
+    server = None
+    try:
+        server_config = ServerConfig(
+            port=0,
+            jobs=1,
+            journal_path=os.path.join(workdir, "tier.journal"),
+            retry_jitter_seed=config.seed,
+        )
+        server = ShardedServer(
+            server_config,
+            shards=config.shards,
+            health_interval=0.2,
+            op_timeout=config.op_timeout,
+            respawn_policy=config.respawn_policy,
+        ).start()
+        config.log(
+            f"fleet up: {config.shards} shards at {server.url} "
+            f"(seed {config.seed}, {config.duration:g}s soak, "
+            f"{len(events)} events)"
+        )
+
+        applier = _EventApplier(
+            server, events, report, config, time.monotonic()
+        )
+        applier.start()
+
+        deadline = time.monotonic() + config.duration
+        client = ReproClient(
+            host=server.host,
+            port=server.port,
+            timeout=60.0,
+            max_attempts=8,
+            retry_base_delay=0.05,
+            client_id=f"chaos-{config.seed}",
+        )
+        transport_anomalies = 0
+        with client:
+            while time.monotonic() < deadline:
+                report.iterations += 1
+                try:
+                    lines = client.batch_lines(CHAOS_GRID)
+                    if "\n".join(lines) != oracle:
+                        report.oracle_mismatches += 1
+                        report.invariant_failures.append(
+                            f"iteration {report.iterations}: response "
+                            f"not byte-identical to oracle "
+                            f"({len(lines)} lines)"
+                        )
+                    else:
+                        report.requests_ok += len(CHAOS_GRID)
+                except ClientError as exc:
+                    report.calls_failed += 1
+                    transport_anomalies += 1
+                    report.notes.append(
+                        f"iteration {report.iterations}: grid call "
+                        f"failed: {type(exc).__name__}: {exc}"
+                    )
+                try:
+                    client.batch_lines([churn_payload(report.iterations)])
+                    report.requests_ok += 1
+                except ClientError:
+                    report.calls_failed += 1
+                    transport_anomalies += 1
+                _check_readyz(server, report)
+                time.sleep(0.05)
+
+        applier.join(timeout=60.0)
+        if applier.is_alive():
+            report.invariant_failures.append(
+                "event applier still running after soak + 60s grace"
+            )
+
+        # ---- recovery: every slot back to ready ----------------------
+        recovery_deadline = time.monotonic() + max(
+            15.0, config.respawn_policy.failed_retry_interval * 3
+        )
+        while time.monotonic() < recovery_deadline:
+            if server.app.supervisor.all_ready:
+                break
+            time.sleep(0.1)
+        snapshot = server.app.supervisor.snapshot()
+        if snapshot["ready"] != snapshot["count"]:
+            report.invariant_failures.append(
+                f"fleet did not recover: {snapshot['ready']}/"
+                f"{snapshot['count']} slots ready after grace "
+                f"(states: "
+                f"{[s['state'] for s in snapshot['shards']]})"
+            )
+        report.respawns = snapshot["respawns"]
+        report.contained = snapshot["contained"]
+        report.timeouts = snapshot["timeouts"]
+
+        # ---- containment happened if a crashloop was scheduled -------
+        if (
+            applier.crashloop_shard is not None
+            and snapshot["contained"] == 0
+        ):
+            report.invariant_failures.append(
+                f"crashloop on shard {applier.crashloop_shard} never "
+                "triggered containment"
+            )
+
+        # ---- disk-fault survival -------------------------------------
+        if applier.journal_fault is not None:
+            fault = applier.journal_fault
+            verified = False
+            verify_deadline = time.monotonic() + 15.0
+            while time.monotonic() < verify_deadline:
+                handle = server.app.supervisor.handles[fault["shard"]]
+                if handle.pid != fault["pid"]:
+                    report.invariant_failures.append(
+                        f"shard {fault['shard']} worker died after its "
+                        f"journal {fault['mode']} fault (pid "
+                        f"{fault['pid']} -> {handle.pid}); faults must "
+                        "degrade, not kill"
+                    )
+                    break
+                try:
+                    stats = handle.call("stats", timeout=10.0)
+                except (ShardIPCError, ShardOpError):
+                    time.sleep(0.2)
+                    continue
+                journal = (stats.get("stats") or {}).get("journal") or {}
+                if journal.get("degraded"):
+                    verified = True
+                    config.log(
+                        f"shard {fault['shard']} journal degraded to "
+                        f"non-durable mode (reason: "
+                        f"{journal.get('degraded_reason')}), worker "
+                        f"survived (pid {fault['pid']})"
+                    )
+                    break
+                time.sleep(0.2)
+            report.journal_degraded = verified
+            if not verified and not any(
+                "journal" in failure
+                for failure in report.invariant_failures
+            ):
+                report.invariant_failures.append(
+                    f"armed journal {fault['mode']} fault on shard "
+                    f"{fault['shard']} never surfaced as degraded mode"
+                )
+
+        # ---- final oracle pass over the recovered fleet --------------
+        with ReproClient(
+            host=server.host,
+            port=server.port,
+            timeout=60.0,
+            max_attempts=8,
+            client_id=f"chaos-{config.seed}-final",
+        ) as final_client:
+            try:
+                lines = final_client.batch_lines(CHAOS_GRID)
+                if "\n".join(lines) != oracle:
+                    report.invariant_failures.append(
+                        "final post-recovery batch not byte-identical "
+                        "to oracle"
+                    )
+                else:
+                    report.requests_ok += len(CHAOS_GRID)
+            except ClientError as exc:
+                report.invariant_failures.append(
+                    f"final post-recovery batch failed: {exc}"
+                )
+
+        # ---- counter conservation ------------------------------------
+        routed = server.app.serving.as_dict().get("requests_routed", 0)
+        report.requests_routed = routed
+        report.reroutes = server.app.serving.as_dict().get(
+            "shard_reroutes", 0
+        )
+        if routed < report.requests_ok:
+            report.conservation = False
+            report.invariant_failures.append(
+                f"counter conservation violated: requests_routed="
+                f"{routed} < {report.requests_ok} requests the harness "
+                "saw succeed (accepted work went missing)"
+            )
+        elif routed > report.requests_ok and transport_anomalies == 0:
+            report.conservation = False
+            report.invariant_failures.append(
+                f"counter conservation violated: requests_routed="
+                f"{routed} > {report.requests_ok} with no transport "
+                "anomalies to explain duplicates"
+            )
+        elif routed == report.requests_ok:
+            report.conservation = True
+        else:
+            report.conservation = None
+            report.notes.append(
+                f"conservation indeterminate: requests_routed={routed}, "
+                f"harness-counted={report.requests_ok}, "
+                f"{transport_anomalies} transport anomalies (a retried "
+                "call may have been served twice)"
+            )
+    finally:
+        if server is not None:
+            try:
+                server.shutdown(drain=True, timeout=30.0)
+            except Exception:
+                pass
+        if old_guard is None:
+            os.environ.pop(FAULTS_GUARD_ENV, None)
+        else:
+            os.environ[FAULTS_GUARD_ENV] = old_guard
+        if tmp is not None:
+            tmp.cleanup()
+    report.elapsed = round(time.monotonic() - started_wall, 3)
+    return report

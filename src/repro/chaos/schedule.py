@@ -1,0 +1,314 @@
+"""Deterministic chaos timelines: seeded fault schedules for the tier.
+
+A *timeline* is an ordered list of :class:`ChaosEvent` -- each one fault
+applied to one shard slot at one offset into a soak.  Timelines come
+from two places and round-trip through one grammar:
+
+* :func:`generate_timeline` derives a timeline from ``(seed, shards,
+  duration, profile)`` with ``random.Random(seed)`` -- the same seed
+  always produces the same schedule, byte for byte, so a chaos failure
+  reproduces with nothing but its seed.
+* :func:`parse_timeline` reads hand-written schedules in the same
+  grammar that :func:`format_event` emits::
+
+      action@seconds:shard=I[:duration=S][:count=N][:mode=M]
+
+  joined by ``;``, e.g.
+  ``kill@2.0:shard=1;journal_fault@5.0:shard=2:mode=enospc``.
+
+Actions
+-------
+``kill``
+    SIGKILL the slot's current worker ``count`` times (waiting for the
+    respawn between kills).
+``crashloop``
+    Kill the slot's worker every time it comes back until the
+    supervisor's crash-loop containment quarantines the slot
+    (``count=0``) or ``count`` kills have landed.
+``stall``
+    SIGSTOP the worker for ``duration`` seconds, then SIGCONT whatever
+    is left of it (escalation may have SIGKILLed it first).
+``journal_fault``
+    Arm a one-shot journal write fault (``mode`` = ``enospc`` / ``eio``)
+    inside the worker via the guarded ``chaos`` IPC op.
+``ipc_delay``
+    Slow the slot's router-side pipe by ``duration`` seconds per call
+    for ``count`` seconds of wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..service.journal import JOURNAL_FAULT_MODES
+
+#: Every action the applier knows how to perform.
+CHAOS_ACTIONS = ("kill", "crashloop", "stall", "journal_fault", "ipc_delay")
+
+#: Actions that require / accept a duration operand.
+_DURATION_ACTIONS = {"stall", "ipc_delay"}
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault, one shard, one offset into the soak.
+
+    ``at`` is seconds from soak start; ``count`` means "kills" for
+    ``kill``/``crashloop`` (0 = until contained) and wall-clock seconds
+    of effect for ``ipc_delay``; ``duration`` is the stall length or the
+    per-call delay; ``mode`` selects the journal fault flavor.
+    """
+
+    at: float
+    action: str
+    shard: int
+    duration: float = 0.0
+    count: int = 1
+    mode: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {', '.join(CHAOS_ACTIONS)}"
+            )
+        if self.at < 0:
+            raise ValueError("event offset must be non-negative")
+        if self.shard < 0:
+            raise ValueError("shard index must be non-negative")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.action == "journal_fault":
+            if self.mode not in JOURNAL_FAULT_MODES:
+                raise ValueError(
+                    f"journal_fault mode must be one of "
+                    f"{', '.join(JOURNAL_FAULT_MODES)}, "
+                    f"got {self.mode!r}"
+                )
+        elif self.mode:
+            raise ValueError(f"{self.action} does not take a mode")
+        if self.action in _DURATION_ACTIONS and self.duration <= 0:
+            raise ValueError(f"{self.action} requires duration > 0")
+
+
+def format_event(event: ChaosEvent) -> str:
+    """The canonical spec string; ``parse_event`` round-trips it."""
+    parts = [f"{event.action}@{event.at:g}", f"shard={event.shard}"]
+    if event.duration:
+        parts.append(f"duration={event.duration:g}")
+    if event.count != 1:
+        parts.append(f"count={event.count}")
+    if event.mode:
+        parts.append(f"mode={event.mode}")
+    return ":".join(parts)
+
+
+def parse_event(spec: str) -> ChaosEvent:
+    """Parse ``action@seconds:shard=I[:duration=S][:count=N][:mode=M]``."""
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty chaos event spec")
+    head, _, rest = text.partition(":")
+    action, sep, offset = head.partition("@")
+    if not sep:
+        raise ValueError(
+            f"bad chaos event {spec!r}: expected 'action@seconds', "
+            f"got {head!r}"
+        )
+    fields: Dict[str, str] = {}
+    for item in filter(None, rest.split(":")):
+        name, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad chaos event {spec!r}: operand {item!r} is not "
+                "name=value"
+            )
+        if name in fields:
+            raise ValueError(
+                f"bad chaos event {spec!r}: duplicate operand {name!r}"
+            )
+        fields[name] = value
+    if "shard" not in fields:
+        raise ValueError(f"bad chaos event {spec!r}: missing shard=I")
+    unknown = set(fields) - {"shard", "duration", "count", "mode"}
+    if unknown:
+        raise ValueError(
+            f"bad chaos event {spec!r}: unknown operand(s) "
+            f"{', '.join(sorted(unknown))}"
+        )
+    try:
+        return ChaosEvent(
+            at=float(offset),
+            action=action.strip(),
+            shard=int(fields["shard"]),
+            duration=float(fields.get("duration", 0.0)),
+            count=int(fields.get("count", 1)),
+            mode=fields.get("mode", ""),
+        )
+    except ValueError as exc:
+        raise ValueError(f"bad chaos event {spec!r}: {exc}") from None
+
+
+def parse_timeline(text: str) -> List[ChaosEvent]:
+    """Parse a ``;``-joined list of event specs, sorted by offset."""
+    events = [
+        parse_event(item) for item in text.split(";") if item.strip()
+    ]
+    if not events:
+        raise ValueError("timeline contains no events")
+    return sorted(events, key=lambda e: (e.at, e.shard, e.action))
+
+
+def format_timeline(events: Sequence[ChaosEvent]) -> str:
+    """The ``;``-joined canonical form (round-trips parse_timeline)."""
+    return ";".join(format_event(event) for event in events)
+
+
+def describe_timeline(events: Sequence[ChaosEvent]) -> List[str]:
+    """Human-readable one-liner per event, for --print-timeline."""
+    lines = []
+    for event in events:
+        extra = ""
+        if event.action == "stall":
+            extra = f" for {event.duration:g}s"
+        elif event.action == "ipc_delay":
+            extra = f" (+{event.duration:g}s/call for {event.count}s)"
+        elif event.action == "journal_fault":
+            extra = f" (mode={event.mode})"
+        elif event.action == "crashloop":
+            extra = (
+                " (until contained)"
+                if event.count == 0
+                else f" ({event.count} kills)"
+            )
+        elif event.count != 1:
+            extra = f" x{event.count}"
+        lines.append(
+            f"t+{event.at:6.2f}s  {event.action:<13s} shard {event.shard}"
+            f"{extra}"
+        )
+    return lines
+
+
+def generate_timeline(
+    seed: int,
+    shards: int,
+    duration: float,
+    profile: str = "full",
+) -> List[ChaosEvent]:
+    """Derive a deterministic fault schedule from a seed.
+
+    The generator keeps the timeline *verifiable*, not merely random:
+
+    * the crash-loop target, the stall target, and the journal-fault
+      target are distinct shards (when the fleet is big enough), so each
+      containment path is observable in isolation;
+    * the journal-fault shard is never killed afterwards -- a dead
+      worker would take its armed fault (and the degraded-mode evidence)
+      with it;
+    * offsets are spread over the middle of the soak so the harness has
+      fault-free traffic on both sides of every event to compare against
+      the oracle.
+    """
+
+    if shards < 2:
+        # One shard has no survivors to reroute to; chaos against it
+        # only proves "a dead fleet serves nothing", which needs no
+        # harness.
+        raise ValueError("chaos timelines need at least 2 shards")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if profile not in ("full", "quick"):
+        raise ValueError(f"unknown chaos profile {profile!r}")
+    rng = random.Random(seed)
+    order = list(range(shards))
+    rng.shuffle(order)
+    # Distinct victims when the fleet allows it.  The journal-fault
+    # target must differ from the kill/crashloop target (a later kill
+    # would destroy the degraded-journal evidence); on a 2-shard fleet
+    # the stall doubles up with the crash target instead.
+    crash_target = order[0]
+    journal_target = order[1] if shards == 2 else order[2]
+    stall_target = order[0] if shards == 2 else order[1]
+
+    def jitter(base: float, spread: float) -> float:
+        return round(base + rng.uniform(0.0, spread), 2)
+
+    events: List[ChaosEvent] = []
+    if profile == "quick":
+        # kill + short stall + journal fault, no crash loop (containment
+        # plus recovery needs more wall clock than a smoke test gets).
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.15, duration * 0.05),
+                action="kill",
+                shard=crash_target,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.35, duration * 0.05),
+                action="journal_fault",
+                shard=journal_target,
+                mode=rng.choice(list(JOURNAL_FAULT_MODES)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.55, duration * 0.05),
+                action="stall",
+                shard=stall_target,
+                duration=round(duration * 0.2, 2),
+            )
+        )
+    else:
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.15, duration * 0.05),
+                action="crashloop",
+                shard=crash_target,
+                count=0,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.45, duration * 0.05),
+                action="stall",
+                shard=stall_target,
+                # Long enough to outlive the harness op timeout, so the
+                # stall is *escalated* (killed + respawned), not waited
+                # out.
+                duration=round(duration * 0.4, 2),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.55, duration * 0.05),
+                action="journal_fault",
+                shard=journal_target,
+                mode=rng.choice(list(JOURNAL_FAULT_MODES)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.75, duration * 0.05),
+                action="kill",
+                shard=crash_target,
+            )
+        )
+    events.sort(key=lambda e: (e.at, e.shard, e.action))
+    # The journal-fault target must stay alive from its event onward.
+    fault_events = [e for e in events if e.action == "journal_fault"]
+    if fault_events:
+        cutoff = fault_events[0].at
+        assert not any(
+            e.shard == fault_events[0].shard
+            and e.at >= cutoff
+            and e.action in ("kill", "crashloop")
+            for e in events
+        ), "generator bug: journal-fault shard scheduled for death"
+    return events

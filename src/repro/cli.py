@@ -427,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiprocessing start method for --shards workers "
         "(default: platform default)",
     )
+    serve.add_argument(
+        "--retry-jitter-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the deterministic per-client Retry-After jitter "
+        "on 429/503 responses (default 0)",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -458,6 +466,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="result file (default BENCH_<date>.json in the current "
         "directory; '-' skips the file and prints JSON to stdout)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_*.json to guard against: exit nonzero if "
+        "batch throughput regressed beyond --max-regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="tolerated fractional throughput drop vs --baseline "
+        "(default 0.30 = 30%%)",
     )
 
     call = commands.add_parser(
@@ -540,6 +563,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the batch summary to stderr",
+    )
+    selfcheck.add_argument(
+        "--skip-chaos",
+        action="store_true",
+        help="skip phase 6 (the quick seeded chaos soak)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="boot a real sharded fleet, apply a seeded deterministic "
+        "fault timeline under load, and verify the tier's invariants "
+        "(byte-identical output, containment, disk-fault survival)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="timeline seed; the same seed always reproduces the same "
+        "fault schedule (default 7)",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="shard worker processes in the fleet (default 3)",
+    )
+    chaos.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="soak length in seconds (default 30)",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="short smoke profile: 2 shards, ~6s, kill + disk fault + "
+        "brief stall (no crash loop)",
+    )
+    chaos.add_argument(
+        "--timeline",
+        default=None,
+        metavar="SPEC",
+        help="explicit ';'-joined event specs overriding the seeded "
+        "generator, e.g. 'kill@2:shard=1;journal_fault@5:shard=2:"
+        "mode=enospc'",
+    )
+    chaos.add_argument(
+        "--print-timeline",
+        action="store_true",
+        help="print the resolved fault timeline and exit without "
+        "booting anything (dry run)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full chaos report as JSON to stdout",
     )
 
     commands.add_parser("tables", help="render paper Tables I-III")
@@ -925,6 +1005,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             paranoid=args.paranoid,
             journal_path=args.journal,
             verbose=args.verbose,
+            retry_jitter_seed=args.retry_jitter_seed,
         )
     except ValueError as exc:
         print(f"error: cannot start server: {exc}", file=sys.stderr)
@@ -1045,13 +1126,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     print(render_bench_text(result), file=sys.stderr)
+    guard_rc = 0
+    if args.baseline:
+        from .bench import check_regression, read_bench
+
+        try:
+            baseline = read_bench(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(
+                f"bench: cannot read baseline {args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        problems = check_regression(
+            result, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"bench REGRESSION: {problem}", file=sys.stderr)
+            guard_rc = 1
+        else:
+            base_rps = baseline["batch"]["requests_per_second"]
+            cur_rps = result["batch"]["requests_per_second"]
+            print(
+                f"bench guard ok: {cur_rps:.1f} req/s vs baseline "
+                f"{base_rps:.1f} req/s (tolerance "
+                f"{args.max_regression:.0%})",
+                file=sys.stderr,
+            )
     if args.output == "-":
         print(json.dumps(result, sort_keys=True, indent=2))
-        return 0
+        return guard_rc
     path = args.output or f"BENCH_{time.strftime('%Y%m%d')}.json"
     write_bench(result, path)
     print(f"bench: wrote {path}", file=sys.stderr)
-    return 0
+    return guard_rc
 
 
 def _cmd_call(args: argparse.Namespace) -> int:
@@ -1128,6 +1237,83 @@ def _cmd_call(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos soak against a real fleet; nonzero on any violation."""
+    import json
+
+    from .chaos import (
+        ChaosConfig,
+        describe_timeline,
+        generate_timeline,
+        parse_timeline,
+        run_chaos,
+    )
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    profile = "quick" if args.quick else "full"
+    shards = 2 if args.quick and args.shards == 3 else args.shards
+    duration = 6.0 if args.quick and args.duration == 30.0 else args.duration
+    try:
+        events = (
+            parse_timeline(args.timeline)
+            if args.timeline
+            else generate_timeline(args.seed, shards, duration, profile)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bad_shard = [e for e in events if e.shard >= shards]
+    if bad_shard:
+        print(
+            f"error: timeline targets shard {bad_shard[0].shard} but the "
+            f"fleet has only {shards} shard(s)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.print_timeline:
+        print(
+            f"chaos timeline (seed {args.seed}, {shards} shards, "
+            f"{duration:g}s, profile {profile}):"
+        )
+        for line in describe_timeline(events):
+            print(f"  {line}")
+        return 0
+    report = run_chaos(
+        ChaosConfig(
+            seed=args.seed,
+            shards=shards,
+            duration=duration,
+            profile=profile,
+            events=events,
+        )
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    if report.passed:
+        print(
+            f"chaos ok: seed {report.seed}, {report.shards} shards, "
+            f"{report.iterations} iterations / {report.requests_ok} "
+            f"requests byte-identical to oracle; {report.respawns} "
+            f"respawns, {report.contained} containment(s), "
+            f"{report.reroutes} reroutes, {report.timeouts} stall "
+            f"escalation(s), journal degraded survival="
+            f"{report.journal_degraded}, conservation="
+            f"{report.conservation}",
+            file=sys.stderr,
+        )
+        return 0
+    for failure in report.invariant_failures:
+        print(f"chaos FAILED: {failure}", file=sys.stderr)
+    for note in report.notes:
+        print(f"chaos note: {note}", file=sys.stderr)
+    return 1
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     """Smoke-test the resilience layer with a deterministic faulty batch.
 
@@ -1160,6 +1346,12 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     the first request is SIGKILLed mid-flight; the supervisor must
     respawn it (journal replayed by the successor) and the batch must
     still complete byte-identical to a direct single-process run.
+
+    Phase 6 (skippable with ``--skip-chaos``) runs the quick seeded
+    chaos profile (:func:`repro.chaos.run_chaos`): a 2-shard fleet
+    soaked for ~6s through a worker kill, an armed journal disk fault,
+    and a brief SIGSTOP stall, verifying byte-identical output, counter
+    conservation, readyz truthfulness, and disk-fault survival.
     """
 
     import tempfile
@@ -1429,6 +1621,35 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
             finally:
                 sharded.shutdown(drain=True)
 
+    # ------------------------------------------------------------------
+    # Phase 6: quick seeded chaos soak (kill + disk fault + stall).
+    # ------------------------------------------------------------------
+    chaos_summary = "chaos skipped (--skip-chaos)"
+    if not getattr(args, "skip_chaos", False):
+        from .chaos import ChaosConfig, run_chaos
+
+        chaos_report = run_chaos(
+            ChaosConfig(
+                seed=7,
+                shards=2,
+                duration=6.0,
+                profile="quick",
+                log=lambda message: (
+                    print(f"repro chaos: {message}", file=sys.stderr)
+                    if args.stats
+                    else None
+                ),
+            )
+        )
+        if not chaos_report.passed:
+            for failure in chaos_report.invariant_failures:
+                failures.append(f"chaos: {failure}")
+        chaos_summary = (
+            f"chaos ok ({chaos_report.iterations} iterations "
+            f"byte-identical, {chaos_report.respawns} respawn(s), "
+            f"journal degraded survival={chaos_report.journal_degraded})"
+        )
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -1443,7 +1664,8 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         f"serving ok (protocol {protocol}, byte-identical over HTTP, "
         "lossless drain); "
         f"sharding ok (shard killed mid-batch, {respawns} respawn, "
-        "byte-identical completion)"
+        "byte-identical completion); "
+        f"{chaos_summary}"
     )
     return 0
 
@@ -1470,6 +1692,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_call(args)
     if args.command == "selfcheck":
         return _cmd_selfcheck(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "explain":
         from .core import explain_fusion, explain_intra
 

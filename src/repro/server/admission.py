@@ -21,12 +21,37 @@ lossless for accepted work.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from ..service.cache import LRUCache
+
+
+def jittered_retry_after(
+    base: float, key: str, seed: int = 0, spread: float = 0.5
+) -> float:
+    """Deterministic per-client jitter on a ``Retry-After`` hint.
+
+    After a mass rejection (a shard respawn 503s a burst, a drain turns
+    everyone away) every client holding the *same* hint retries in
+    lockstep and recreates the thundering herd.  Spreading the hint
+    multiplicatively over ``[base, base * (1 + spread)]`` breaks the
+    herd up -- and deriving the offset from ``SHA-256(seed ':' key)``
+    instead of an RNG keeps it reproducible: a given (seed, client)
+    pair always receives the same hint, so responses stay byte-stable
+    for tests and for the chaos harness's oracle comparisons.
+    """
+
+    if base <= 0.0 or spread <= 0.0:
+        return base
+    digest = hashlib.sha256(
+        f"{seed}:{key}".encode("utf-8", "replace")
+    ).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base * (1.0 + spread * fraction)
 
 
 class AdmissionError(Exception):

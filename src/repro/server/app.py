@@ -41,7 +41,12 @@ from ..service.intra_cache import intra_cache_stats
 from ..service.journal import BatchJournal
 from ..service.metrics import CounterRegistry, LatencyReservoir, Stopwatch
 from ..service.report import BatchReport
-from .admission import AdmissionController, AdmissionError, ServerDrainingError
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    ServerDrainingError,
+    jittered_retry_after,
+)
 from .http import HttpResponse, ReproHTTPServer, first_query_value
 from .protocol import protocol_info
 
@@ -180,11 +185,22 @@ def render_metrics_text(stats: Dict[str, Any]) -> str:
             emit(f"{scope}_{name}", stats[scope][name])
     for name, value in stats["engine_counters"].items():
         emit("engine_total", value, f'{{counter="{name}"}}')
+    journal = stats.get("journal")
+    if journal:
+        emit("journal_degraded", 1 if journal.get("degraded") else 0)
+        emit("journal_appended_total", journal.get("appended"))
+        emit("journal_write_errors_total", journal.get("write_errors"))
     shards = stats.get("shards")
     if shards:
         emit("shards_total", shards["count"])
         emit("shards_ready", shards["ready"])
+        emit("shards_failed", shards.get("failed"))
         emit("shards_respawns_total", shards["respawns"])
+        emit("shards_contained_total", shards.get("contained"))
+        emit("shards_timeouts_total", shards.get("timeouts"))
+        emit(
+            "shards_journals_degraded", shards.get("journals_degraded")
+        )
         for shard in shards["shards"]:
             emit(
                 "shard_up",
@@ -227,6 +243,9 @@ class ServerConfig:
     max_body_bytes: int = 8 << 20
     #: Ceiling on requests per analyze call (split bigger batches).
     max_batch_requests: int = 10000
+    #: Seed for the deterministic per-client Retry-After jitter on
+    #: 429/503 responses (see ``admission.jittered_retry_after``).
+    retry_jitter_seed: int = 0
     #: Log per-request access lines to stderr.
     verbose: bool = False
 
@@ -340,6 +359,19 @@ class ServerApp:
         engine.counters = self._base.counters
         engine.breaker = self._base.breaker
         return engine
+
+    def arm_journal_fault(self, mode: str, after: int = 0) -> bool:
+        """Arm a one-shot journal write fault (chaos harness only).
+
+        Returns False when the app runs without a journal.  Reached via
+        the shard worker's env-guarded ``chaos`` op; the injected
+        ``OSError`` then exercises the journal's real degrade path.
+        """
+
+        if self._journal is None:
+            return False
+        self._journal.inject_write_fault(mode, after=after)
+        return True
 
     def load_cache(self, path: str) -> int:
         return self._base.load_cache(path)
@@ -482,7 +514,7 @@ class ServerApp:
                     "another instance",
                     retry_after=DRAIN_RETRY_AFTER,
                 )
-                return self._admission_response(drain)
+                return self._admission_response(drain, client)
             # Accepted: from here the request is guaranteed to complete
             # (the drain waits on this counter).
             self._inflight += 1
@@ -507,7 +539,7 @@ class ServerApp:
                 with self.admission.admit(client):
                     report = self._run(payloads, deadline)
             except AdmissionError as exc:
-                return self._admission_response(exc)
+                return self._admission_response(exc, client)
             return self._report_response(report, single)
         finally:
             self.latency.record(watch.stop())
@@ -557,10 +589,17 @@ class ServerApp:
             self.serving.increment("discrepancies", discrepancies)
         return report
 
-    def _admission_response(self, exc: AdmissionError) -> HttpResponse:
+    def _admission_response(
+        self, exc: AdmissionError, client: str
+    ) -> HttpResponse:
         self.serving.increment(f"http_{exc.status}")
         return HttpResponse.error(
-            exc.status, exc.error_type, str(exc), retry_after=exc.retry_after
+            exc.status,
+            exc.error_type,
+            str(exc),
+            retry_after=jittered_retry_after(
+                exc.retry_after, client, self.config.retry_jitter_seed
+            ),
         )
 
     @staticmethod

@@ -34,14 +34,26 @@ record's request simply gets recomputed.  Undecodable lines earlier in
 the file (real corruption, not a torn tail) are handled the same
 conservative way: everything from the first bad line onward is dropped
 and recomputed, which sacrifices checkpoints, never correctness.
+
+Write failures get the same "never fail the batch" treatment: an
+``OSError`` while appending (ENOSPC, EIO, a read-only remount...) does
+not kill the owning process.  The journal **degrades to loud
+non-durable mode** instead -- the failure is classified
+(:func:`classify_write_error`), logged once at full volume, surfaced in
+:meth:`BatchJournal.stats` (and from there in ``/metrics``), and all
+further appends are dropped while the batch keeps computing.  Results
+stay correct (they are deterministic and recomputable); only crash
+*checkpointing* is lost, which is exactly what the degraded flag tells
+operators to go fix.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .errors import PERMANENT, record_category
 from .locking import FileLockedError, lock_handle
@@ -65,6 +77,39 @@ class JournalVersionError(JournalError):
 
 class JournalExistsError(JournalError):
     """Raised when a journal already exists and resume was not requested."""
+
+
+#: errno -> degraded-mode reason for journal write failures.  Anything
+#: not listed degrades as the generic "os_error"; the point of the map
+#: is that dashboards can tell "disk full" from "dying disk" at a
+#: glance.
+_WRITE_FAILURE_TAXONOMY = {
+    errno.ENOSPC: "disk_full",
+    getattr(errno, "EDQUOT", errno.ENOSPC): "disk_full",
+    errno.EFBIG: "disk_full",
+    errno.EIO: "io_error",
+    errno.EROFS: "read_only",
+}
+
+#: Fault modes :meth:`BatchJournal.inject_write_fault` can arm (the
+#: chaos harness reaches these through the shard worker's ``chaos`` op).
+JOURNAL_FAULT_MODES = ("enospc", "eio")
+
+_FAULT_ERRNO = {"enospc": errno.ENOSPC, "eio": errno.EIO}
+
+
+def classify_write_error(exc: OSError) -> str:
+    """The degraded-mode reason string for a journal write failure."""
+    code = getattr(exc, "errno", None)
+    if code in _WRITE_FAILURE_TAXONOMY:
+        return _WRITE_FAILURE_TAXONOMY[code]
+    return "os_error"
+
+
+def _default_log(message: str) -> None:
+    import sys
+
+    print(f"repro journal: {message}", file=sys.stderr, flush=True)
 
 
 class JournalLockedError(JournalError):
@@ -111,17 +156,33 @@ class BatchJournal:
     fsync:
         fsync after every completion record (the write-ahead guarantee).
         Disable only in tests that hammer thousands of appends.
+    log:
+        Where degraded-mode announcements go (defaults to stderr).
     """
 
-    def __init__(self, path: str, resume: bool = False, fsync: bool = True):
+    def __init__(
+        self,
+        path: str,
+        resume: bool = False,
+        fsync: bool = True,
+        log: Optional[Callable[[str], None]] = None,
+    ):
         self.path = os.path.abspath(path)
         self.fsync = fsync
+        self._log = log if log is not None else _default_log
         #: Replayable durable records by request key, in journal order.
         self.completed: Dict[str, Dict[str, Any]] = {}
         #: Lines dropped by torn-tail / corruption recovery on open.
         self.recovered_drops = 0
         #: Completion records appended by *this* process.
         self.appended = 0
+        #: True once a write failure switched the journal to loud
+        #: non-durable mode; appends are dropped but never raise.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.degraded_errno: Optional[int] = None
+        self.write_errors = 0
+        self._armed_fault: Optional[Tuple[str, int]] = None
         self._handle = None
         if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
             if not resume:
@@ -254,7 +315,7 @@ class BatchJournal:
 
         if not _durable(record):
             return False
-        self._write_line(
+        written = self._write_line(
             {
                 "type": "completion",
                 "key": key,
@@ -265,9 +326,13 @@ class BatchJournal:
             },
             sync=self.fsync,
         )
+        # The in-memory replay map stays current even in degraded mode:
+        # this process still answers repeats correctly, it just cannot
+        # promise the answer survives a crash.
         self.completed[key] = record
-        self.appended += 1
-        return True
+        if written:
+            self.appended += 1
+        return written
 
     def heartbeat(self, completed: int, note: str = "") -> None:
         """Advisory progress timestamp (flushed, not fsync'd)."""
@@ -281,29 +346,99 @@ class BatchJournal:
             sync=False,
         )
 
-    def _write_line(self, payload: Dict[str, Any], sync: bool) -> None:
+    def _write_line(self, payload: Dict[str, Any], sync: bool) -> bool:
+        """Append one line; returns False (never raises) when degraded.
+
+        Any ``OSError`` from write/flush/fsync -- a full disk, a dying
+        device, a read-only remount -- flips the journal into loud
+        non-durable mode instead of propagating: durability is a
+        *checkpointing* promise, and losing it must never take down the
+        worker that was about to produce a perfectly good answer.
+        """
+
         if self._handle is None:
             raise JournalError(f"journal {self.path!r} is closed")
+        if self.degraded:
+            return False
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line.encode("utf-8") + b"\n")
-        self._handle.flush()
-        if sync:
-            os.fsync(self._handle.fileno())
+        try:
+            self._maybe_inject_fault()
+            self._handle.write(line.encode("utf-8") + b"\n")
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            self._degrade(exc)
+            return False
+        return True
+
+    def _degrade(self, exc: OSError) -> None:
+        """Enter loud non-durable mode after a write failure."""
+        self.write_errors += 1
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_reason = classify_write_error(exc)
+        self.degraded_errno = getattr(exc, "errno", None)
+        self._log(
+            f"DEGRADED to non-durable mode: {self.path!r} append failed "
+            f"({self.degraded_reason}: {exc}); results stay correct but "
+            "are no longer crash-checkpointed -- free disk space / fix "
+            "the volume and restart to restore durability"
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos harness / tests only)
+    # ------------------------------------------------------------------
+    def inject_write_fault(self, mode: str, after: int = 0) -> None:
+        """Arm a one-shot write failure ``after`` successful appends.
+
+        ``mode`` is one of :data:`JOURNAL_FAULT_MODES`; the armed fault
+        raises the matching ``OSError`` inside the next append, which
+        exercises the real degrade path end to end.  Reached from the
+        chaos harness through the shard worker's env-guarded ``chaos``
+        op; production code never calls this.
+        """
+
+        if mode not in _FAULT_ERRNO:
+            raise ValueError(
+                f"unknown journal fault mode {mode!r}; "
+                f"expected one of {JOURNAL_FAULT_MODES}"
+            )
+        self._armed_fault = (mode, max(0, int(after)))
+
+    def _maybe_inject_fault(self) -> None:
+        if self._armed_fault is None:
+            return
+        mode, countdown = self._armed_fault
+        if countdown > 0:
+            self._armed_fault = (mode, countdown - 1)
+            return
+        self._armed_fault = None
+        code = _FAULT_ERRNO[mode]
+        raise OSError(code, f"injected journal fault ({mode})")
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:
-        if self._handle is not None:
+        if self._handle is None or self.degraded:
+            return
+        try:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+        except OSError as exc:
+            self._degrade(exc)
 
     def close(self) -> None:
         if self._handle is not None:
             try:
                 self.flush()
             finally:
-                self._handle.close()
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass  # a degraded handle may fail its final flush
                 self._handle = None
 
     @property
@@ -320,10 +455,13 @@ class BatchJournal:
         return len(self.completed)
 
     def stats(self) -> Dict[str, Any]:
-        """Summary dict for reports: path, counts, recovery info."""
+        """Summary dict for reports: path, counts, recovery + health."""
         return {
             "path": self.path,
             "completed": len(self.completed),
             "appended": self.appended,
             "recovered_drops": self.recovered_drops,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "write_errors": self.write_errors,
         }

@@ -11,7 +11,11 @@ checks workers and respawns a dead one into its slot -- the successor
 re-locks and replays the victim's journal, so a SIGKILL mid-batch costs
 latency, never data.  ``/stats`` and ``/metrics`` aggregate across the
 fleet (counters summed, latency reservoirs merged deterministically);
-``/readyz`` reports ``degraded`` while a slot respawns.
+``/readyz`` reports ``degraded`` (and enumerates the afflicted slots)
+while a slot respawns or sits quarantined.  A crash-looping slot is
+*contained* by :class:`~repro.shard.supervisor.RespawnPolicy` -- after
+too many rapid deaths it is marked ``failed`` and its keys reroute to
+the next-highest rendezvous-scored survivors until recovery.
 
 Quick start::
 
@@ -25,6 +29,7 @@ Quick start::
 
 from .hashing import (
     assignment_counts,
+    rendezvous_fallback,
     rendezvous_ranking,
     rendezvous_score,
     rendezvous_shard,
@@ -46,6 +51,7 @@ from .router import (
     shard_server_config,
 )
 from .supervisor import (
+    RespawnPolicy,
     ShardBootError,
     ShardHandle,
     ShardOpError,
@@ -54,6 +60,7 @@ from .supervisor import (
 )
 
 __all__ = [
+    "RespawnPolicy",
     "SHARD_IPC_VERSION",
     "SHARD_RETRY_AFTER",
     "ShardBootError",
@@ -67,6 +74,7 @@ __all__ = [
     "ShardedApp",
     "ShardedServer",
     "assignment_counts",
+    "rendezvous_fallback",
     "rendezvous_ranking",
     "rendezvous_score",
     "rendezvous_shard",

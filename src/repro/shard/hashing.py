@@ -23,7 +23,7 @@ placement is stable across processes, Python versions, and
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 #: Separator between shard label and key inside the scored digest input;
 #: NUL cannot appear in either, so concatenation is unambiguous.
@@ -88,6 +88,26 @@ def rendezvous_ranking(key: str, shard_count: int) -> List[int]:
         for index in range(shard_count)
     ]
     return [-neg for _, neg in sorted(scored, reverse=True)]
+
+
+def rendezvous_fallback(
+    key: str, shard_count: int, excluded: Iterable[int] = ()
+) -> Optional[int]:
+    """The best-ranked live shard for ``key``, skipping ``excluded``.
+
+    This is the next-highest-score fallback the router uses to reroute
+    a quarantined (``failed``) slot's keys: with nothing excluded it is
+    exactly :func:`rendezvous_shard`; excluding the owner yields
+    ``ranking[1]``, and so on down the ranking.  Returns ``None`` when
+    every shard is excluded -- the caller decides what "no survivors"
+    means (the router answers 503).
+    """
+
+    blocked = set(excluded)
+    for index in rendezvous_ranking(key, shard_count):
+        if index not in blocked:
+            return index
+    return None
 
 
 def assignment_counts(keys: Sequence[str], shard_count: int) -> List[int]:

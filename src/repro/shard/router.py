@@ -26,7 +26,12 @@ Failure path: a dead shard surfaces as a connection error inside step 3;
 the supervisor respawns the slot (journal replayed by the successor) and
 the whole sub-batch is re-sent.  Replayed completions come back
 byte-identical from the journal and the rest recompute, so a SIGKILL
-mid-batch costs latency, never data.
+mid-batch costs latency, never data.  When a slot is *quarantined*
+(crash-loop containment marked it ``failed``) or stays unavailable
+through the retry budget, its slice is **rerouted** to the next-highest
+rendezvous-scored survivor (:func:`~repro.shard.hashing
+.rendezvous_fallback`) -- results are deterministic on any shard, so
+rerouting moves latency and cache locality, never bytes.
 
 Aggregation: ``/stats`` and ``/metrics`` merge every live shard's
 rollups -- exact counters add, latency reservoirs merge with the
@@ -43,12 +48,22 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..server.admission import (
     AdmissionController,
     AdmissionError,
     ServerDrainingError,
+    jittered_retry_after,
 )
 from ..server.app import (
     DRAIN_RETRY_AFTER,
@@ -62,9 +77,14 @@ from ..server.http import HttpResponse, ReproHTTPServer, first_query_value
 from ..server.protocol import protocol_info
 from ..service.metrics import CounterRegistry, LatencyReservoir, Stopwatch
 from ..service.requests import RequestError, parse_request, request_key
-from .hashing import rendezvous_shard, shard_label
-from .ipc import ShardIPCError
-from .supervisor import ShardBootError, ShardOpError, ShardSupervisor
+from .hashing import rendezvous_fallback, shard_label
+from .ipc import ShardConnectionError, ShardIPCError
+from .supervisor import (
+    RespawnPolicy,
+    ShardBootError,
+    ShardOpError,
+    ShardSupervisor,
+)
 
 #: Retry-After handed out when a shard stays unavailable through retries.
 SHARD_RETRY_AFTER = 2.0
@@ -145,6 +165,8 @@ class ShardedApp:
         health_interval: float = 0.5,
         dispatch_attempts: int = 3,
         boot_timeout: float = 60.0,
+        op_timeout: Optional[float] = 300.0,
+        respawn_policy: Optional[RespawnPolicy] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -159,6 +181,8 @@ class ShardedApp:
             health_interval=health_interval,
             boot_timeout=boot_timeout,
             dispatch_attempts=dispatch_attempts,
+            op_timeout=op_timeout,
+            respawn_policy=respawn_policy,
             log=self.log,
         )
         self.admission = AdmissionController(
@@ -271,9 +295,12 @@ class ShardedApp:
         """Per-shard readiness: ready / degraded / draining.
 
         The tier keeps serving while a shard respawns (its keyspace
-        slice just rides the retry path), so a mid-respawn tier is
-        ``degraded``, not down -- load balancers can keep it in rotation
-        and dashboards still see the event.
+        slice just rides the retry path) or is quarantined (its keys
+        reroute to survivors), so such a tier is ``degraded``, not down
+        -- load balancers can keep it in rotation and dashboards still
+        see the event.  ``degraded_slots`` names each unhealthy slot
+        (index, state, generation, respawn count) so an operator can
+        tell "slot 2 is crash-looping" from a bare "degraded" string.
         """
 
         if self.draining:
@@ -284,11 +311,21 @@ class ShardedApp:
                 retry_after=DRAIN_RETRY_AFTER,
             )
         shards = self.supervisor.snapshot()
-        degraded = shards["ready"] < shards["count"]
+        degraded_slots = [
+            {
+                "shard": detail["shard"],
+                "state": detail["state"],
+                "generation": detail["generation"],
+                "respawns": detail["respawns"],
+            }
+            for detail in shards["shards"]
+            if detail["state"] != "ready"
+        ]
         return HttpResponse.json(
             {
                 "ready": True,
-                "status": "degraded" if degraded else "ok",
+                "status": "degraded" if degraded_slots else "ok",
+                "degraded_slots": degraded_slots,
                 "shards": shards,
             }
         )
@@ -301,6 +338,7 @@ class ShardedApp:
         engine_counters: Dict[str, Any] = {}
         merged_latency = LatencyReservoir()
         shard_details: List[Dict[str, Any]] = []
+        journals_degraded = 0
         # Shard-id order: LatencyReservoir.merge is order-sensitive by
         # design, and a fixed order keeps aggregate percentiles
         # reproducible across scrapes of identical state.
@@ -317,6 +355,8 @@ class ShardedApp:
             stats = reply.get("stats") or {}
             detail["stats"] = stats
             shard_details.append(detail)
+            if (stats.get("journal") or {}).get("degraded"):
+                journals_degraded += 1
             _merge_counter_dicts(serving, stats.get("serving") or {})
             _merge_counter_dicts(cache, stats.get("cache") or {})
             _merge_counter_dicts(intra_cache, stats.get("intra_cache") or {})
@@ -334,6 +374,7 @@ class ShardedApp:
             )
         shards = self.supervisor.snapshot()
         shards["shards"] = shard_details
+        shards["journals_degraded"] = journals_degraded
         return {
             "protocol": protocol_info(),
             "uptime_seconds": round(self.uptime.elapsed(), 3),
@@ -386,7 +427,7 @@ class ShardedApp:
                     "another instance",
                     retry_after=DRAIN_RETRY_AFTER,
                 )
-                return self._admission_response(drain)
+                return self._admission_response(drain, client)
             self._inflight += 1
         try:
             try:
@@ -414,19 +455,24 @@ class ShardedApp:
                 with self.admission.admit(client):
                     records, counts = self._dispatch(payloads, deadline)
             except AdmissionError as exc:
-                return self._admission_response(exc)
+                return self._admission_response(exc, client)
             except ShardOpError as exc:
                 self.serving.increment("shard_op_errors")
                 return HttpResponse.error(500, "ShardOpError", str(exc))
             except (ShardIPCError, ShardBootError) as exc:
-                # Retries and a respawn attempt are already behind us;
-                # whatever is wrong needs longer than this request has.
+                # Retries, a respawn attempt, and rerouting are already
+                # behind us; whatever is wrong needs longer than this
+                # request has.
                 self.serving.increment("shard_unavailable")
                 return HttpResponse.error(
                     503,
                     "ShardUnavailableError",
                     f"a shard stayed unavailable through respawn: {exc}",
-                    retry_after=SHARD_RETRY_AFTER,
+                    retry_after=jittered_retry_after(
+                        SHARD_RETRY_AFTER,
+                        client,
+                        self.config.retry_jitter_seed,
+                    ),
                 )
             return self._records_response(records, counts, single)
         finally:
@@ -435,22 +481,39 @@ class ShardedApp:
                 if self._inflight == 0:
                     self._idle.notify_all()
 
+    def _route(self, key: str, excluded: Iterable[int] = ()) -> int:
+        """The shard that should serve ``key`` right now.
+
+        Quarantined (``failed``) slots are always excluded; callers add
+        shards that just failed mid-dispatch.  Raises
+        :class:`ShardConnectionError` when no serviceable shard remains.
+        """
+
+        blocked = set(excluded)
+        for index, handle in enumerate(self.supervisor.handles):
+            if handle.state == "failed":
+                blocked.add(index)
+        index = rendezvous_fallback(key, self.shards, blocked)
+        if index is None:
+            raise ShardConnectionError(
+                f"no serviceable shard: all {self.shards} slots are "
+                "failed or unreachable"
+            )
+        return index
+
     def _dispatch(
         self,
         payloads: List[Payload],
         deadline: Optional[float],
     ) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
-        """Route, fan out, reassemble -- the heart of the tier.
+        """Route, fan out, reroute, reassemble -- the heart of the tier.
 
         Returns the result records *in global input order* plus the
-        summed report counters.  Raises the shard failure taxonomy when
-        a slice cannot be served even after respawn + retry.
+        summed report counters.  A slice whose shard stays unavailable
+        through respawn + retry is rerouted to the next rendezvous
+        choice; only when every slot is exhausted does the shard failure
+        taxonomy propagate to the caller.
         """
-
-        groups: Dict[int, List[Tuple[int, Payload]]] = {}
-        for position, payload in enumerate(payloads):
-            shard = rendezvous_shard(routing_key(payload), self.shards)
-            groups.setdefault(shard, []).append((position, payload))
 
         records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
         counts = {
@@ -490,22 +553,57 @@ class ShardedApp:
                 for name in counts:
                     counts[name] += int(reply.get(name) or 0)
 
-        ordered = sorted(groups.items())
-        if len(ordered) == 1:
-            run_shard(*ordered[0])
-        else:
-            with ThreadPoolExecutor(
-                max_workers=len(ordered),
-                thread_name_prefix="repro-shard-dispatch",
-            ) as pool:
-                futures = [
-                    pool.submit(run_shard, shard, items)
-                    for shard, items in ordered
-                ]
-                # Surface the first failure; remaining futures finish
-                # (their shards are independent) before the pool exits.
-                for future in futures:
-                    future.result()
+        pending: List[Tuple[int, Payload]] = list(enumerate(payloads))
+        excluded: set = set()
+        last_error: Optional[Exception] = None
+        while pending:
+            if len(excluded) >= self.shards:
+                raise last_error or ShardConnectionError(
+                    "no serviceable shard remains"
+                )
+            groups: Dict[int, List[Tuple[int, Payload]]] = {}
+            for position, payload in pending:
+                shard = self._route(routing_key(payload), excluded)
+                groups.setdefault(shard, []).append((position, payload))
+            pending = []
+
+            def attempt(shard: int, items: List[Tuple[int, Payload]]) -> None:
+                nonlocal last_error
+                try:
+                    run_shard(shard, items)
+                except (ShardIPCError, ShardBootError) as exc:
+                    # This shard is out for the round: exclude it and
+                    # requeue its slice for the next-ranked survivor.
+                    # ShardOpError deliberately propagates -- the worker
+                    # answered; re-asking elsewhere would not help.
+                    with counts_lock:
+                        last_error = exc
+                        excluded.add(shard)
+                        pending.extend(items)
+
+            ordered = sorted(groups.items())
+            if len(ordered) == 1:
+                attempt(*ordered[0])
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=len(ordered),
+                    thread_name_prefix="repro-shard-dispatch",
+                ) as pool:
+                    futures = [
+                        pool.submit(attempt, shard, items)
+                        for shard, items in ordered
+                    ]
+                    # Surface the first ShardOpError; remaining futures
+                    # finish (their shards are independent) before the
+                    # pool exits.
+                    for future in futures:
+                        future.result()
+            if pending:
+                self.serving.increment("shard_reroutes", len(pending))
+                self.log(
+                    f"rerouting {len(pending)} payload(s) away from "
+                    f"unavailable shard(s) {sorted(excluded)}"
+                )
         assert all(record is not None for record in records)
         return records, counts  # type: ignore[return-value]
 
@@ -541,10 +639,17 @@ class ShardedApp:
         )
         return HttpResponse.ndjson(lines, headers=headers)
 
-    def _admission_response(self, exc: AdmissionError) -> HttpResponse:
+    def _admission_response(
+        self, exc: AdmissionError, client: str
+    ) -> HttpResponse:
         self.serving.increment(f"http_{exc.status}")
         return HttpResponse.error(
-            exc.status, exc.error_type, str(exc), retry_after=exc.retry_after
+            exc.status,
+            exc.error_type,
+            str(exc),
+            retry_after=jittered_retry_after(
+                exc.retry_after, client, self.config.retry_jitter_seed
+            ),
         )
 
 
@@ -565,6 +670,8 @@ class ShardedServer:
         health_interval: float = 0.5,
         dispatch_attempts: int = 3,
         boot_timeout: float = 60.0,
+        op_timeout: Optional[float] = 300.0,
+        respawn_policy: Optional[RespawnPolicy] = None,
     ):
         self.config = config or ServerConfig()
         self.app = ShardedApp(
@@ -575,6 +682,8 @@ class ShardedServer:
             health_interval=health_interval,
             dispatch_attempts=dispatch_attempts,
             boot_timeout=boot_timeout,
+            op_timeout=op_timeout,
+            respawn_policy=respawn_policy,
         )
         # Boot the fleet before the listener: a tier that cannot serve
         # its keyspace must fail loudly instead of accepting requests.

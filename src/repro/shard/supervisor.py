@@ -22,6 +22,18 @@ lock it can take without blocking.  A busy shard (lock held by a
 dispatch thread) is *working*, not dead -- and if it died mid-call, the
 dispatch thread holding the lock gets the broken pipe first and handles
 it.  This keeps slow analyze calls from being misdiagnosed as hangs.
+
+Respawning is **contained**, not unconditional
+(:class:`RespawnPolicy`): a first death respawns immediately, rapid
+repeat deaths back off exponentially (the spawn is deferred to the
+monitor sweep), and once a slot dies more than ``max_rapid_deaths``
+times inside ``death_window`` seconds it is quarantined as ``failed``
+-- the router reroutes its keys to survivors via the rendezvous
+ranking while the monitor periodically attempts recovery and re-admits
+the slot once a successor boots cleanly.  A *stalled* worker (alive
+but silent past the supervisor's ``op_timeout``, e.g. SIGSTOPped) is
+escalated down the same path: the dispatch thread's timeout kills and
+respawns it instead of hanging forever.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import multiprocessing
 import os
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..server.app import ServerConfig
@@ -50,6 +63,34 @@ SHARD_STATES = ("starting", "ready", "respawning", "failed", "stopped")
 
 class ShardBootError(RuntimeError):
     """A shard worker failed to boot (bad config, locked journal...)."""
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """Crash-loop containment knobs for one shard slot.
+
+    ``backoff_base`` doubles per rapid death up to ``backoff_max``
+    between respawn attempts; more than ``max_rapid_deaths`` deaths
+    within ``death_window`` seconds quarantines the slot as ``failed``
+    (keys reroute to survivors) until a recovery attempt, retried every
+    ``failed_retry_interval`` seconds, boots a successor cleanly.
+    """
+
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    max_rapid_deaths: int = 5
+    death_window: float = 30.0
+    failed_retry_interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.max_rapid_deaths < 1:
+            raise ValueError("max_rapid_deaths must be at least 1")
+        if self.death_window <= 0:
+            raise ValueError("death_window must be positive")
+        if self.failed_retry_interval <= 0:
+            raise ValueError("failed_retry_interval must be positive")
 
 
 def _default_log(message: str) -> None:
@@ -75,12 +116,14 @@ class ShardHandle:
         context: multiprocessing.context.BaseContext,
         boot_timeout: float = 60.0,
         log: Callable[[str], None] = _default_log,
+        policy: Optional[RespawnPolicy] = None,
     ):
         self.index = index
         self.label = shard_label(index)
         self.config = config
         self.cache_file = cache_file
         self.boot_timeout = boot_timeout
+        self.policy = policy or RespawnPolicy()
         #: Bumped on every successful (re)spawn; dispatchers quote the
         #: generation they saw die so only one of them respawns it.
         self.generation = 0
@@ -88,6 +131,17 @@ class ShardHandle:
         self.state = "starting"
         self.pid: Optional[int] = None
         self.started_replay = 0
+        #: Monotonic timestamps of deaths inside the containment window.
+        self.deaths: List[float] = []
+        #: Times the crash-loop containment quarantined this slot.
+        self.contained = 0
+        #: Ops escalated for stalling past the supervisor's op timeout.
+        self.timeouts = 0
+        self.next_respawn_at = 0.0
+        self.failed_retry_at = 0.0
+        #: Chaos-harness hook: extra latency injected before each op's
+        #: send, simulating a slow/congested pipe.  Always 0 in prod.
+        self.ipc_delay = 0.0
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.conn: Any = None
         self._context = context
@@ -146,29 +200,152 @@ class ShardHandle:
             )
 
     def respawn(self, seen_generation: int) -> bool:
-        """Replace a dead worker; returns whether *this* call did it.
+        """Bury a dead (or stalled) worker; maybe boot a successor.
 
-        ``seen_generation`` is the generation the caller observed failing.
-        If another thread already respawned (generation moved on), this is
-        a no-op and the caller just retries against the successor.
+        ``seen_generation`` is the generation the caller observed
+        failing.  If another thread already claimed that death
+        (generation moved on, or the corpse is already buried), this is
+        a no-op and the caller just retries against the slot's current
+        state.
+
+        Containment (:class:`RespawnPolicy`) decides what the claim
+        does: a first death respawns inline; rapid repeats defer the
+        spawn behind an exponential backoff (the health monitor boots
+        it when due); too many rapid deaths quarantine the slot as
+        ``failed``.  Returns ``True`` only when *this* call booted a
+        live successor.
         """
 
         with self._lock:
             if self.generation != seen_generation:
                 return False
-            self.state = "respawning"
+            if self.state == "failed":
+                return False
+            if self.process is None and self.conn is None:
+                return False  # death already claimed; spawn is deferred
             self.respawns += 1
+            self._reap()
+            self.generation += 1
+            now = time.monotonic()
+            self.deaths = [
+                t for t in self.deaths
+                if now - t <= self.policy.death_window
+            ]
+            self.deaths.append(now)
+            if len(self.deaths) > self.policy.max_rapid_deaths:
+                self._contain(now, seen_generation)
+                return False
+            delay = self._backoff_delay(len(self.deaths))
+            self.state = "respawning"
+            if delay > 0.0:
+                self.next_respawn_at = now + delay
+                self._log(
+                    f"{self.label} died (generation {seen_generation}, "
+                    f"death {len(self.deaths)}/"
+                    f"{self.policy.max_rapid_deaths} in window); "
+                    f"respawn backed off {delay:.2f}s"
+                )
+                return False
             self._log(
                 f"{self.label} died (generation {seen_generation}); "
                 "respawning"
             )
-            self._reap()
-            self.generation += 1
             try:
                 self.start()
-            except BaseException:
+            except ShardBootError as exc:
+                self.state = "respawning"
+                self.next_respawn_at = now + max(
+                    self.policy.backoff_base, 0.1
+                )
+                self._log(
+                    f"{self.label} successor failed to boot ({exc}); "
+                    "deferred to the health monitor"
+                )
+                return False
+            return True
+
+    def _contain(self, now: float, seen_generation: int) -> None:
+        """Quarantine a crash-looping slot (lock held)."""
+        self.contained += 1
+        self.state = "failed"
+        self.failed_retry_at = now + self.policy.failed_retry_interval
+        self._log(
+            f"{self.label} died {len(self.deaths)} times within "
+            f"{self.policy.death_window:.0f}s (generation "
+            f"{seen_generation}); crash loop CONTAINED -- slot failed, "
+            "keys reroute to survivors, recovery attempt in "
+            f"{self.policy.failed_retry_interval:.1f}s"
+        )
+
+    def _backoff_delay(self, recent_deaths: int) -> float:
+        """Exponential backoff before the Nth rapid respawn (0 = now)."""
+        if recent_deaths <= 1:
+            return 0.0
+        return min(
+            self.policy.backoff_max,
+            self.policy.backoff_base * (2.0 ** (recent_deaths - 2)),
+        )
+
+    def try_deferred_start(self) -> bool:
+        """Boot a backoff-deferred successor when due (monitor hook)."""
+        with self._lock:
+            if self.state != "respawning" or self.process is not None:
+                return False
+            now = time.monotonic()
+            if now < self.next_respawn_at:
+                return False
+            try:
+                self.start()
+            except ShardBootError as exc:
+                now = time.monotonic()
+                self.deaths = [
+                    t for t in self.deaths
+                    if now - t <= self.policy.death_window
+                ]
+                self.deaths.append(now)
+                if len(self.deaths) > self.policy.max_rapid_deaths:
+                    self._contain(now, self.generation)
+                else:
+                    self.state = "respawning"
+                    self.next_respawn_at = now + self._backoff_delay(
+                        max(2, len(self.deaths))
+                    )
+                    self._log(
+                        f"{self.label} deferred respawn failed ({exc}); "
+                        "backing off again"
+                    )
+                return False
+            return True
+
+    def attempt_recovery(self) -> bool:
+        """Re-admit a quarantined (``failed``) slot once its timer lapses.
+
+        A clean successor boot clears the death history and returns the
+        slot to ``ready`` -- the router's rendezvous ranking then sends
+        its keys home again.  A failed boot re-arms the retry timer.
+        """
+
+        with self._lock:
+            if self.state != "failed":
+                return False
+            if time.monotonic() < self.failed_retry_at:
+                return False
+            self._log(f"{self.label} attempting recovery of failed slot")
+            try:
+                self.start()
+            except ShardBootError as exc:
                 self.state = "failed"
-                raise
+                self.failed_retry_at = (
+                    time.monotonic() + self.policy.failed_retry_interval
+                )
+                self._log(
+                    f"{self.label} recovery failed ({exc}); next attempt "
+                    f"in {self.policy.failed_retry_interval:.1f}s"
+                )
+                return False
+            self.deaths = []
+            self.next_respawn_at = 0.0
+            self._log(f"{self.label} recovered; slot re-admitted")
             return True
 
     def _reap(self) -> None:
@@ -213,6 +390,8 @@ class ShardHandle:
         with self._lock:
             if self.conn is None:
                 raise ShardConnectionError(f"{self.label} is not running")
+            if self.ipc_delay > 0.0:
+                time.sleep(self.ipc_delay)  # chaos: simulated slow pipe
             self._seq += 1
             seq = self._seq
             send_message(self.conn, {"op": op, "seq": seq, **fields})
@@ -264,6 +443,9 @@ class ShardHandle:
             "pid": self.pid,
             "generation": self.generation,
             "respawns": self.respawns,
+            "rapid_deaths": len(self.deaths),
+            "contained": self.contained,
+            "timeouts": self.timeouts,
             "journal_replayed_at_boot": self.started_replay,
         }
 
@@ -295,16 +477,25 @@ class ShardSupervisor:
         health_interval: float = 0.5,
         boot_timeout: float = 60.0,
         dispatch_attempts: int = 3,
+        op_timeout: Optional[float] = None,
+        respawn_policy: Optional[RespawnPolicy] = None,
         log: Callable[[str], None] = _default_log,
     ):
         if shard_count < 1:
             raise ValueError("shard_count must be at least 1")
         if dispatch_attempts < 1:
             raise ValueError("dispatch_attempts must be at least 1")
+        if op_timeout is not None and op_timeout <= 0:
+            raise ValueError("op_timeout must be positive (or None)")
         self.shard_count = shard_count
         self.dispatch_attempts = dispatch_attempts
         self.health_interval = health_interval
+        #: Default per-op IPC deadline; a shard that is alive but silent
+        #: past this (SIGSTOPped, livelocked) is escalated -- killed and
+        #: respawned -- instead of hanging the dispatch thread forever.
+        self.op_timeout = op_timeout
         self._log = log
+        policy = respawn_policy or RespawnPolicy()
         context = multiprocessing.get_context(start_method)
         self.handles: List[ShardHandle] = [
             ShardHandle(
@@ -314,6 +505,7 @@ class ShardSupervisor:
                 context,
                 boot_timeout=boot_timeout,
                 log=log,
+                policy=policy,
             )
             for index in range(shard_count)
         ]
@@ -373,6 +565,8 @@ class ShardSupervisor:
         """
 
         handle = self.handles[shard_index]
+        if timeout is None:
+            timeout = self.op_timeout
         last: Optional[ShardIPCError] = None
         for _ in range(self.dispatch_attempts):
             seen = handle.generation
@@ -380,13 +574,25 @@ class ShardSupervisor:
                 return handle.call(op, timeout=timeout, **fields)
             except ShardOpError:
                 raise
+            except ShardTimeoutError as exc:
+                # Alive but silent: after a timeout the reply stream is
+                # unusable (the answer may still arrive later), so the
+                # stall escalates exactly like a death -- the respawn
+                # path SIGKILLs the stuck process and boots a successor.
+                handle.timeouts += 1
+                last = exc
+                self._log(
+                    f"{handle.label} {op} stalled ({exc}); escalating: "
+                    "killing the stuck worker and respawning"
+                )
+                handle.respawn(seen)
             except ShardIPCError as exc:
                 last = exc
                 self._log(
                     f"{handle.label} {op} failed ({exc}); "
                     "respawning and retrying"
                 )
-                handle.respawn(seen)  # ShardBootError propagates: fatal
+                handle.respawn(seen)
         raise last if last is not None else ShardConnectionError(
             f"{handle.label} unavailable"
         )
@@ -399,22 +605,29 @@ class ShardSupervisor:
             for handle in self.handles:
                 if self._monitor_stop.is_set():
                     return
-                if handle.state != "ready":
-                    continue
-                process = handle.process
-                dead = process is not None and not process.is_alive()
-                if not dead:
-                    verdict = handle.try_ping(timeout=10.0)
-                    dead = verdict is False
-                if dead:
-                    try:
-                        handle.respawn(handle.generation)
-                    except BaseException as exc:
-                        self._log(
-                            f"{handle.label} respawn failed: {exc}; "
-                            "will retry on next sweep"
-                        )
-                        handle.state = "respawning"
+                try:
+                    self._sweep_handle(handle)
+                except BaseException as exc:
+                    self._log(
+                        f"{handle.label} monitor sweep failed: {exc}; "
+                        "will retry on next sweep"
+                    )
+
+    def _sweep_handle(self, handle: ShardHandle) -> None:
+        """One monitor pass over one slot: heal, boot deferred, recover."""
+        state = handle.state
+        if state == "ready":
+            process = handle.process
+            dead = process is not None and not process.is_alive()
+            if not dead:
+                verdict = handle.try_ping(timeout=10.0)
+                dead = verdict is False
+            if dead:
+                handle.respawn(handle.generation)
+        elif state == "respawning":
+            handle.try_deferred_start()
+        elif state == "failed":
+            handle.attempt_recovery()
 
     # ------------------------------------------------------------------
     # Observability
@@ -424,7 +637,10 @@ class ShardSupervisor:
         return {
             "count": self.shard_count,
             "ready": sum(1 for s in states if s["state"] == "ready"),
+            "failed": sum(1 for s in states if s["state"] == "failed"),
             "respawns": sum(s["respawns"] for s in states),
+            "contained": sum(s["contained"] for s in states),
+            "timeouts": sum(s["timeouts"] for s in states),
             "shards": states,
         }
 

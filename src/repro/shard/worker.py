@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional
 
 from ..server.app import ServerApp, ServerConfig
 from ..server.protocol import protocol_info
+from ..service.faults import FAULTS_GUARD_ENV
 from .hashing import shard_label
 from .ipc import (
     SHARD_IPC_VERSION,
@@ -74,6 +75,37 @@ def _analyze_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
         "certified": report.certified,
         "discrepancies": len(report.discrepancies()),
     }
+
+
+def _chaos_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
+    """Arm an in-worker fault for the chaos harness (guarded, explicit).
+
+    Refuses outright unless ``REPRO_ENABLE_FAULT_INJECTION=1`` was in the
+    worker's environment at boot -- production fleets cannot be chaos'd
+    by a stray request.  Currently supports arming journal write faults
+    (``{"journal": {"mode": "enospc"|"eio", "after": N}}``).
+    """
+
+    if os.environ.get(FAULTS_GUARD_ENV) != "1":
+        raise PermissionError(
+            f"chaos op refused: set {FAULTS_GUARD_ENV}=1 to enable "
+            "fault injection"
+        )
+    armed: Dict[str, Any] = {}
+    journal = message.get("journal")
+    if journal is not None:
+        if not isinstance(journal, dict):
+            raise ValueError("chaos journal spec must be a mapping")
+        mode = journal.get("mode")
+        after = int(journal.get("after", 0))
+        if app.arm_journal_fault(mode, after=after):
+            armed["journal"] = {"mode": mode, "after": after}
+        else:
+            raise ValueError(
+                "no journal configured on this shard; cannot arm a "
+                "journal fault"
+            )
+    return {"ok": True, "armed": armed, "pid": os.getpid()}
 
 
 def _stats_reply(app: ServerApp, shard_index: int) -> Dict[str, Any]:
@@ -197,6 +229,8 @@ def shard_worker_main(
                     reply = _stats_reply(app, shard_index)
                 elif op == "ping":
                     reply = {"ok": True, "pong": True, "pid": os.getpid()}
+                elif op == "chaos":
+                    reply = _chaos_reply(app, message)
                 elif op == "drain":
                     persist()
                     send_message(conn, {"seq": seq, "ok": True, "drained": True})

@@ -1,0 +1,271 @@
+"""The chaos layer: seeded schedules, jitter, fallback routing, harness.
+
+Unit-level coverage for the deterministic pieces (timeline generation
+and grammar, Retry-After jitter, rendezvous fallback, the bench
+regression guard) plus one real quick-profile soak through
+:func:`repro.chaos.run_chaos` -- worker kills, a journal disk fault,
+and a SIGSTOP stall against a live 2-shard fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import check_regression
+from repro.chaos import (
+    CHAOS_GRID,
+    ChaosConfig,
+    ChaosEvent,
+    churn_payload,
+    describe_timeline,
+    format_event,
+    format_timeline,
+    generate_timeline,
+    oracle_jsonl,
+    parse_event,
+    parse_timeline,
+    run_chaos,
+)
+from repro.server.admission import jittered_retry_after
+from repro.shard import (
+    RespawnPolicy,
+    rendezvous_fallback,
+    rendezvous_ranking,
+    rendezvous_shard,
+)
+
+
+# ----------------------------------------------------------------------
+# Timeline generation and grammar
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_same_seed_same_timeline(self):
+        for profile in ("full", "quick"):
+            a = generate_timeline(7, 3, 30.0, profile)
+            b = generate_timeline(7, 3, 30.0, profile)
+            assert a == b
+            assert format_timeline(a) == format_timeline(b)
+
+    def test_different_seeds_differ(self):
+        assert generate_timeline(7, 3, 30.0) != generate_timeline(8, 3, 30.0)
+
+    def test_grammar_round_trips(self):
+        events = generate_timeline(7, 3, 30.0)
+        assert parse_timeline(format_timeline(events)) == events
+
+    def test_parse_event_full_grammar(self):
+        event = parse_event("stall@2.5:shard=1:duration=3")
+        assert event == ChaosEvent(
+            at=2.5, action="stall", shard=1, duration=3.0
+        )
+        event = parse_event("journal_fault@5:shard=2:mode=eio")
+        assert event.mode == "eio"
+        event = parse_event("crashloop@1:shard=0:count=0")
+        assert event.count == 0
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "kill",  # no @offset
+            "kill@2",  # no shard
+            "kill@2:shard=1:bogus=3",  # unknown operand
+            "explode@2:shard=1",  # unknown action
+            "stall@2:shard=1",  # stall without duration
+            "journal_fault@2:shard=1:mode=sharknado",  # bad mode
+            "kill@2:shard=1:shard=2",  # duplicate operand
+            "kill@-1:shard=0",  # negative offset
+        ],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_event(spec)
+
+    def test_journal_fault_shard_is_never_killed_afterwards(self):
+        # The invariant that makes disk-fault survival verifiable: a
+        # dead worker would take its degraded journal evidence with it.
+        for seed in range(25):
+            for shards in (2, 3, 5):
+                events = generate_timeline(seed, shards, 30.0)
+                faults = [e for e in events if e.action == "journal_fault"]
+                assert faults, "full profile always arms a journal fault"
+                cutoff, victim = faults[0].at, faults[0].shard
+                assert not any(
+                    e.shard == victim
+                    and e.at >= cutoff
+                    and e.action in ("kill", "crashloop")
+                    for e in events
+                )
+
+    def test_describe_covers_every_event(self):
+        events = generate_timeline(7, 3, 30.0)
+        lines = describe_timeline(events)
+        assert len(lines) == len(events)
+        assert any("crashloop" in line for line in lines)
+        assert any("mode=" in line for line in lines)
+
+    def test_generator_validates_inputs(self):
+        with pytest.raises(ValueError):
+            generate_timeline(7, 1, 30.0)  # no survivors to reroute to
+        with pytest.raises(ValueError):
+            generate_timeline(7, 3, 0.0)
+        with pytest.raises(ValueError):
+            generate_timeline(7, 3, 30.0, "leisurely")
+
+
+# ----------------------------------------------------------------------
+# Deterministic Retry-After jitter
+# ----------------------------------------------------------------------
+class TestRetryJitter:
+    def test_deterministic_per_client(self):
+        a = jittered_retry_after(2.0, "client-a", seed=7)
+        assert a == jittered_retry_after(2.0, "client-a", seed=7)
+
+    def test_spread_breaks_up_the_herd(self):
+        hints = {
+            jittered_retry_after(2.0, f"client-{i}", seed=7)
+            for i in range(16)
+        }
+        assert len(hints) == 16  # all distinct: no retry stampede
+
+    def test_bounded_multiplicative_spread(self):
+        for i in range(64):
+            hint = jittered_retry_after(2.0, f"c{i}", seed=3)
+            assert 2.0 <= hint <= 3.0
+
+    def test_seed_changes_the_mapping(self):
+        assert jittered_retry_after(2.0, "x", seed=1) != jittered_retry_after(
+            2.0, "x", seed=2
+        )
+
+    def test_degenerate_inputs_pass_through(self):
+        assert jittered_retry_after(0.0, "x") == 0.0
+        assert jittered_retry_after(-1.0, "x") == -1.0
+        assert jittered_retry_after(2.0, "x", spread=0.0) == 2.0
+
+
+# ----------------------------------------------------------------------
+# Rendezvous fallback routing
+# ----------------------------------------------------------------------
+class TestRendezvousFallback:
+    def test_no_exclusion_matches_owner(self):
+        for key in ("alpha", "beta", "gamma"):
+            assert rendezvous_fallback(key, 5) == rendezvous_shard(key, 5)
+
+    def test_excluding_the_owner_yields_second_choice(self):
+        key = "some-request-key"
+        ranking = rendezvous_ranking(key, 5)
+        assert rendezvous_fallback(key, 5, {ranking[0]}) == ranking[1]
+        assert (
+            rendezvous_fallback(key, 5, set(ranking[:3])) == ranking[3]
+        )
+
+    def test_all_excluded_returns_none(self):
+        assert rendezvous_fallback("key", 3, {0, 1, 2}) is None
+
+    def test_survivors_keep_their_keys(self):
+        # Excluding a shard never re-homes keys it did not own.
+        for key in (f"key-{i}" for i in range(40)):
+            owner = rendezvous_shard(key, 4)
+            dead = (owner + 1) % 4
+            assert rendezvous_fallback(key, 4, {dead}) == owner
+
+
+# ----------------------------------------------------------------------
+# RespawnPolicy validation
+# ----------------------------------------------------------------------
+class TestRespawnPolicy:
+    def test_defaults_are_sane(self):
+        policy = RespawnPolicy()
+        assert policy.backoff_base > 0
+        assert policy.max_rapid_deaths >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # backoff of exactly 0 is legal (immediate respawns); only
+            # negatives are nonsense.
+            {"backoff_base": -0.1},
+            {"backoff_max": -1.0},
+            {"max_rapid_deaths": 0},
+            {"death_window": 0.0},
+            {"failed_retry_interval": 0.0},
+        ],
+    )
+    def test_rejects_non_positive_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RespawnPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Bench regression guard
+# ----------------------------------------------------------------------
+class TestBenchGuard:
+    @staticmethod
+    def _doc(rps, schema=1):
+        return {"schema": schema, "batch": {"requests_per_second": rps}}
+
+    def test_within_tolerance_passes(self):
+        assert check_regression(self._doc(80.0), self._doc(100.0)) == []
+        assert check_regression(self._doc(120.0), self._doc(100.0)) == []
+
+    def test_collapse_fails_loud(self):
+        problems = check_regression(self._doc(60.0), self._doc(100.0))
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+        assert "40.0%" in problems[0]
+
+    def test_schema_mismatch_refuses_to_compare(self):
+        problems = check_regression(
+            self._doc(100.0), self._doc(100.0, schema=0)
+        )
+        assert "schema mismatch" in problems[0]
+
+    def test_useless_baseline_refuses(self):
+        problems = check_regression(self._doc(100.0), {"schema": 1})
+        assert "re-baseline" in problems[0]
+
+    def test_max_regression_bounds(self):
+        with pytest.raises(ValueError):
+            check_regression(self._doc(1), self._doc(1), max_regression=0.0)
+        with pytest.raises(ValueError):
+            check_regression(self._doc(1), self._doc(1), max_regression=1.0)
+
+
+# ----------------------------------------------------------------------
+# Harness pieces
+# ----------------------------------------------------------------------
+class TestHarnessUnits:
+    def test_oracle_is_deterministic(self):
+        assert oracle_jsonl(CHAOS_GRID) == oracle_jsonl(CHAOS_GRID)
+        assert len(oracle_jsonl(CHAOS_GRID).splitlines()) == len(CHAOS_GRID)
+
+    def test_churn_payloads_have_fresh_keys(self):
+        from repro.service import parse_request, request_key
+
+        keys = {
+            request_key(parse_request(churn_payload(i))) for i in range(200)
+        }
+        assert len(keys) == 200
+
+
+# ----------------------------------------------------------------------
+# One real quick soak (kill + disk fault + stall on a live fleet)
+# ----------------------------------------------------------------------
+class TestQuickSoak:
+    def test_quick_profile_passes(self):
+        report = run_chaos(
+            ChaosConfig(
+                seed=11,
+                shards=2,
+                duration=4.0,
+                profile="quick",
+                log=lambda message: None,
+            )
+        )
+        assert report.invariant_failures == []
+        assert report.oracle_mismatches == 0
+        assert report.iterations > 0
+        assert report.respawns >= 1  # the scheduled kill respawned
+        assert report.journal_degraded is True  # disk fault survived
+        assert report.readyz_samples == report.iterations

@@ -220,6 +220,142 @@ class TestJournalFile:
 
 
 # ----------------------------------------------------------------------
+# Write-failure taxonomy and loud non-durable degraded mode
+# ----------------------------------------------------------------------
+class TestJournalDegradedMode:
+    def test_classify_write_error_taxonomy(self):
+        import errno
+
+        from repro.service.journal import classify_write_error
+
+        assert classify_write_error(OSError(errno.ENOSPC, "x")) == "disk_full"
+        assert classify_write_error(OSError(errno.EDQUOT, "x")) == "disk_full"
+        assert classify_write_error(OSError(errno.EIO, "x")) == "io_error"
+        assert classify_write_error(OSError(errno.EROFS, "x")) == "read_only"
+        assert classify_write_error(OSError(errno.EACCES, "x")) == "os_error"
+
+    def test_enospc_degrades_instead_of_raising(self, tmp_path, capsys):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            assert journal.record_completion("k1", _ok_record(1))
+            journal.inject_write_fault("enospc")
+            # The armed fault fires inside the append; the journal must
+            # NOT raise -- it degrades and keeps the in-memory answer.
+            assert not journal.record_completion("k2", _ok_record(2))
+            assert journal.degraded
+            assert journal.degraded_reason == "disk_full"
+            assert set(journal.completed) == {"k1", "k2"}
+            # Degraded journals drop later appends silently (no retries
+            # against a full disk) but stay correct in memory.
+            assert not journal.record_completion("k3", _ok_record(3))
+            assert set(journal.completed) == {"k1", "k2", "k3"}
+            stats = journal.stats()
+            assert stats["degraded"] is True
+            assert stats["degraded_reason"] == "disk_full"
+            assert stats["write_errors"] == 1
+            assert stats["appended"] == 1
+        err = capsys.readouterr().err
+        assert "DEGRADED" in err
+        assert "disk_full" in err
+
+    def test_degraded_journal_reopens_with_durable_prefix(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.inject_write_fault("eio")
+            journal.record_completion("k2", _ok_record(2))
+            assert journal.degraded_reason == "io_error"
+        # Only the pre-fault completion survived on disk; after the
+        # volume is "fixed" (the fault was one-shot) appends work again.
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+            assert not journal.degraded
+            assert journal.record_completion("k2", _ok_record(2))
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+
+    def test_partial_write_then_enospc_truncates_on_reopen(self, tmp_path):
+        """A torn line from a mid-write ENOSPC is recovered like a crash."""
+        import errno
+
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        journal.record_completion("k1", _ok_record(1))
+        handle = journal._handle
+        real_write = handle.write
+
+        def partial_write(data):
+            # The kernel accepted half the bytes, then the volume filled:
+            # exactly the torn-tail shape a real ENOSPC leaves behind.
+            real_write(data[: len(data) // 2])
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        handle.write = partial_write
+        try:
+            assert not journal.record_completion("k2", _ok_record(2))
+            assert journal.degraded
+            assert journal.degraded_reason == "disk_full"
+        finally:
+            handle.write = real_write
+            journal.close()
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+            assert journal.recovered_drops == 1
+            assert journal.record_completion("k2", _ok_record(2))
+
+    def test_raising_fsync_degrades(self, tmp_path, monkeypatch):
+        import errno
+
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+
+            def broken_fsync(fd):
+                raise OSError(errno.EIO, "I/O error")
+
+            monkeypatch.setattr(os, "fsync", broken_fsync)
+            assert not journal.record_completion("k1", _ok_record(1))
+            assert journal.degraded
+            assert journal.degraded_reason == "io_error"
+            monkeypatch.undo()
+            # close() must not raise on a degraded journal either.
+        assert journal.closed
+
+    def test_flush_degrades_instead_of_raising(self, tmp_path, monkeypatch):
+        import errno
+
+        path = str(tmp_path / "batch.journal")
+        journal = BatchJournal(path)
+        try:
+
+            def broken_fsync(fd):
+                raise OSError(errno.ENOSPC, "no space")
+
+            monkeypatch.setattr(os, "fsync", broken_fsync)
+            journal.flush()  # must not raise
+            assert journal.degraded
+            monkeypatch.undo()
+        finally:
+            journal.close()
+
+    def test_inject_rejects_unknown_mode(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            with pytest.raises(ValueError, match="mode"):
+                journal.inject_write_fault("sharknado")
+
+    def test_inject_after_counts_successful_appends(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.inject_write_fault("enospc", after=2)
+            assert journal.record_completion("k1", _ok_record(1))
+            assert journal.record_completion("k2", _ok_record(2))
+            assert not journal.record_completion("k3", _ok_record(3))
+            assert journal.degraded
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+
+
+# ----------------------------------------------------------------------
 # The crash-after-n fault action
 # ----------------------------------------------------------------------
 class TestExitFault:

@@ -30,6 +30,7 @@ from repro.service import (
     parse_request,
 )
 from repro.shard import (
+    RespawnPolicy,
     ShardedApp,
     ShardedServer,
     rendezvous_shard,
@@ -285,6 +286,128 @@ class TestAggregation:
             assert "Retry-After" in response.headers
             ready = app.handle("GET", "/readyz", {}, {}, b"", "c")
             assert ready.status == 503
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# Crash-loop containment, rerouting, and stall escalation
+# ----------------------------------------------------------------------
+class TestContainmentAndReroute:
+    TIGHT_POLICY = RespawnPolicy(
+        backoff_base=0.05,
+        backoff_max=0.5,
+        max_rapid_deaths=2,
+        death_window=10.0,
+        failed_retry_interval=1.0,
+    )
+
+    def _kill_until_contained(self, app, victim_index, budget=6):
+        """SIGKILL the slot's worker until containment quarantines it."""
+        handle = app.supervisor.handles[victim_index]
+        for _ in range(budget):
+            pid = handle.pid
+            if handle.state == "failed":
+                return True
+            if pid is not None:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if handle.state == "failed" or (
+                    handle.state == "ready" and handle.pid != pid
+                ):
+                    break
+                time.sleep(0.02)
+        return handle.state == "failed"
+
+    def test_crash_loop_contained_keys_reroute_then_recover(self, tmp_path):
+        expected = direct_jsonl(REQUESTS)
+        app = make_app(
+            tmp_path, 3, respawn_policy=self.TIGHT_POLICY, op_timeout=30.0
+        )
+        victim_index = rendezvous_shard(routing_key(REQUESTS[0]), 3)
+        try:
+            handle = app.supervisor.handles[victim_index]
+            assert self._kill_until_contained(app, victim_index), (
+                f"slot never quarantined: state={handle.state!r} after "
+                f"{handle.respawns} respawns"
+            )
+            assert handle.contained == 1
+
+            # readyz tells the truth about the quarantined slot.
+            ready = app.handle("GET", "/readyz", {}, {}, b"", "c")
+            payload = json.loads(ready.body)
+            assert payload["status"] == "degraded"
+            failed_slots = [
+                slot
+                for slot in payload["degraded_slots"]
+                if slot["state"] == "failed"
+            ]
+            assert failed_slots and failed_slots[0]["shard"] == victim_index
+            assert {"shard", "state", "generation", "respawns"} <= set(
+                failed_slots[0]
+            )
+
+            # The failed slot's keys reroute to survivors: the batch
+            # still completes byte-identical to a fault-free run.  (No
+            # reroute counter bump here -- a quarantined slot is
+            # excluded up front, before the first dispatch attempt.)
+            response = post_batch(app, REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip("\n") == expected
+
+            # Recovery: the monitor re-admits the slot after the retry
+            # interval, and it serves its keyspace again.
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if handle.state == "ready":
+                    break
+                time.sleep(0.05)
+            assert handle.state == "ready", "failed slot never recovered"
+            response = post_batch(app, REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip("\n") == expected
+        finally:
+            app.close()
+
+    def test_all_slots_failed_is_503_not_a_hang(self, tmp_path):
+        app = make_app(tmp_path, 2, respawn_policy=self.TIGHT_POLICY)
+        try:
+            for handle in app.supervisor.handles:
+                handle.state = "failed"
+            response = post_batch(app, REQUESTS[:1])
+            assert response.status == 503
+            assert "Retry-After" in response.headers
+            for handle in app.supervisor.handles:
+                handle.state = "ready"
+        finally:
+            app.close()
+
+    def test_stalled_shard_is_escalated_not_waited_out(self, tmp_path):
+        expected = direct_jsonl(REQUESTS)
+        app = make_app(tmp_path, 3, op_timeout=1.0)
+        victim_index = rendezvous_shard(routing_key(REQUESTS[0]), 3)
+        try:
+            handle = app.supervisor.handles[victim_index]
+            stalled_pid = handle.pid
+            os.kill(stalled_pid, signal.SIGSTOP)
+            try:
+                # Dispatch must not hang on the silent worker: the recv
+                # timeout escalates it (kill + respawn) and the retry
+                # serves the slice from the successor, byte-identical.
+                response = post_batch(app, REQUESTS)
+            finally:
+                try:
+                    os.kill(stalled_pid, signal.SIGCONT)
+                except OSError:
+                    pass
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip("\n") == expected
+            assert handle.timeouts >= 1
+            assert handle.pid != stalled_pid
         finally:
             app.close()
 
