@@ -23,6 +23,8 @@ from .harness import (
 )
 from .schedule import (
     CHAOS_ACTIONS,
+    CHAOS_PROFILES,
+    TIER_ACTIONS,
     ChaosEvent,
     describe_timeline,
     format_event,
@@ -35,6 +37,8 @@ from .schedule import (
 __all__ = [
     "CHAOS_ACTIONS",
     "CHAOS_GRID",
+    "CHAOS_PROFILES",
+    "TIER_ACTIONS",
     "ChaosConfig",
     "ChaosEvent",
     "ChaosReport",

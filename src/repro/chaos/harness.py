@@ -25,6 +25,13 @@ and checks the tier's core promises the whole way through:
 6. **Disk-fault survival** -- an armed journal fault degrades the
    worker's journal to non-durable mode *without the worker dying*
    (same pid before and after).
+7. **Handoff completeness** -- every live resize finishes with
+   ``imported + duplicates == exported`` (no journaled completion is
+   dropped in flight), the tier lands on exactly the last resize
+   target, and no request is left parked once the soak ends.
+8. **Replica consistency** -- a hot-key burst crosses the router's
+   replication threshold and every burst response (whichever replica
+   answered) is byte-identical to the single-payload oracle.
 
 Determinism: the same ``(seed, shards, duration)`` triple always yields
 the same fault timeline (event *offsets* and victims; actual interleave
@@ -34,6 +41,7 @@ properties, not traces).
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import tempfile
@@ -49,7 +57,7 @@ from ..service.faults import FAULTS_GUARD_ENV
 from ..service.requests import parse_request
 from ..shard.ipc import ShardIPCError
 from ..shard.supervisor import RespawnPolicy, ShardOpError
-from ..shard.router import ShardedServer
+from ..shard.router import ShardedServer, routing_key
 from .schedule import (
     ChaosEvent,
     format_event,
@@ -121,6 +129,10 @@ class ChaosConfig:
     #: Dispatch escalation timeout -- deliberately short so a stalled
     #: shard is escalated within the soak window.
     op_timeout: float = 8.0
+    #: Hot-key replication threshold handed to the router.  Low enough
+    #: that a ``hotspot`` burst (40 requests) reliably crosses it, high
+    #: enough that the steady grid/churn load never does.
+    hot_key_threshold: float = 24.0
     respawn_policy: RespawnPolicy = field(
         default_factory=lambda: RespawnPolicy(
             backoff_base=0.1,
@@ -152,6 +164,11 @@ class ChaosReport:
     timeouts: int = 0
     readyz_samples: int = 0
     degraded_samples: int = 0
+    reshards: int = 0
+    keys_moved: int = 0
+    replica_reads: int = 0
+    hot_keys: int = 0
+    final_shards: Optional[int] = None
     journal_degraded: Optional[bool] = None
     conservation: Optional[bool] = None
     requests_routed: int = 0
@@ -191,6 +208,10 @@ class _EventApplier(threading.Thread):
         self.journal_fault: Optional[Dict[str, Any]] = None
         self.crashloop_shard: Optional[int] = None
         self.stall_shard: Optional[int] = None
+        #: Resize targets in applied order; the post-soak verifier
+        #: checks the fleet landed on the last one.
+        self.resize_targets: List[int] = []
+        self.hotspot_requests_ok = 0
 
     # -- helpers -------------------------------------------------------
     def _handle(self, shard: int):
@@ -347,6 +368,113 @@ class _EventApplier(threading.Thread):
         handle.ipc_delay = 0.0
         self.config.log(f"restored shard {event.shard} pipe speed")
 
+    def _apply_resize(self, event: ChaosEvent) -> None:
+        summary = self.server.app.reshard(event.shards)
+        self.resize_targets.append(event.shards)
+        self.report.keys_moved += summary.get("keys_moved", 0)
+        if not summary.get("noop"):
+            # reshards_completed only counts real topology changes, so
+            # the applier's tally must too.
+            self.report.reshards += 1
+            exported = summary.get("exported", 0)
+            imported = summary.get("imported", 0)
+            duplicates = summary.get("duplicates", 0)
+            if imported + duplicates != exported:
+                self._fail(
+                    f"handoff incomplete on resize -> {event.shards}: "
+                    f"exported {exported} but imported {imported} + "
+                    f"{duplicates} duplicates"
+                )
+        self.config.log(
+            f"resized tier {summary.get('from')} -> {summary.get('to')}: "
+            f"{summary.get('keys_moved')} key(s) moved, "
+            f"{len(summary.get('rescued_slots') or [])} slot(s) rescued"
+        )
+
+    def _apply_hotspot(self, event: ChaosEvent) -> None:
+        app = self.server.app
+        tracker = app.hot_keys
+        if tracker is None:
+            self._fail(
+                "hotspot scheduled but hot-key tracking is disabled"
+            )
+            return
+        payload = CHAOS_GRID[int(event.key) % len(CHAOS_GRID)]
+        expected = oracle_jsonl([payload]).strip()
+        body = (
+            payload if isinstance(payload, str) else json.dumps(payload)
+        ).encode("utf-8")
+        replica_reads_before = app.serving.as_dict().get("replica_reads", 0)
+        successes = 0
+        mismatches = 0
+        for _ in range(event.count):
+            response = app.handle(
+                "POST",
+                "/v1/analyze",
+                {},
+                {"content-type": "application/x-ndjson"},
+                body,
+                "chaos-hotspot",
+            )
+            if response.status != 200:
+                self.report.calls_failed += 1
+                continue
+            successes += 1
+            if response.body.decode("utf-8").strip() != expected:
+                mismatches += 1
+        self.hotspot_requests_ok += successes
+        self.report.requests_ok += successes
+        if mismatches:
+            self.report.oracle_mismatches += mismatches
+            self._fail(
+                f"hotspot burst: {mismatches}/{successes} responses not "
+                "byte-identical to the single-payload oracle (replica "
+                "answers must be the owner's bytes)"
+            )
+        if not successes:
+            self._fail(
+                f"hotspot burst of {event.count} produced no successful "
+                "responses"
+            )
+            return
+        key = routing_key(payload)
+        if not tracker.is_hot(key):
+            self._fail(
+                f"hotspot burst of {event.count} never crossed the "
+                f"hot-key threshold ({tracker.threshold:g})"
+            )
+        replica_reads_after = app.serving.as_dict().get("replica_reads", 0)
+        if replica_reads_after == replica_reads_before:
+            # Only damning if both top replicas were serviceable -- with
+            # one replica down, every read legitimately lands on the
+            # survivor, which may be the owner itself.
+            from ..shard.hashing import rendezvous_ranking
+
+            ranking = rendezvous_ranking(key, app.shards)[
+                : tracker.replicas
+            ]
+            handles = list(app.supervisor.handles)
+            ready = [
+                index
+                for index in ranking
+                if index < len(handles)
+                and handles[index].state == "ready"
+            ]
+            if len(ready) >= 2:
+                self._fail(
+                    f"hot key never served off a replica despite "
+                    f"{len(ready)} ready replica slots"
+                )
+            else:
+                self.report.notes.append(
+                    "hotspot: no replica reads (only "
+                    f"{len(ready)} replica slot(s) ready during burst)"
+                )
+        self.config.log(
+            f"hotspot key={event.key}: {successes} ok, "
+            f"{replica_reads_after - replica_reads_before} replica reads"
+        )
+
     def run(self) -> None:
         for event in self.events:
             delay = self.started + event.at - time.monotonic()
@@ -364,6 +492,10 @@ class _EventApplier(threading.Thread):
                     self._apply_journal_fault(event)
                 elif event.action == "ipc_delay":
                     self._apply_ipc_delay(event)
+                elif event.action == "resize":
+                    self._apply_resize(event)
+                elif event.action == "hotspot":
+                    self._apply_hotspot(event)
             except Exception as exc:  # applier bugs must be loud
                 self._fail(
                     f"event {format_event(event)} raised "
@@ -379,6 +511,27 @@ def _check_readyz(server: ShardedServer, report: ChaosReport) -> None:
 
     body = _json.loads(response.body.decode("utf-8"))
     if "error" in body:  # draining: not sampled during the soak
+        return
+    resharding = body.get("resharding") or {}
+    if body.get("status") == "resharding" or resharding.get("active"):
+        # Topology in flux: slots are legitimately booting or retiring,
+        # so the three-way degraded consistency check does not apply --
+        # but the status string and the active flag must agree, and the
+        # parked-count gauge must be present and sane.
+        if body.get("status") != "resharding" or not resharding.get(
+            "active"
+        ):
+            report.invariant_failures.append(
+                "readyz resharding inconsistent: status={!r} "
+                "active={!r}".format(
+                    body.get("status"), resharding.get("active")
+                )
+            )
+        if not isinstance(resharding.get("pending"), int):
+            report.invariant_failures.append(
+                f"readyz resharding missing integer pending gauge: "
+                f"{resharding}"
+            )
         return
     degraded_slots = body.get("degraded_slots", [])
     shards = body.get("shards", {})
@@ -460,6 +613,7 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
             health_interval=0.2,
             op_timeout=config.op_timeout,
             respawn_policy=config.respawn_policy,
+            hot_key_threshold=config.hot_key_threshold,
         ).start()
         config.log(
             f"fleet up: {config.shards} shards at {server.url} "
@@ -610,6 +764,38 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
                 report.invariant_failures.append(
                     f"final post-recovery batch failed: {exc}"
                 )
+
+        # ---- elastic handoff accounting ------------------------------
+        serving = server.app.serving.as_dict()
+        report.keys_moved = serving.get("keys_moved", 0)
+        report.replica_reads = serving.get("replica_reads", 0)
+        if server.app.hot_keys is not None:
+            report.hot_keys = server.app.hot_keys.hot_count()
+        report.final_shards = snapshot["count"]
+        scheduled_resizes = [e for e in events if e.action == "resize"]
+        if scheduled_resizes:
+            completed = serving.get("reshards_completed", 0)
+            if completed != report.reshards:
+                report.invariant_failures.append(
+                    f"reshard accounting: applier saw {report.reshards} "
+                    f"topology change(s) but reshards_completed="
+                    f"{completed}"
+                )
+            expected_count = (
+                applier.resize_targets[-1]
+                if applier.resize_targets
+                else config.shards
+            )
+            if snapshot["count"] != expected_count:
+                report.invariant_failures.append(
+                    f"fleet is {snapshot['count']} shard(s) after soak; "
+                    f"last resize targeted {expected_count}"
+                )
+        if server.app.handoff_pending != 0:
+            report.invariant_failures.append(
+                f"{server.app.handoff_pending} request(s) still parked "
+                "behind a handoff after the soak ended"
+            )
 
         # ---- counter conservation ------------------------------------
         routed = server.app.serving.as_dict().get("requests_routed", 0)

@@ -34,6 +34,14 @@ Actions
 ``ipc_delay``
     Slow the slot's router-side pipe by ``duration`` seconds per call
     for ``count`` seconds of wall clock.
+``resize``
+    Live-reshard the tier to ``shards`` slots (``POST /admin/reshard``
+    semantics: two-phase journal handoff, byte-identical service).  A
+    *tier* action -- it takes no ``shard=`` operand.
+``hotspot``
+    Burst ``count`` single-payload requests for grid key ``key``,
+    driving the router's hot-key detector over its threshold so the
+    read-any replica path is exercised.  Also a tier action.
 """
 
 from __future__ import annotations
@@ -45,10 +53,29 @@ from typing import Dict, List, Sequence
 from ..service.journal import JOURNAL_FAULT_MODES
 
 #: Every action the applier knows how to perform.
-CHAOS_ACTIONS = ("kill", "crashloop", "stall", "journal_fault", "ipc_delay")
+CHAOS_ACTIONS = (
+    "kill",
+    "crashloop",
+    "stall",
+    "journal_fault",
+    "ipc_delay",
+    "resize",
+    "hotspot",
+)
 
 #: Actions that require / accept a duration operand.
 _DURATION_ACTIONS = {"stall", "ipc_delay"}
+
+#: Tier-level actions: they target the whole fleet, not one slot, so
+#: they take no ``shard=`` operand (the field stays at its -1 sentinel).
+TIER_ACTIONS = ("resize", "hotspot")
+
+#: Named schedules :func:`generate_timeline` can derive from a seed.
+#: ``full``/``quick`` are the single-fault classics; ``latency`` is
+#: ipc_delay-heavy (slow pipes, not dead ones); ``overlap`` stacks
+#: elastic resizes on top of crash-loop containment, journal faults,
+#: and a hot-key burst -- the multi-fault soak.
+CHAOS_PROFILES = ("full", "quick", "latency", "overlap")
 
 
 @dataclass(frozen=True)
@@ -56,17 +83,23 @@ class ChaosEvent:
     """One fault, one shard, one offset into the soak.
 
     ``at`` is seconds from soak start; ``count`` means "kills" for
-    ``kill``/``crashloop`` (0 = until contained) and wall-clock seconds
-    of effect for ``ipc_delay``; ``duration`` is the stall length or the
-    per-call delay; ``mode`` selects the journal fault flavor.
+    ``kill``/``crashloop`` (0 = until contained), wall-clock seconds
+    of effect for ``ipc_delay``, and burst size for ``hotspot``;
+    ``duration`` is the stall length or the per-call delay; ``mode``
+    selects the journal fault flavor.  Tier actions (``resize``,
+    ``hotspot``) leave ``shard`` at its -1 sentinel: ``resize`` carries
+    the target fleet size in ``shards`` and ``hotspot`` the grid key in
+    ``key``.
     """
 
     at: float
     action: str
-    shard: int
+    shard: int = -1
     duration: float = 0.0
     count: int = 1
     mode: str = ""
+    shards: int = 0
+    key: str = ""
 
     def __post_init__(self) -> None:
         if self.action not in CHAOS_ACTIONS:
@@ -76,7 +109,13 @@ class ChaosEvent:
             )
         if self.at < 0:
             raise ValueError("event offset must be non-negative")
-        if self.shard < 0:
+        tier = self.action in TIER_ACTIONS
+        if tier:
+            if self.shard != -1:
+                raise ValueError(
+                    f"{self.action} is a tier action; it takes no shard"
+                )
+        elif self.shard < 0:
             raise ValueError("shard index must be non-negative")
         if self.count < 0:
             raise ValueError("count must be non-negative")
@@ -93,11 +132,29 @@ class ChaosEvent:
             raise ValueError(f"{self.action} does not take a mode")
         if self.action in _DURATION_ACTIONS and self.duration <= 0:
             raise ValueError(f"{self.action} requires duration > 0")
+        if self.action == "resize":
+            if self.shards < 1:
+                raise ValueError("resize requires shards >= 1")
+        elif self.shards:
+            raise ValueError(f"{self.action} does not take shards")
+        if self.action == "hotspot":
+            if not self.key:
+                raise ValueError("hotspot requires a key")
+            if self.count < 1:
+                raise ValueError("hotspot requires count >= 1")
+        elif self.key:
+            raise ValueError(f"{self.action} does not take a key")
 
 
 def format_event(event: ChaosEvent) -> str:
     """The canonical spec string; ``parse_event`` round-trips it."""
-    parts = [f"{event.action}@{event.at:g}", f"shard={event.shard}"]
+    parts = [f"{event.action}@{event.at:g}"]
+    if event.action not in TIER_ACTIONS:
+        parts.append(f"shard={event.shard}")
+    if event.shards:
+        parts.append(f"shards={event.shards}")
+    if event.key:
+        parts.append(f"key={event.key}")
     if event.duration:
         parts.append(f"duration={event.duration:g}")
     if event.count != 1:
@@ -132,9 +189,12 @@ def parse_event(spec: str) -> ChaosEvent:
                 f"bad chaos event {spec!r}: duplicate operand {name!r}"
             )
         fields[name] = value
-    if "shard" not in fields:
+    tier = action.strip() in TIER_ACTIONS
+    if not tier and "shard" not in fields:
         raise ValueError(f"bad chaos event {spec!r}: missing shard=I")
-    unknown = set(fields) - {"shard", "duration", "count", "mode"}
+    unknown = set(fields) - {
+        "shard", "duration", "count", "mode", "shards", "key"
+    }
     if unknown:
         raise ValueError(
             f"bad chaos event {spec!r}: unknown operand(s) "
@@ -144,10 +204,12 @@ def parse_event(spec: str) -> ChaosEvent:
         return ChaosEvent(
             at=float(offset),
             action=action.strip(),
-            shard=int(fields["shard"]),
+            shard=int(fields.get("shard", -1)),
             duration=float(fields.get("duration", 0.0)),
             count=int(fields.get("count", 1)),
             mode=fields.get("mode", ""),
+            shards=int(fields.get("shards", 0)),
+            key=fields.get("key", ""),
         )
     except ValueError as exc:
         raise ValueError(f"bad chaos event {spec!r}: {exc}") from None
@@ -173,6 +235,7 @@ def describe_timeline(events: Sequence[ChaosEvent]) -> List[str]:
     lines = []
     for event in events:
         extra = ""
+        target = f"shard {event.shard}"
         if event.action == "stall":
             extra = f" for {event.duration:g}s"
         elif event.action == "ipc_delay":
@@ -185,10 +248,16 @@ def describe_timeline(events: Sequence[ChaosEvent]) -> List[str]:
                 if event.count == 0
                 else f" ({event.count} kills)"
             )
+        elif event.action == "resize":
+            target = "tier"
+            extra = f" -> {event.shards} shard(s)"
+        elif event.action == "hotspot":
+            target = "tier"
+            extra = f" (key={event.key}, burst {event.count})"
         elif event.count != 1:
             extra = f" x{event.count}"
         lines.append(
-            f"t+{event.at:6.2f}s  {event.action:<13s} shard {event.shard}"
+            f"t+{event.at:6.2f}s  {event.action:<13s} {target}"
             f"{extra}"
         )
     return lines
@@ -222,7 +291,7 @@ def generate_timeline(
         raise ValueError("chaos timelines need at least 2 shards")
     if duration <= 0:
         raise ValueError("duration must be positive")
-    if profile not in ("full", "quick"):
+    if profile not in CHAOS_PROFILES:
         raise ValueError(f"unknown chaos profile {profile!r}")
     rng = random.Random(seed)
     order = list(range(shards))
@@ -239,7 +308,95 @@ def generate_timeline(
         return round(base + rng.uniform(0.0, spread), 2)
 
     events: List[ChaosEvent] = []
-    if profile == "quick":
+    if profile == "latency":
+        # Slow pipes, not dead ones: two overlapping ipc_delay windows
+        # on distinct slots (when the fleet allows), then a kill inside
+        # the second window so respawn happens *while* a sibling is
+        # slow.  Per-call delays are kept well under the harness op
+        # timeout -- the point is latency accounting and stall
+        # escalation staying quiet, not forced escalation.
+        first = order[0]
+        second = order[1 % shards]
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.15, duration * 0.05),
+                action="ipc_delay",
+                shard=first,
+                duration=round(rng.uniform(0.05, 0.15), 2),
+                count=max(1, int(duration * 0.3)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.4, duration * 0.05),
+                action="ipc_delay",
+                shard=second,
+                duration=round(rng.uniform(0.05, 0.15), 2),
+                count=max(1, int(duration * 0.3)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.6, duration * 0.05),
+                action="kill",
+                shard=first,
+            )
+        )
+    elif profile == "overlap":
+        # The multi-fault soak: resize the tier up while a slot sits
+        # quarantined mid-crash-loop, degrade a surviving journal, push
+        # a key hot enough to replicate, resize back down, then kill.
+        # The journal-fault target is always a slot below the original
+        # count, so neither resize retires it and no kill touches it --
+        # its degraded-mode evidence must survive to the report.
+        crash = order[0]
+        journal_victim = order[1]
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.1, duration * 0.04),
+                action="crashloop",
+                shard=crash,
+                count=0,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.3, duration * 0.04),
+                action="resize",
+                shards=shards + 2,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.45, duration * 0.04),
+                action="journal_fault",
+                shard=journal_victim,
+                mode=rng.choice(list(JOURNAL_FAULT_MODES)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.55, duration * 0.04),
+                action="hotspot",
+                key=str(rng.randrange(4)),
+                count=40,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.7, duration * 0.04),
+                action="resize",
+                shards=shards,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.85, duration * 0.04),
+                action="kill",
+                shard=crash,
+            )
+        )
+    elif profile == "quick":
         # kill + short stall + journal fault, no crash loop (containment
         # plus recovery needs more wall clock than a smoke test gets).
         events.append(

@@ -26,7 +26,8 @@ bench               time optimize_intra / optimize_fused / end-to-end
 call FILE           evaluate requests against a running ``repro serve``
                     daemon via :class:`repro.server.ReproClient`
                     (deterministic retries on 429/503; ``--health``,
-                    ``--server-stats``)
+                    ``--server-stats``; ``--reshard N`` live-resizes a
+                    sharded tier)
 selfcheck           run a small fault-injected batch end to end and verify
                     the resilience, certification, and serving layers held
                     (CI smoke test)
@@ -43,6 +44,7 @@ import sys
 from typing import List, Optional
 
 from .arch import ALL_PLATFORMS, MemorySpec, evaluate_graph
+from .chaos import CHAOS_PROFILES
 from .core import decide_fusion, optimize_graph, optimize_intra
 from .experiments import (
     format_table,
@@ -544,6 +546,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="just GET /healthz, print it, and exit (readiness probe)",
     )
     call.add_argument(
+        "--reshard",
+        type=int,
+        default=None,
+        metavar="N",
+        help="POST /admin/reshard to live-resize a sharded tier to N "
+        "workers, print the handoff summary, and exit",
+    )
+    call.add_argument(
         "--server-stats",
         action="store_true",
         help="print the server's /stats rollup to stderr after the call",
@@ -601,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="short smoke profile: 2 shards, ~6s, kill + disk fault + "
         "brief stall (no crash loop)",
+    )
+    chaos.add_argument(
+        "--profile",
+        default=None,
+        choices=list(CHAOS_PROFILES),
+        help="named fault profile: full, quick, latency (ipc_delay-heavy), "
+        "or overlap (resize during crash loop, kill mid-handoff, disk "
+        "fault on successor); overrides --quick",
     )
     chaos.add_argument(
         "--timeline",
@@ -1195,6 +1213,10 @@ def _cmd_call(args: argparse.Namespace) -> int:
         if args.health:
             print(json.dumps(client.health(), sort_keys=True, indent=2))
             return 0
+        if args.reshard is not None:
+            summary = client.reshard(args.reshard)
+            print(json.dumps(summary, sort_keys=True, indent=2))
+            return 0
         payloads = _read_batch_payloads(args.requests)
         if args.chunk_size > 0:
             lines = [
@@ -1255,9 +1277,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.duration <= 0:
         print("error: --duration must be positive", file=sys.stderr)
         return 2
-    profile = "quick" if args.quick else "full"
-    shards = 2 if args.quick and args.shards == 3 else args.shards
-    duration = 6.0 if args.quick and args.duration == 30.0 else args.duration
+    profile = args.profile or ("quick" if args.quick else "full")
+    compact = profile == "quick"
+    shards = 2 if compact and args.shards == 3 else args.shards
+    duration = 6.0 if compact and args.duration == 30.0 else args.duration
     try:
         events = (
             parse_timeline(args.timeline)
@@ -1301,7 +1324,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"requests byte-identical to oracle; {report.respawns} "
             f"respawns, {report.contained} containment(s), "
             f"{report.reroutes} reroutes, {report.timeouts} stall "
-            f"escalation(s), journal degraded survival="
+            f"escalation(s), {report.reshards} reshard(s) / "
+            f"{report.keys_moved} key(s) moved, {report.replica_reads} "
+            f"replica read(s), journal degraded survival="
             f"{report.journal_degraded}, conservation="
             f"{report.conservation}",
             file=sys.stderr,
@@ -1352,6 +1377,13 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     soaked for ~6s through a worker kill, an armed journal disk fault,
     and a brief SIGSTOP stall, verifying byte-identical output, counter
     conservation, readyz truthfulness, and disk-fault survival.
+
+    Phase 7 (also skippable with ``--skip-chaos``) proves the tier is
+    elastic: a 2-shard fleet is live-resized to 3 and back to 2 via
+    :meth:`~repro.shard.ShardedApp.reshard` while a churn thread keeps
+    requests in flight and one worker is SIGKILLed between the resizes;
+    every handoff must balance (imported + duplicates == exported) and a
+    final batch must stay byte-identical to a direct engine run.
     """
 
     import tempfile
@@ -1650,6 +1682,120 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
             f"journal degraded survival={chaos_report.journal_degraded})"
         )
 
+    # ------------------------------------------------------------------
+    # Phase 7: elastic soak (resize up/down under churn + one kill).
+    # ------------------------------------------------------------------
+    elastic_summary = "elastic skipped (--skip-chaos)"
+    if not getattr(args, "skip_chaos", False):
+        from .shard import wait_for_pid_change
+
+        elastic_requests = [
+            {"kind": "intra", "m": 28 + step, "k": 20, "l": 24,
+             "buffer_elems": 4096}
+            for step in range(8)
+        ]
+        elastic_direct = BatchEngine(EngineConfig(jobs=2)).run_batch(
+            [parse_request(payload) for payload in elastic_requests]
+        )
+        elastic_moved = 0
+        with tempfile.TemporaryDirectory() as tmpdir:
+            elastic = ShardedServer(
+                ServerConfig(
+                    port=0, jobs=1, journal_path=f"{tmpdir}/elastic.journal"
+                ),
+                shards=2,
+                health_interval=0.2,
+            ).start()
+            try:
+                stop_churn = threading.Event()
+                churn_errors: List[str] = []
+
+                def _churn() -> None:
+                    step = 0
+                    try:
+                        with ReproClient(
+                            port=elastic.port, timeout=60.0
+                        ) as churn_client:
+                            while not stop_churn.is_set():
+                                step += 1
+                                churn_client.batch_lines([
+                                    {"kind": "sweep_point",
+                                     "m": 32 + step % 16, "k": 24,
+                                     "l": 40, "buffer_elems": 2048}
+                                ])
+                                time.sleep(0.02)
+                    except Exception as exc:  # surfaced as a failure below
+                        churn_errors.append(repr(exc))
+
+                churner = threading.Thread(target=_churn)
+                churner.start()
+                handoffs = []
+                with ReproClient(
+                    port=elastic.port, timeout=120.0
+                ) as elastic_client:
+                    # Seed the per-shard journals so the resizes have
+                    # completions to hand off.
+                    elastic_client.batch_lines(elastic_requests)
+                    handoffs.append(elastic.app.reshard(3))
+                    kill_victim = elastic.app.supervisor.handles[1]
+                    kill_pid = kill_victim.pid
+                    os.kill(
+                        kill_pid,
+                        getattr(signal, "SIGKILL", signal.SIGTERM),
+                    )
+                    if (
+                        wait_for_pid_change(
+                            elastic.app.supervisor, 1, kill_pid,
+                            timeout=30.0,
+                        )
+                        is None
+                    ):
+                        failures.append(
+                            "elastic: shard-1 never respawned after the "
+                            "mid-flux kill"
+                        )
+                    handoffs.append(elastic.app.reshard(2))
+                    final_lines = elastic_client.batch_lines(
+                        elastic_requests
+                    )
+                stop_churn.set()
+                churner.join(timeout=60.0)
+                if churner.is_alive():
+                    failures.append("elastic: churn thread hung")
+                for error in churn_errors:
+                    failures.append(f"elastic: churn request failed: {error}")
+                for summary in handoffs:
+                    balance = (
+                        summary["imported"] + summary["duplicates"]
+                    )
+                    if balance != summary["exported"]:
+                        failures.append(
+                            "elastic: handoff accounting broke "
+                            f"({summary['from']}->{summary['to']}: "
+                            f"imported {summary['imported']} + duplicates "
+                            f"{summary['duplicates']} != exported "
+                            f"{summary['exported']})"
+                        )
+                    elastic_moved += summary["keys_moved"]
+                if elastic.app.shards != 2:
+                    failures.append(
+                        "elastic: fleet ended at "
+                        f"{elastic.app.shards} shard(s), expected 2"
+                    )
+                if "\n".join(final_lines) != elastic_direct.to_jsonl():
+                    failures.append(
+                        "elastic: post-reshard batch differs from direct run"
+                    )
+            finally:
+                elastic.shutdown(drain=True)
+        if not any(failure.startswith("elastic:") for failure in failures):
+            elastic_summary = (
+                f"elastic ok (2->3->2 shards under churn, {elastic_moved} "
+                "key(s) moved, survived mid-flux kill, byte-identical)"
+            )
+        else:
+            elastic_summary = "elastic FAILED"
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -1665,7 +1811,8 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         "lossless drain); "
         f"sharding ok (shard killed mid-batch, {respawns} respawn, "
         "byte-identical completion); "
-        f"{chaos_summary}"
+        f"{chaos_summary}; "
+        f"{elastic_summary}"
     )
     return 0
 

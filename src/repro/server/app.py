@@ -212,6 +212,17 @@ def render_metrics_text(stats: Dict[str, Any]) -> str:
                 shard["respawns"],
                 f'{{shard="{shard["label"]}"}}',
             )
+    resharding = stats.get("resharding")
+    if resharding:
+        emit("resharding_active", 1 if resharding.get("active") else 0)
+        emit("handoff_pending", resharding.get("pending"))
+        emit("reshards_total", resharding.get("reshards_completed"))
+        emit("reshard_keys_moved_total", resharding.get("keys_moved"))
+    hot_keys = stats.get("hot_keys")
+    if hot_keys:
+        emit("hot_keys", hot_keys.get("hot"))
+        emit("hot_keys_tracked", hot_keys.get("tracked"))
+        emit("replica_reads_total", hot_keys.get("replica_reads"))
     return "\n".join(lines) + "\n"
 
 

@@ -319,6 +319,25 @@ class ReproClient:
         _, _, data = self._request("GET", path)
         return data.decode("utf-8")
 
+    def reshard(self, shards: int) -> Dict[str, Any]:
+        """POST /admin/reshard: live-resize a sharded tier to ``shards``.
+
+        Never retried client-side -- a reshard is not idempotent-cheap
+        (each attempt moves journal segments), and the server already
+        answers 409 with a Retry-After while one is in flight.  Raises
+        :class:`ServerError` on 4xx/5xx (including 409 busy).
+        """
+
+        body = json.dumps({"shards": int(shards)}).encode("utf-8")
+        _, _, data = self._request(
+            "POST",
+            "/admin/reshard",
+            body=body,
+            headers={"Content-Type": "application/json"},
+            retry=False,
+        )
+        return json.loads(data.decode("utf-8"))
+
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------

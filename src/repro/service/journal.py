@@ -53,7 +53,7 @@ import errno
 import json
 import os
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .errors import PERMANENT, record_category
 from .locking import FileLockedError, lock_handle
@@ -110,6 +110,58 @@ def _default_log(message: str) -> None:
     import sys
 
     print(f"repro journal: {message}", file=sys.stderr, flush=True)
+
+
+def read_journal_completions(path: str) -> Dict[str, Dict[str, Any]]:
+    """Read-only rescue load of a journal's durable completion records.
+
+    Used by the reshard handoff when a retiring slot's worker cannot be
+    reached even through respawn-and-retry (e.g. the slot is quarantined
+    ``failed``): the router lifts the records straight off disk so the
+    handoff still loses nothing.  Parsing is as tolerant as
+    :meth:`BatchJournal._recover` -- a torn tail or corrupt line drops
+    that line and everything after it -- but the file is *never*
+    truncated and no lock is taken: only call this when the writing
+    process is known to be dead (the kernel frees its flock on death).
+    A missing or headerless file yields ``{}``.
+    """
+
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError:
+        return {}
+    completed: Dict[str, Dict[str, Any]] = {}
+    header_seen = False
+    offset = 0
+    for line in raw.split(b"\n"):
+        torn = offset + len(line) >= len(raw)
+        offset += len(line) + 1
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line.decode("utf-8"))
+            if torn:
+                raise ValueError("no trailing newline")
+            if not isinstance(payload, dict):
+                raise ValueError("journal line is not an object")
+        except (ValueError, UnicodeDecodeError):
+            break
+        if not header_seen:
+            if payload.get("format") != JOURNAL_FORMAT or (
+                payload.get("version") not in _COMPATIBLE_JOURNAL_VERSIONS
+            ):
+                return {}
+            header_seen = True
+            continue
+        if payload.get("type") != "completion":
+            continue
+        key = payload.get("key")
+        record = payload.get("record")
+        if isinstance(key, str) and isinstance(record, dict):
+            if _durable(record):
+                completed[key] = record
+    return completed
 
 
 class JournalLockedError(JournalError):
@@ -333,6 +385,59 @@ class BatchJournal:
         if written:
             self.appended += 1
         return written
+
+    def export_handoff(
+        self, should_move: Callable[[str], bool]
+    ) -> "List[Dict[str, Any]]":
+        """Durable completions whose key satisfies ``should_move``.
+
+        The reshard handoff source: the journal is flushed first (so the
+        on-disk segment is at least as current as what is exported) and
+        entries come back in journal order as ``{"key", "record"}``
+        pairs.  The file itself is untouched -- a handoff *copies*
+        records to their new owner; the append-only history stays put
+        until the slot is retired and its file unlinked.
+        """
+
+        self.flush()
+        return [
+            {"key": key, "record": record}
+            for key, record in self.completed.items()
+            if should_move(key)
+        ]
+
+    def ingest_handoff(
+        self, entries: "Sequence[Dict[str, Any]]"
+    ) -> Tuple[int, int]:
+        """Replay handed-off completion records into this journal.
+
+        Returns ``(imported, duplicates)``.  Already-known keys are
+        counted as duplicates and skipped (a key can be exported by two
+        old owners that both journaled it -- e.g. an owner plus a
+        fallback slot that served it during a quarantine); new keys go
+        through :meth:`record_completion`, so they are fsync'd here
+        before the old owner's file is ever deleted.  A degraded journal
+        still ingests into the in-memory replay map -- correctness is
+        preserved, only crash-durability of the handoff is lost (and
+        that is already loudly reported).
+        """
+
+        imported = 0
+        duplicates = 0
+        for entry in entries:
+            key = entry.get("key")
+            record = entry.get("record")
+            if not isinstance(key, str) or not isinstance(record, dict):
+                raise JournalError(
+                    f"malformed handoff entry {entry!r}: expected "
+                    "{'key': str, 'record': dict}"
+                )
+            if key in self.completed:
+                duplicates += 1
+                continue
+            self.record_completion(key, record)
+            imported += 1
+        return imported, duplicates
 
     def heartbeat(self, completed: int, note: str = "") -> None:
         """Advisory progress timestamp (flushed, not fsync'd)."""

@@ -29,10 +29,12 @@ Quick start::
 
 from .hashing import (
     assignment_counts,
+    ownership_delta,
     rendezvous_fallback,
     rendezvous_ranking,
     rendezvous_score,
     rendezvous_shard,
+    replica_slots,
     shard_label,
 )
 from .ipc import (
@@ -43,7 +45,11 @@ from .ipc import (
     ShardTimeoutError,
 )
 from .router import (
+    RESHARD_RETRY_AFTER,
     SHARD_RETRY_AFTER,
+    HandoffPendingError,
+    HotKeyTracker,
+    ReshardInProgressError,
     ShardedApp,
     ShardedServer,
     routing_key,
@@ -60,7 +66,11 @@ from .supervisor import (
 )
 
 __all__ = [
+    "HandoffPendingError",
+    "HotKeyTracker",
+    "RESHARD_RETRY_AFTER",
     "RespawnPolicy",
+    "ReshardInProgressError",
     "SHARD_IPC_VERSION",
     "SHARD_RETRY_AFTER",
     "ShardBootError",
@@ -74,10 +84,12 @@ __all__ = [
     "ShardedApp",
     "ShardedServer",
     "assignment_counts",
+    "ownership_delta",
     "rendezvous_fallback",
     "rendezvous_ranking",
     "rendezvous_score",
     "rendezvous_shard",
+    "replica_slots",
     "routing_key",
     "shard_cache_file",
     "shard_label",

@@ -23,7 +23,7 @@ placement is stable across processes, Python versions, and
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Separator between shard label and key inside the scored digest input;
 #: NUL cannot appear in either, so concatenation is unambiguous.
@@ -116,3 +116,41 @@ def assignment_counts(keys: Sequence[str], shard_count: int) -> List[int]:
     for key in keys:
         counts[rendezvous_shard(key, shard_count)] += 1
     return counts
+
+
+def replica_slots(key: str, shard_count: int, replicas: int) -> List[int]:
+    """The top-R rendezvous slots for ``key`` (read-any replication set).
+
+    ``replica_slots(key, n, 1)`` is ``[rendezvous_shard(key, n)]``; the
+    remaining entries are exactly the slots the key would re-home to if
+    its better choices died, so replicating a hot key here means a
+    respawning owner's traffic lands on workers that would inherit the
+    key anyway.  ``replicas`` is clamped to ``shard_count``.
+    """
+
+    if replicas < 1:
+        raise ValueError("replicas must be at least 1")
+    return rendezvous_ranking(key, shard_count)[: min(replicas, shard_count)]
+
+
+def ownership_delta(
+    keys: Iterable[str], old_count: int, new_count: int
+) -> Dict[str, Tuple[int, int]]:
+    """Which of ``keys`` change owners when resizing old_count→new_count.
+
+    Returns ``{key: (old_owner, new_owner)}`` for exactly the keys whose
+    rendezvous argmax differs between the two topologies.  This is the
+    *minimal-movement delta*: the handoff performed by a live reshard
+    must move these keys and no others, and ``keys_moved`` accounting is
+    tested against this predicate exactly.
+    """
+
+    if old_count < 1 or new_count < 1:
+        raise ValueError("shard counts must be at least 1")
+    delta: Dict[str, Tuple[int, int]] = {}
+    for key in keys:
+        old_owner = rendezvous_shard(key, old_count)
+        new_owner = rendezvous_shard(key, new_count)
+        if old_owner != new_owner:
+            delta[key] = (old_owner, new_owner)
+    return delta

@@ -27,7 +27,8 @@ from typing import Any, Dict, Optional
 #: Framing protocol version, checked in the worker's hello frame.  Bump
 #: on any message-shape change; a mismatch fails shard boot loudly
 #: instead of desynchronizing the reply stream.
-SHARD_IPC_VERSION = 1
+#: v2: reshard handoff ops (``handoff_export`` / ``handoff_import``).
+SHARD_IPC_VERSION = 2
 
 
 class ShardIPCError(RuntimeError):

@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..server.app import ServerConfig
 from .hashing import shard_label
 from .ipc import (
+    SHARD_IPC_VERSION,
     ShardConnectionError,
     ShardIPCError,
     ShardProtocolError,
@@ -189,6 +190,14 @@ class ShardHandle:
                     f"{self.label} failed to boot: "
                     f"{error.get('type', 'Error')}: "
                     f"{error.get('message', 'unknown error')}"
+                )
+            version = hello.get("ipc_version")
+            if version != SHARD_IPC_VERSION:
+                self._reap()
+                self.state = "failed"
+                raise ShardBootError(
+                    f"{self.label} speaks IPC v{version!r}; this router "
+                    f"requires v{SHARD_IPC_VERSION} (mixed builds?)"
                 )
             self.pid = hello.get("pid")
             self.started_replay = int(hello.get("journal_replayed") or 0)
@@ -495,23 +504,39 @@ class ShardSupervisor:
         #: respawned -- instead of hanging the dispatch thread forever.
         self.op_timeout = op_timeout
         self._log = log
-        policy = respawn_policy or RespawnPolicy()
-        context = multiprocessing.get_context(start_method)
+        # The factories and spawn context are kept for the handles'
+        # entire lifetime, not just boot: live resharding mints new
+        # handles through the exact same path the constructor used.
+        self._config_for_shard = config_for_shard
+        self._cache_file_for_shard = cache_file_for_shard
+        self._policy = respawn_policy or RespawnPolicy()
+        self._boot_timeout = boot_timeout
+        self._context = multiprocessing.get_context(start_method)
+        #: Serializes topology changes (grow/retire); dispatch and the
+        #: monitor never take it -- they read ``self.handles`` once per
+        #: operation, and the list reference is swapped atomically.
+        self._topology_lock = threading.RLock()
         self.handles: List[ShardHandle] = [
-            ShardHandle(
-                index,
-                config_for_shard(index),
-                cache_file_for_shard(index),
-                context,
-                boot_timeout=boot_timeout,
-                log=log,
-                policy=policy,
-            )
-            for index in range(shard_count)
+            self._make_handle(index) for index in range(shard_count)
         ]
         self._monitor_stop = threading.Event()
         self._monitor_thread: Optional[threading.Thread] = None
         self._stopped = False
+
+    @property
+    def respawn_policy(self) -> RespawnPolicy:
+        return self._policy
+
+    def _make_handle(self, index: int) -> ShardHandle:
+        return ShardHandle(
+            index,
+            self._config_for_shard(index),
+            self._cache_file_for_shard(index),
+            self._context,
+            boot_timeout=self._boot_timeout,
+            log=self._log,
+            policy=self._policy,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -536,8 +561,67 @@ class ShardSupervisor:
         if self._monitor_thread is not None:
             self._monitor_thread.join(timeout=5.0)
             self._monitor_thread = None
-        for handle in self.handles:
+        for handle in list(self.handles):
             handle.stop(drain=drain, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Elastic topology (live resharding)
+    # ------------------------------------------------------------------
+    def grow_to(self, new_count: int) -> List[ShardHandle]:
+        """Boot slots ``shard_count..new_count-1``; all-or-nothing.
+
+        New workers are fully booted (hello received, journal replayed)
+        *before* they are published into ``self.handles``, so the health
+        monitor and dispatchers never see a half-started slot.  If any
+        new slot fails to boot, the ones already started are stopped and
+        :class:`ShardBootError` propagates -- the fleet is left exactly
+        as it was.  Returns the new handles.
+        """
+
+        with self._topology_lock:
+            if new_count <= self.shard_count:
+                raise ValueError(
+                    f"grow_to({new_count}) with {self.shard_count} shards"
+                )
+            fresh: List[ShardHandle] = []
+            try:
+                for index in range(self.shard_count, new_count):
+                    handle = self._make_handle(index)
+                    handle.start()
+                    fresh.append(handle)
+            except ShardBootError:
+                for handle in fresh:
+                    handle.stop(drain=False)
+                raise
+            self.handles = self.handles + fresh
+            self.shard_count = new_count
+            return fresh
+
+    def retire_to(
+        self, new_count: int, drain: bool = True, timeout: float = 30.0
+    ) -> List[ShardHandle]:
+        """Remove slots ``new_count..shard_count-1`` and stop them.
+
+        The surviving list is published *before* the retirees are
+        stopped: from the moment ``self.handles`` shrinks, no dispatcher
+        or monitor sweep can route to a retiring slot, and the stop then
+        waits out (per-handle lock) any call already in flight.  Returns
+        the retired handles so the caller can dispose of their journal
+        and cache files once their records are safely handed off.
+        """
+
+        with self._topology_lock:
+            if not 1 <= new_count < self.shard_count:
+                raise ValueError(
+                    f"retire_to({new_count}) with {self.shard_count} shards"
+                )
+            survivors = self.handles[:new_count]
+            retired = self.handles[new_count:]
+            self.handles = survivors
+            self.shard_count = new_count
+            for handle in retired:
+                handle.stop(drain=drain, timeout=timeout)
+            return retired
 
     def __enter__(self) -> "ShardSupervisor":
         return self.start()
@@ -564,7 +648,13 @@ class ShardSupervisor:
         is permanent for this call and is never retried.
         """
 
-        handle = self.handles[shard_index]
+        try:
+            handle = self.handles[shard_index]
+        except IndexError:
+            raise ShardConnectionError(
+                f"shard {shard_index} is not in the fleet "
+                f"(count {self.shard_count})"
+            ) from None
         if timeout is None:
             timeout = self.op_timeout
         last: Optional[ShardIPCError] = None
@@ -602,7 +692,9 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     def _monitor(self) -> None:
         while not self._monitor_stop.wait(self.health_interval):
-            for handle in self.handles:
+            # Snapshot: a concurrent reshard swaps the handles list; a
+            # retired handle swept here is harmlessly "stopped".
+            for handle in list(self.handles):
                 if self._monitor_stop.is_set():
                     return
                 try:
@@ -633,9 +725,10 @@ class ShardSupervisor:
     # Observability
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        states = [handle.snapshot() for handle in self.handles]
+        handles = list(self.handles)
+        states = [handle.snapshot() for handle in handles]
         return {
-            "count": self.shard_count,
+            "count": len(handles),
             "ready": sum(1 for s in states if s["state"] == "ready"),
             "failed": sum(1 for s in states if s["state"] == "failed"),
             "respawns": sum(s["respawns"] for s in states),
@@ -646,11 +739,13 @@ class ShardSupervisor:
 
     @property
     def pids(self) -> List[Optional[int]]:
-        return [handle.pid for handle in self.handles]
+        return [handle.pid for handle in list(self.handles)]
 
     @property
     def all_ready(self) -> bool:
-        return all(handle.state == "ready" for handle in self.handles)
+        return all(
+            handle.state == "ready" for handle in list(self.handles)
+        )
 
 
 def wait_for_pid_change(

@@ -12,6 +12,13 @@ router drives the worker over a duplex pipe with the framed-JSON ops of
 ``stats``     the app's full ``/stats`` rollup + the latency reservoir's
               transferable state (for cross-shard merging)
 ``ping``      liveness probe for the supervisor's health monitor
+``handoff_export``  flush the journal and return every durable
+              completion that belongs to a *different* slot under a
+              ``to_shards``-sized topology, grouped by its new owner
+              (phase one of a live reshard)
+``handoff_import``  replay handed-off completion records into this
+              worker's journal before it starts seeing their traffic
+              (phase two of a live reshard; idempotent on duplicates)
 ``drain``     flush the journal, persist the per-shard cache, ack, exit
 
 The loop is deliberately **serial**: one request at a time, in arrival
@@ -38,7 +45,7 @@ from typing import Any, Dict, Optional
 from ..server.app import ServerApp, ServerConfig
 from ..server.protocol import protocol_info
 from ..service.faults import FAULTS_GUARD_ENV
-from .hashing import shard_label
+from .hashing import rendezvous_shard, shard_label
 from .ipc import (
     SHARD_IPC_VERSION,
     ShardConnectionError,
@@ -106,6 +113,77 @@ def _chaos_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
                 "journal fault"
             )
     return {"ok": True, "armed": armed, "pid": os.getpid()}
+
+
+def _handoff_export_reply(
+    app: ServerApp, shard_index: int, message: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Phase one of a reshard: surrender records this slot will not own.
+
+    Under the target ``to_shards`` topology, every journaled completion
+    whose rendezvous argmax is no longer this slot is exported, grouped
+    by its new owner.  A *retiring* slot (``shard_index >= to_shards``)
+    owns nothing under the new topology, so it naturally exports its
+    entire journal.  The journal file is flushed but never truncated --
+    the router deletes it only after the successors have fsync'd the
+    imports.
+    """
+
+    to_shards = int(message.get("to_shards") or 0)
+    if to_shards < 1:
+        raise ValueError("handoff_export requires to_shards >= 1")
+    groups: Dict[str, list] = {}
+    exported = 0
+    kept = 0
+    journal = app._journal
+    if journal is not None:
+        entries = journal.export_handoff(
+            lambda key: rendezvous_shard(key, to_shards) != shard_index
+        )
+        kept = len(journal) - len(entries)
+        for entry in entries:
+            owner = rendezvous_shard(entry["key"], to_shards)
+            groups.setdefault(str(owner), []).append(entry)
+            exported += 1
+    return {
+        "ok": True,
+        "exported": exported,
+        "kept": kept,
+        "groups": groups,
+        "pid": os.getpid(),
+    }
+
+
+def _handoff_import_reply(
+    app: ServerApp, message: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Phase two of a reshard: replay handed-off records before traffic.
+
+    The worker loop is serial, so by the time the router's next analyze
+    op for a moved key reaches this worker the import below has fully
+    landed -- the successor answers from its journal replay map exactly
+    as if it had computed the record itself.
+    """
+
+    entries = message.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError("handoff_import requires an entry list")
+    journal = app._journal
+    if journal is None:
+        if entries:
+            raise ValueError(
+                "handoff_import with no journal configured; the exporter "
+                "and importer must share the tier's journal setting"
+            )
+        return {"ok": True, "imported": 0, "duplicates": 0, "degraded": False}
+    imported, duplicates = journal.ingest_handoff(entries)
+    return {
+        "ok": True,
+        "imported": imported,
+        "duplicates": duplicates,
+        "degraded": journal.degraded,
+        "pid": os.getpid(),
+    }
 
 
 def _stats_reply(app: ServerApp, shard_index: int) -> Dict[str, Any]:
@@ -231,6 +309,10 @@ def shard_worker_main(
                     reply = {"ok": True, "pong": True, "pid": os.getpid()}
                 elif op == "chaos":
                     reply = _chaos_reply(app, message)
+                elif op == "handoff_export":
+                    reply = _handoff_export_reply(app, shard_index, message)
+                elif op == "handoff_import":
+                    reply = _handoff_import_reply(app, message)
                 elif op == "drain":
                     persist()
                     send_message(conn, {"seq": seq, "ok": True, "drained": True})

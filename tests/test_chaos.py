@@ -14,6 +14,7 @@ import pytest
 from repro.bench import check_regression
 from repro.chaos import (
     CHAOS_GRID,
+    CHAOS_PROFILES,
     ChaosConfig,
     ChaosEvent,
     churn_payload,
@@ -40,7 +41,7 @@ from repro.shard import (
 # ----------------------------------------------------------------------
 class TestSchedule:
     def test_same_seed_same_timeline(self):
-        for profile in ("full", "quick"):
+        for profile in CHAOS_PROFILES:
             a = generate_timeline(7, 3, 30.0, profile)
             b = generate_timeline(7, 3, 30.0, profile)
             assert a == b
@@ -62,6 +63,14 @@ class TestSchedule:
         assert event.mode == "eio"
         event = parse_event("crashloop@1:shard=0:count=0")
         assert event.count == 0
+        event = parse_event("resize@3:shards=4")
+        assert event == ChaosEvent(at=3.0, action="resize", shards=4)
+        assert parse_event(format_event(event)) == event
+        event = parse_event("hotspot@5:key=2:count=40")
+        assert event == ChaosEvent(
+            at=5.0, action="hotspot", key="2", count=40
+        )
+        assert parse_event(format_event(event)) == event
 
     @pytest.mark.parametrize(
         "spec",
@@ -75,6 +84,13 @@ class TestSchedule:
             "journal_fault@2:shard=1:mode=sharknado",  # bad mode
             "kill@2:shard=1:shard=2",  # duplicate operand
             "kill@-1:shard=0",  # negative offset
+            "resize@3",  # resize without a target size
+            "resize@3:shard=1:shards=4",  # tier action takes no shard
+            "resize@3:shards=0",  # fleet cannot shrink to nothing
+            "hotspot@5",  # hotspot without a key
+            "hotspot@5:shard=0:key=1",  # tier action takes no shard
+            "kill@2:shard=1:shards=3",  # shards= only valid on resize
+            "kill@2:shard=1:key=x",  # key= only valid on hotspot
         ],
     )
     def test_parse_rejects_bad_specs(self, spec):
@@ -96,6 +112,30 @@ class TestSchedule:
                     and e.action in ("kill", "crashloop")
                     for e in events
                 )
+
+    def test_overlap_profile_structure(self):
+        # The overlap profile is the multi-fault proof: a crash loop is
+        # in flight when the tier grows, a disk fault lands during the
+        # flux, and the fleet shrinks back before the final kill.
+        for seed in (7, 11, 23):
+            events = generate_timeline(seed, 2, 18.0, "overlap")
+            actions = [e.action for e in events]
+            assert actions[0] == "crashloop"
+            assert actions[-1] == "kill"
+            resizes = [e for e in events if e.action == "resize"]
+            assert [e.shards for e in resizes] == [4, 2]
+            hotspots = [e for e in events if e.action == "hotspot"]
+            assert len(hotspots) == 1 and hotspots[0].key
+            faults = [e for e in events if e.action == "journal_fault"]
+            assert faults and 0 <= faults[0].shard < 2
+            assert [e.at for e in events] == sorted(e.at for e in events)
+
+    def test_latency_profile_is_ipc_delay_heavy(self):
+        events = generate_timeline(7, 3, 30.0, "latency")
+        delays = [e for e in events if e.action == "ipc_delay"]
+        assert len(delays) >= 2
+        assert all(e.duration > 0 for e in delays)
+        assert sum(1 for e in events if e.action == "kill") == 1
 
     def test_describe_covers_every_event(self):
         events = generate_timeline(7, 3, 30.0)

@@ -24,19 +24,23 @@ import pytest
 
 from repro.server import ReproClient, ServerConfig
 from repro.service import (
+    FAULTS_GUARD_ENV,
     BatchEngine,
     EngineConfig,
     injected_faults,
     parse_request,
 )
 from repro.shard import (
+    HotKeyTracker,
     RespawnPolicy,
     ShardedApp,
     ShardedServer,
+    ownership_delta,
     rendezvous_shard,
     routing_key,
     wait_for_pid_change,
 )
+from repro.shard.router import _ReshardState
 
 REQUESTS = [
     {"kind": "intra", "m": 64, "k": 32, "l": 48, "buffer_elems": 4096},
@@ -448,3 +452,325 @@ def _pid_alive(pid):
     except OSError:
         return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Live resharding: minimal movement, handoff accounting, fault overlap
+# ----------------------------------------------------------------------
+RESHARD_REQUESTS = [
+    {"kind": "intra", "m": 24 + step, "k": 16, "l": 20, "buffer_elems": 4096}
+    for step in range(12)
+]
+
+
+def journaled_keys(payloads):
+    return sorted({routing_key(p) for p in payloads})
+
+
+class TestResharding:
+    @pytest.mark.parametrize("old,new", [(2, 3), (3, 2), (2, 4)])
+    def test_keys_moved_is_exactly_the_ownership_delta(
+        self, tmp_path, old, new
+    ):
+        # The property the minimal-movement claim rests on: the reshard
+        # moves precisely the journaled keys whose rendezvous owner
+        # differs between the two topologies -- no more, no fewer.
+        app = make_app(tmp_path, old)
+        try:
+            assert post_batch(app, RESHARD_REQUESTS).status == 200
+            predicted = ownership_delta(
+                journaled_keys(RESHARD_REQUESTS), old, new
+            )
+            summary = app.reshard(new)
+            assert summary["noop"] is False
+            assert summary["keys_moved"] == len(predicted)
+            assert (
+                summary["imported"] + summary["duplicates"]
+                == summary["exported"]
+            )
+            assert app.shards == new
+            # Moved keys replay byte-identically from their new owners.
+            response = post_batch(app, RESHARD_REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip(
+                "\n"
+            ) == direct_jsonl(RESHARD_REQUESTS)
+        finally:
+            app.close()
+
+    def test_reshard_to_same_count_is_a_noop(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            summary = app.reshard(2)
+            assert summary["noop"] is True
+            assert summary["keys_moved"] == 0
+            assert app.shards == 2
+        finally:
+            app.close()
+
+    def test_mid_batch_reshard_grow_and_shrink_byte_identical(
+        self, tmp_path
+    ):
+        payloads = [
+            {"kind": "intra", "m": 30 + step, "k": 20, "l": 24,
+             "buffer_elems": 8192}
+            for step in range(14)
+        ]
+        expected = direct_jsonl(payloads)
+        summaries = []
+        with injected_faults("delay:intra:seconds=0.08", export_env=True):
+            app = make_app(tmp_path, 2)
+            try:
+                for target in (4, 2):
+                    outcome = {}
+
+                    def run():
+                        outcome["response"] = post_batch(app, payloads)
+
+                    runner = threading.Thread(target=run)
+                    runner.start()
+                    time.sleep(0.3)  # land the resize mid-batch
+                    summaries.append(app.reshard(target))
+                    runner.join(timeout=90.0)
+                    assert not runner.is_alive(), "batch hung mid-reshard"
+                    response = outcome["response"]
+                    assert response.status == 200
+                    assert (
+                        response.body.decode("utf-8").rstrip("\n")
+                        == expected
+                    )
+                    assert app.shards == target
+            finally:
+                app.close()
+        for summary in summaries:
+            assert (
+                summary["imported"] + summary["duplicates"]
+                == summary["exported"]
+            )
+
+    def test_sigkill_old_owner_mid_handoff_loses_nothing(self, tmp_path):
+        app = make_app(tmp_path, 3)
+        try:
+            assert post_batch(app, RESHARD_REQUESTS).status == 200
+            killed = {}
+
+            def hook(phase, detail):
+                # SIGKILL the first exporter right before its handoff
+                # export is requested: the reshard must recover -- via
+                # respawn-and-retry or the direct journal rescue.
+                if phase == "export" and not killed:
+                    victim = app.supervisor.handles[detail]
+                    killed["index"] = detail
+                    killed["pid"] = victim.pid
+                    os.kill(victim.pid, signal.SIGKILL)
+
+            summary = app.reshard(2, phase_hook=hook)
+            assert killed, "phase hook never fired"
+            assert (
+                summary["imported"] + summary["duplicates"]
+                == summary["exported"]
+            )
+            assert app.shards == 2
+            response = post_batch(app, RESHARD_REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip(
+                "\n"
+            ) == direct_jsonl(RESHARD_REQUESTS)
+        finally:
+            app.close()
+
+    def test_disk_fault_on_import_successor_degrades_not_loses(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_GUARD_ENV, "1")
+        app = make_app(tmp_path, 2)
+        try:
+            assert post_batch(app, RESHARD_REQUESTS).status == 200
+            delta = ownership_delta(journaled_keys(RESHARD_REQUESTS), 2, 3)
+            assert delta, "expected at least one key to move on 2->3"
+            targets = {new_owner for _, new_owner in delta.values()}
+            armed = []
+
+            def hook(phase, detail):
+                if phase == "import" and detail in targets and not armed:
+                    app.supervisor.handles[detail].call(
+                        "chaos",
+                        timeout=10.0,
+                        journal={"mode": "eio", "after": 0},
+                    )
+                    armed.append(detail)
+
+            summary = app.reshard(3, phase_hook=hook)
+            assert armed, "import hook never armed the journal fault"
+            assert (
+                summary["imported"] + summary["duplicates"]
+                == summary["exported"]
+            )
+            assert armed[0] in summary["degraded_importers"]
+            # Degraded durability, not lost answers: recompute is
+            # deterministic, so the tier still answers byte-identically.
+            response = post_batch(app, RESHARD_REQUESTS)
+            assert response.status == 200
+            assert response.body.decode("utf-8").rstrip(
+                "\n"
+            ) == direct_jsonl(RESHARD_REQUESTS)
+        finally:
+            app.close()
+
+    def test_parked_overflow_is_503_with_retry_after(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            moving = next(
+                p
+                for p in RESHARD_REQUESTS
+                if rendezvous_shard(routing_key(p), 2)
+                != rendezvous_shard(routing_key(p), 3)
+            )
+            app._resharding = _ReshardState(2, 3, 0, 0.2)
+            try:
+                response = post_batch(app, [moving])
+            finally:
+                app._resharding = None
+            assert response.status == 503
+            assert "Retry-After" in response.headers
+            counters = app.stats_dict()["serving"]
+            assert counters["handoff_overflows"] >= 1
+        finally:
+            app.close()
+
+    def test_parked_too_long_is_503_then_serves_after_commit(
+        self, tmp_path
+    ):
+        app = make_app(tmp_path, 2)
+        try:
+            moving = next(
+                p
+                for p in RESHARD_REQUESTS
+                if rendezvous_shard(routing_key(p), 2)
+                != rendezvous_shard(routing_key(p), 3)
+            )
+            state = _ReshardState(2, 3, 8, 0.2)
+            app._resharding = state
+            try:
+                timed_out = post_batch(app, [moving])
+            finally:
+                app._resharding = None
+            assert timed_out.status == 503
+            retry_after = timed_out.headers["Retry-After"]
+            # The jitter is deterministic per client, so the same parked
+            # client is told the same thing twice.
+            app._resharding = _ReshardState(2, 3, 8, 0.2)
+            try:
+                again = post_batch(app, [moving])
+            finally:
+                app._resharding = None
+            assert again.headers["Retry-After"] == retry_after
+            assert app.stats_dict()["serving"]["handoff_wait_timeouts"] >= 2
+            # Once the window closes the same key serves normally.
+            served = post_batch(app, [moving])
+            assert served.status == 200
+        finally:
+            app.close()
+
+    def test_admin_reshard_endpoint_validates_and_resizes(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            assert post_batch(app, RESHARD_REQUESTS).status == 200
+            for body in (b"not json", b'{"shards": 0}', b'{"shards": true}',
+                         b'{"shards": "three"}', b"{}"):
+                response = app.handle(
+                    "POST", "/admin/reshard", {}, {}, body, "c"
+                )
+                assert response.status == 400, body
+            ok = app.handle(
+                "POST", "/admin/reshard", {}, {}, b'{"shards": 3}', "c"
+            )
+            assert ok.status == 200
+            summary = json.loads(ok.body)
+            assert (summary["from"], summary["to"]) == (2, 3)
+            assert app.shards == 3
+            noop = app.handle(
+                "POST", "/admin/reshard", {}, {}, b'{"shards": 3}', "c"
+            )
+            assert json.loads(noop.body)["noop"] is True
+            stats = app.stats_dict()
+            assert stats["resharding"]["reshards_completed"] == 1
+            assert stats["resharding"]["keys_moved"] == summary["keys_moved"]
+            assert stats["resharding"]["last"]["to"] == 3
+        finally:
+            app.close()
+
+    def test_readyz_reports_resharding_as_its_own_state(self, tmp_path):
+        app = make_app(tmp_path, 2)
+        try:
+            app._resharding = _ReshardState(2, 3, 8, 5.0)
+            try:
+                ready = app.handle("GET", "/readyz", {}, {}, b"", "c")
+            finally:
+                app._resharding = None
+            assert ready.status == 200
+            payload = json.loads(ready.body)
+            assert payload["status"] == "resharding"
+            assert payload["resharding"]["active"] is True
+            assert payload["resharding"]["pending"] == 0
+            assert (payload["resharding"]["from"],
+                    payload["resharding"]["to"]) == (2, 3)
+        finally:
+            app.close()
+
+
+# ----------------------------------------------------------------------
+# Hot-key replication
+# ----------------------------------------------------------------------
+class TestHotKeyReplication:
+    def test_tracker_decays_and_bounds_memory(self):
+        now = [0.0]
+        tracker = HotKeyTracker(
+            threshold=3.0, halflife=1.0, max_keys=4, clock=lambda: now[0]
+        )
+        for _ in range(4):
+            tracker.observe("k")
+        assert tracker.is_hot("k")
+        now[0] += 10.0  # ten half-lives: rate decays to ~0.004x
+        assert not tracker.is_hot("k")
+        for index in range(10):
+            tracker.observe(f"key-{index}")
+        assert tracker.snapshot()["tracked"] <= 4
+
+    def test_hot_key_reads_fan_out_and_stay_byte_identical(self, tmp_path):
+        app = make_app(tmp_path, 3, hot_key_threshold=3.0)
+        try:
+            payload = REQUESTS[0]
+            key = routing_key(payload)
+            bodies = set()
+            for _ in range(12):
+                response = app.handle(
+                    "POST",
+                    "/v1/analyze",
+                    {},
+                    {"content-type": "application/json"},
+                    json.dumps(payload).encode("utf-8"),
+                    "c",
+                )
+                assert response.status == 200
+                bodies.add(response.body)
+            # Read-any discipline: whichever replica answered, the bytes
+            # are the owner's bytes.
+            assert len(bodies) == 1
+            assert app.hot_keys.is_hot(key)
+            stats = app.stats_dict()
+            assert stats["hot_keys"]["hot"] >= 1
+            assert stats["hot_keys"]["replica_reads"] >= 1
+        finally:
+            app.close()
+
+    def test_cold_keys_keep_single_owner_routing(self, tmp_path):
+        app = make_app(tmp_path, 3, hot_key_threshold=1000.0)
+        try:
+            for _ in range(3):
+                assert post_batch(app, RESHARD_REQUESTS).status == 200
+            stats = app.stats_dict()
+            assert stats["hot_keys"]["hot"] == 0
+            assert stats["hot_keys"]["replica_reads"] == 0
+        finally:
+            app.close()
