@@ -3,9 +3,11 @@
 ``repro chaos --seed 7 --shards 3`` boots a real sharded fleet, soaks
 it with steady request load, applies a *seeded, reproducible* fault
 timeline (worker kills, crash loops, SIGSTOP stalls, journal disk
-faults), and verifies the tier's promises held the whole way through:
+faults, on-disk journal corruption, SIGKILL mid-compaction), and
+verifies the tier's promises held the whole way through:
 byte-identical output, no lost accepted work, conserved counters,
-truthful readiness, crash-loop containment, and disk-fault survival.
+truthful readiness, crash-loop containment, disk-fault survival, and
+durable-state integrity (every surviving journal passes ``fsck``).
 
 The timeline grammar and generator live in
 :mod:`~repro.chaos.schedule`; the harness and its invariant checks in
@@ -24,6 +26,7 @@ from .harness import (
 from .schedule import (
     CHAOS_ACTIONS,
     CHAOS_PROFILES,
+    CORRUPT_MODES,
     TIER_ACTIONS,
     ChaosEvent,
     describe_timeline,
@@ -38,6 +41,7 @@ __all__ = [
     "CHAOS_ACTIONS",
     "CHAOS_GRID",
     "CHAOS_PROFILES",
+    "CORRUPT_MODES",
     "TIER_ACTIONS",
     "ChaosConfig",
     "ChaosEvent",

@@ -32,6 +32,13 @@ and checks the tier's core promises the whole way through:
 8. **Replica consistency** -- a hot-key burst crosses the router's
    replication threshold and every burst response (whichever replica
    answered) is byte-identical to the single-payload oracle.
+9. **Durable-state integrity** -- journals damaged mid-soak (bytes
+   flipped by a ``corrupt`` event, or a worker SIGKILLed mid-compaction
+   by ``kill_compact``) are always detected: the successor quarantines
+   corrupt records / truncates torn tails (never serving a corrupted
+   byte), an interrupted compaction leaves a journal that replays fully
+   valid, and after the soak every shard journal passes an offline
+   ``fsck`` clean.
 
 Determinism: the same ``(seed, shards, duration)`` triple always yields
 the same fault timeline (event *offsets* and victims; actual interleave
@@ -56,7 +63,7 @@ from ..service.engine import BatchEngine, EngineConfig
 from ..service.faults import FAULTS_GUARD_ENV
 from ..service.requests import parse_request
 from ..shard.ipc import ShardIPCError
-from ..shard.supervisor import RespawnPolicy, ShardOpError
+from ..shard.supervisor import RespawnPolicy, ShardBootError, ShardOpError
 from ..shard.router import ShardedServer, routing_key
 from .schedule import (
     ChaosEvent,
@@ -170,6 +177,11 @@ class ChaosReport:
     hot_keys: int = 0
     final_shards: Optional[int] = None
     journal_degraded: Optional[bool] = None
+    corruptions: int = 0
+    corrupt_quarantined: int = 0
+    compact_kills: int = 0
+    compactions: int = 0
+    journals_valid: Optional[bool] = None
     conservation: Optional[bool] = None
     requests_routed: int = 0
     invariant_failures: List[str] = field(default_factory=list)
@@ -358,6 +370,180 @@ class _EventApplier(threading.Thread):
             f"(pid {pid})"
         )
 
+    def _apply_corrupt(self, event: ChaosEvent) -> None:
+        """Damage the slot's on-disk journal, kill the worker, verify.
+
+        The successor's replay must *detect* the damage -- quarantine a
+        corrupt record (``mid``/``header``), truncate a torn tail
+        (``tail``) -- and keep serving; a corrupted byte must never come
+        back as a result.  Lost records are recomputed, so byte identity
+        with the oracle is checked by the ordinary soak loop.
+        """
+
+        from ..shard.router import shard_server_config
+
+        path = shard_server_config(
+            self.server.app.config, event.shard
+        ).journal_path
+        if not path or not os.path.exists(path):
+            self.report.notes.append(
+                f"corrupt skipped: shard {event.shard} has no journal file"
+            )
+            return
+        pid = self._handle(event.shard).pid
+        description = ""
+        if event.mode == "tail":
+            # A torn partial append, exactly what a crash mid-write
+            # leaves behind (no trailing newline).
+            with open(path, "ab") as fh:
+                fh.write(b'{"type":"completion","key":"torn-by-chaos')
+            description = "torn partial append"
+        elif event.mode == "header":
+            with open(path, "r+b") as fh:
+                fh.write(b"\x00")
+            description = "first header byte clobbered"
+        else:  # mid: break one completion record's CRC
+            with open(path, "rb") as fh:
+                lines = fh.read().split(b"\n")
+            target = None
+            for idx, line in enumerate(lines):
+                if idx == 0:
+                    continue
+                if b'"type":"completion"' in line and b'"crc":"' in line:
+                    target = idx
+                    break
+            if target is None:
+                with open(path, "ab") as fh:
+                    fh.write(b"gibberish from the chaos harness\n")
+                description = "garbage line appended (no completions yet)"
+            else:
+                line = lines[target]
+                pos = line.find(b'"crc":"') + len(b'"crc":"')
+                flipped = b"0" if line[pos : pos + 1] != b"0" else b"f"
+                lines[target] = line[:pos] + flipped + line[pos + 1 :]
+                with open(path, "wb") as fh:
+                    fh.write(b"\n".join(lines))
+                description = f"crc byte flipped on line {target + 1}"
+        if self._kill_pid(pid):
+            self.config.log(
+                f"corrupted shard {event.shard} journal "
+                f"(mode={event.mode}: {description}); killed pid {pid} "
+                "so the successor replays through the damage"
+            )
+        self._wait_state(
+            event.shard,
+            lambda h: h.state == "ready" and h.pid != pid,
+            timeout=20.0,
+        )
+        self.report.corruptions += 1
+        verified = False
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            handle = self._handle(event.shard)
+            try:
+                stats = handle.call("stats", timeout=10.0)
+            except (ShardIPCError, ShardOpError):
+                time.sleep(0.2)
+                continue
+            journal = (stats.get("stats") or {}).get("journal") or {}
+            quarantined = int(journal.get("corrupt_quarantined") or 0)
+            dropped = int(journal.get("recovered_drops") or 0)
+            # A torn tail is truncated; flipped bytes are quarantined.
+            # (A tail-append can race a live worker write into one
+            # merged garbage line, which quarantines instead -- both
+            # paths prove detection.)
+            if quarantined >= 1 or (event.mode == "tail" and dropped >= 1):
+                self.report.corrupt_quarantined += quarantined
+                self.config.log(
+                    f"shard {event.shard} successor detected the "
+                    f"{event.mode} damage (quarantined={quarantined}, "
+                    f"torn={dropped}); corrupt records are recomputed, "
+                    "never served"
+                )
+                verified = True
+                break
+            time.sleep(0.2)
+        if not verified:
+            self._fail(
+                f"corrupt mode={event.mode} on shard {event.shard} was "
+                "never detected by the successor's replay (quarantine/"
+                "torn counters stayed zero)"
+            )
+
+    def _apply_kill_compact(self, event: ChaosEvent) -> None:
+        """SIGKILL a worker mid-compaction; the successor must be whole.
+
+        Arms the worker's ``compact_kill`` chaos switch at the
+        ``pre_rename`` step (fully written temp file, swap not yet
+        committed -- the scariest instant), triggers a compaction, and
+        expects the pipe to die.  The respawned worker must replay a
+        fully valid journal and complete the compaction when re-asked.
+        """
+
+        handle = self._handle(event.shard)
+        pid = handle.pid
+        step = "pre_rename"
+        try:
+            handle.call(
+                "chaos", timeout=10.0, compact_kill={"step": step}
+            )
+        except (ShardIPCError, ShardOpError) as exc:
+            self._fail(
+                f"could not arm compact_kill on shard {event.shard}: "
+                f"{exc}"
+            )
+            return
+        self.config.log(
+            f"armed compact_kill({step}) on shard {event.shard} "
+            f"(pid {pid}); triggering compaction"
+        )
+        try:
+            handle.call("compact", timeout=15.0)
+        except ShardIPCError:
+            self.config.log(
+                f"shard {event.shard} died mid-compaction as armed "
+                f"(pid {pid})"
+            )
+        except ShardOpError as exc:
+            self._fail(
+                f"compact op on shard {event.shard} errored instead of "
+                f"killing the worker: {exc}"
+            )
+            return
+        else:
+            self._fail(
+                f"armed compact_kill({step}) on shard {event.shard} "
+                "never fired (compaction completed normally)"
+            )
+            return
+        self.report.compact_kills += 1
+        if not self._wait_state(
+            event.shard,
+            lambda h: h.state == "ready" and h.pid != pid,
+            timeout=20.0,
+        ):
+            self._fail(
+                f"shard {event.shard} never respawned after dying "
+                "mid-compaction"
+            )
+            return
+        try:
+            reply = self.server.app.supervisor.call_with_retry(
+                event.shard, "compact", timeout=30.0
+            )
+        except (ShardIPCError, ShardBootError, ShardOpError) as exc:
+            self._fail(
+                f"post-kill compaction retry failed on shard "
+                f"{event.shard}: {exc}"
+            )
+            return
+        if reply.get("compacted"):
+            self.report.compactions += 1
+        self.config.log(
+            f"shard {event.shard} respawned with a valid journal and "
+            "compacted cleanly after the mid-compaction kill"
+        )
+
     def _apply_ipc_delay(self, event: ChaosEvent) -> None:
         handle = self._handle(event.shard)
         handle.ipc_delay = event.duration
@@ -496,6 +682,10 @@ class _EventApplier(threading.Thread):
                     self._apply_resize(event)
                 elif event.action == "hotspot":
                     self._apply_hotspot(event)
+                elif event.action == "corrupt":
+                    self._apply_corrupt(event)
+                elif event.action == "kill_compact":
+                    self._apply_kill_compact(event)
             except Exception as exc:  # applier bugs must be loud
                 self._fail(
                     f"event {format_event(event)} raised "
@@ -826,6 +1016,43 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
                 f"harness-counted={report.requests_ok}, "
                 f"{transport_anomalies} transport anomalies (a retried "
                 "call may have been served twice)"
+            )
+
+        # ---- durable-state integrity (invariant 9) -------------------
+        # Stop the fleet first so every journal is quiescent, then fsck
+        # each shard's file offline.  Whatever the soak did -- flipped
+        # bytes, torn tails, SIGKILL mid-compaction -- the survivors on
+        # disk must load clean.
+        tier_stats = server.app.stats_dict().get("shards") or {}
+        report.compactions += int(
+            tier_stats.get("journal_compactions") or 0
+        )
+        server.shutdown(drain=True, timeout=30.0)
+        from ..service.journal import fsck_file
+        from ..shard.router import shard_server_config
+
+        journals_valid = True
+        checked = 0
+        for index in range(snapshot["count"]):
+            journal_path = shard_server_config(
+                server_config, index
+            ).journal_path
+            if not journal_path or not os.path.exists(journal_path):
+                continue
+            checked += 1
+            verdict = fsck_file(journal_path)
+            if verdict.get("exit_code", 2) != 0:
+                journals_valid = False
+                report.invariant_failures.append(
+                    "durable-state integrity violated: post-soak fsck of "
+                    f"{journal_path} is {verdict.get('status')} "
+                    f"({verdict.get('detail') or 'corrupt records on disk'})"
+                )
+        report.journals_valid = journals_valid if checked else None
+        if checked:
+            config.log(
+                f"post-soak fsck: {checked} shard journal(s) checked, "
+                f"{'all clean' if journals_valid else 'PROBLEMS FOUND'}"
             )
     finally:
         if server is not None:

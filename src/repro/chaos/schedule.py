@@ -31,6 +31,18 @@ Actions
 ``journal_fault``
     Arm a one-shot journal write fault (``mode`` = ``enospc`` / ``eio``)
     inside the worker via the guarded ``chaos`` IPC op.
+``corrupt``
+    Flip bytes in the slot's on-disk journal (``mode`` = ``mid`` -- a
+    record in the middle, ``tail`` -- a torn partial append, ``header``
+    -- the header line), then SIGKILL the worker so its successor must
+    replay through the damage: quarantine the corrupt record (mid),
+    truncate the torn tail (tail), or quarantine the whole file and
+    restart (header) -- never serve a corrupted byte.
+``kill_compact``
+    Arm a ``compact_kill`` inside the worker (via the guarded ``chaos``
+    IPC op) and trigger a journal compaction: the worker SIGKILLs
+    itself mid-rewrite and the successor must replay a fully valid
+    journal -- old or new, never a torn hybrid.
 ``ipc_delay``
     Slow the slot's router-side pipe by ``duration`` seconds per call
     for ``count`` seconds of wall clock.
@@ -58,10 +70,15 @@ CHAOS_ACTIONS = (
     "crashloop",
     "stall",
     "journal_fault",
+    "corrupt",
+    "kill_compact",
     "ipc_delay",
     "resize",
     "hotspot",
 )
+
+#: Where the ``corrupt`` action flips bytes in the shard journal.
+CORRUPT_MODES = ("mid", "tail", "header")
 
 #: Actions that require / accept a duration operand.
 _DURATION_ACTIONS = {"stall", "ipc_delay"}
@@ -74,8 +91,9 @@ TIER_ACTIONS = ("resize", "hotspot")
 #: ``full``/``quick`` are the single-fault classics; ``latency`` is
 #: ipc_delay-heavy (slow pipes, not dead ones); ``overlap`` stacks
 #: elastic resizes on top of crash-loop containment, journal faults,
-#: and a hot-key burst -- the multi-fault soak.
-CHAOS_PROFILES = ("full", "quick", "latency", "overlap")
+#: and a hot-key burst -- the multi-fault soak; ``durability`` attacks
+#: the journals themselves (on-disk corruption + SIGKILL mid-compaction).
+CHAOS_PROFILES = ("full", "quick", "latency", "overlap", "durability")
 
 
 @dataclass(frozen=True)
@@ -127,6 +145,12 @@ class ChaosEvent:
                     f"journal_fault mode must be one of "
                     f"{', '.join(JOURNAL_FAULT_MODES)}, "
                     f"got {self.mode!r}"
+                )
+        elif self.action == "corrupt":
+            if self.mode not in CORRUPT_MODES:
+                raise ValueError(
+                    f"corrupt mode must be one of "
+                    f"{', '.join(CORRUPT_MODES)}, got {self.mode!r}"
                 )
         elif self.mode:
             raise ValueError(f"{self.action} does not take a mode")
@@ -242,6 +266,10 @@ def describe_timeline(events: Sequence[ChaosEvent]) -> List[str]:
             extra = f" (+{event.duration:g}s/call for {event.count}s)"
         elif event.action == "journal_fault":
             extra = f" (mode={event.mode})"
+        elif event.action == "corrupt":
+            extra = f" (journal bytes flipped: mode={event.mode})"
+        elif event.action == "kill_compact":
+            extra = " (SIGKILL mid-compaction)"
         elif event.action == "crashloop":
             extra = (
                 " (until contained)"
@@ -394,6 +422,46 @@ def generate_timeline(
                 at=jitter(duration * 0.85, duration * 0.04),
                 action="kill",
                 shard=crash,
+            )
+        )
+    elif profile == "durability":
+        # Attack the durable state itself: flip bytes in one slot's
+        # on-disk journal (its successor must quarantine the damage and
+        # keep serving), SIGKILL another slot mid-compaction (its
+        # successor must replay a fully valid journal), tear a third
+        # slot's tail, then plain-kill the first corrupted slot to
+        # prove the quarantined journal replays again.
+        corrupt_first = order[0]
+        compact_victim = order[1]
+        corrupt_second = order[2] if shards > 2 else order[0]
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.15, duration * 0.05),
+                action="corrupt",
+                shard=corrupt_first,
+                mode=rng.choice(list(CORRUPT_MODES)),
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.4, duration * 0.05),
+                action="kill_compact",
+                shard=compact_victim,
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.6, duration * 0.05),
+                action="corrupt",
+                shard=corrupt_second,
+                mode="tail",
+            )
+        )
+        events.append(
+            ChaosEvent(
+                at=jitter(duration * 0.8, duration * 0.05),
+                action="kill",
+                shard=corrupt_first,
             )
         )
     elif profile == "quick":

@@ -27,7 +27,11 @@ call FILE           evaluate requests against a running ``repro serve``
                     daemon via :class:`repro.server.ReproClient`
                     (deterministic retries on 429/503; ``--health``,
                     ``--server-stats``; ``--reshard N`` live-resizes a
-                    sharded tier)
+                    sharded tier; ``--compact`` folds its journal(s))
+fsck PATH...        offline integrity check of journal / cache files:
+                    per-record CRC verification, dedup stats, exit 0/1/2;
+                    ``--repair`` quarantines corrupt records and rewrites
+                    a clean journal
 selfcheck           run a small fault-injected batch end to end and verify
                     the resilience, certification, and serving layers held
                     (CI smoke test)
@@ -228,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
         "without it an existing journal is an error, never clobbered",
     )
     batch.add_argument(
+        "--compact-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-compact the journal once it holds more than N on-disk "
+        "lines with duplicates to reclaim (default: disabled)",
+    )
+    batch.add_argument(
+        "--compact-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="auto-compact the journal once the file exceeds BYTES with "
+        "duplicates to reclaim (default: disabled)",
+    )
+    batch.add_argument(
         "--stall-timeout",
         type=float,
         default=None,
@@ -395,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
         "and flushed on drain, so a killed daemon resumes warm",
     )
     serve.add_argument(
+        "--compact-max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-compact the journal (each shard's journal under "
+        "--shards) once it holds more than N on-disk lines with "
+        "duplicates to reclaim (default: disabled)",
+    )
+    serve.add_argument(
+        "--compact-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="auto-compact once the journal file exceeds BYTES with "
+        "duplicates to reclaim (default: disabled)",
+    )
+    serve.add_argument(
         "--cache-file",
         default=None,
         help="persistent result cache: warmed at boot if it exists, "
@@ -554,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
         "workers, print the handoff summary, and exit",
     )
     call.add_argument(
+        "--compact",
+        action="store_true",
+        help="POST /admin/compact to fold the server's journal(s) down "
+        "to their deduped durable completions, print the summary, and "
+        "exit",
+    )
+    call.add_argument(
         "--server-stats",
         action="store_true",
         help="print the server's /stats rollup to stderr after the call",
@@ -562,6 +606,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit nonzero if any request in the batch errored",
+    )
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="offline integrity check of journal / cache files: verify "
+        "every record's CRC, report dedup + torn-tail stats, exit 0 "
+        "(clean), 1 (problems found), or 2 (cannot check)",
+    )
+    fsck.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="journal or cache files to check",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt records to <path>.quarantine, truncate "
+        "torn tails, and rewrite a clean journal (their requests are "
+        "recomputed on the next --resume, never served corrupted)",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-file reports as JSON instead of text",
     )
 
     selfcheck = commands.add_parser(
@@ -932,12 +1001,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     journal = None
     if args.journal:
         try:
-            journal = BatchJournal(args.journal, resume=args.resume)
+            journal = BatchJournal(
+                args.journal,
+                resume=args.resume,
+                compact_max_records=args.compact_max_records,
+                compact_max_bytes=args.compact_max_bytes,
+            )
         except JournalExistsError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        except JournalError as exc:
-            # Unknown version / wrong format: fail loud, never misread.
+        except (JournalError, ValueError) as exc:
+            # Unknown version / wrong format / bad knob: fail loud,
+            # never misread.
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if journal.recovered_drops:
@@ -945,6 +1020,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f"journal: recovered {args.journal}, dropped "
                 f"{journal.recovered_drops} torn line(s); their requests "
                 "will be recomputed",
+                file=sys.stderr,
+            )
+        if journal.corrupt_quarantined:
+            print(
+                f"journal: quarantined {journal.corrupt_quarantined} "
+                f"corrupt record(s) from {args.journal} to "
+                f"{journal.quarantine_path}; their requests will be "
+                "recomputed, never served corrupted",
                 file=sys.stderr,
             )
     try:
@@ -1022,6 +1105,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_deadline=args.max_deadline,
             paranoid=args.paranoid,
             journal_path=args.journal,
+            compact_max_records=args.compact_max_records,
+            compact_max_bytes=args.compact_max_bytes,
             verbose=args.verbose,
             retry_jitter_seed=args.retry_jitter_seed,
         )
@@ -1217,6 +1302,10 @@ def _cmd_call(args: argparse.Namespace) -> int:
             summary = client.reshard(args.reshard)
             print(json.dumps(summary, sort_keys=True, indent=2))
             return 0
+        if args.compact:
+            summary = client.compact()
+            print(json.dumps(summary, sort_keys=True, indent=2))
+            return 0 if summary.get("ok") else 1
         payloads = _read_batch_payloads(args.requests)
         if args.chunk_size > 0:
             lines = [
@@ -1257,6 +1346,71 @@ def _cmd_call(args: argparse.Namespace) -> int:
         return 1
     finally:
         client.close()
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Offline integrity check; exit code is the worst per-file verdict.
+
+    One summary line per file plus one ``line N: ...`` detail line per
+    corrupt/torn record (key and reason included when recoverable), so a
+    CI grep can name exactly which record a flipped byte destroyed.
+    """
+
+    import json
+
+    from .service import FSCK_CLEAN, fsck_file
+
+    reports = [fsck_file(path, repair=args.repair) for path in args.paths]
+    if args.json:
+        print(json.dumps(reports, sort_keys=True, indent=2))
+        return max(report["exit_code"] for report in reports)
+    for report in reports:
+        status = report["status"]
+        if report["kind"] == "cache":
+            print(
+                f"{report['path']}: cache {status} "
+                f"({report['completion_lines']} entr"
+                f"{'y' if report['completion_lines'] == 1 else 'ies'}, "
+                f"{report['unique_keys']} unique key(s))"
+            )
+        else:
+            print(
+                f"{report['path']}: {report['kind']} {status} "
+                f"(v{report['version']}, {report['file_bytes']} bytes, "
+                f"{report['completion_lines']} completion line(s), "
+                f"{report['unique_keys']} unique key(s), "
+                f"{report['durable_records']} durable, "
+                f"{report['duplicate_lines']} duplicate(s), "
+                f"{report['heartbeat_lines']} heartbeat(s))"
+            )
+        if report["detail"]:
+            print(f"  {report['detail']}")
+        for problem in report["corrupt"]:
+            key = problem.get("key") or "?"
+            print(
+                f"  line {problem['line']}: CORRUPT key={key} "
+                f"({problem['reason']})"
+            )
+        for problem in report["torn"]:
+            key = problem.get("key") or "?"
+            print(
+                f"  line {problem['line']}: TORN key={key} "
+                f"({problem['reason']})"
+            )
+        if report["repaired"]:
+            print(
+                f"  repaired: quarantined {report['quarantined']} corrupt "
+                f"record(s), dropped {report['recovered_drops']} torn "
+                "line(s); journal rewritten clean (lost requests are "
+                "recomputed on the next --resume)"
+            )
+    worst = max(report["exit_code"] for report in reports)
+    clean = sum(1 for report in reports if report["exit_code"] == FSCK_CLEAN)
+    print(
+        f"fsck: {clean}/{len(reports)} file(s) clean",
+        file=sys.stderr,
+    )
+    return worst
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1327,7 +1481,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"escalation(s), {report.reshards} reshard(s) / "
             f"{report.keys_moved} key(s) moved, {report.replica_reads} "
             f"replica read(s), journal degraded survival="
-            f"{report.journal_degraded}, conservation="
+            f"{report.journal_degraded}, {report.corruptions} journal "
+            f"corruption(s) / {report.corrupt_quarantined} quarantined, "
+            f"{report.compact_kills} mid-compaction kill(s) / "
+            f"{report.compactions} compaction(s), post-soak fsck clean="
+            f"{report.journals_valid}, conservation="
             f"{report.conservation}",
             file=sys.stderr,
         )
@@ -1384,6 +1542,12 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     requests in flight and one worker is SIGKILLed between the resizes;
     every handoff must balance (imported + duplicates == exported) and a
     final batch must stay byte-identical to a direct engine run.
+
+    Phase 8 proves the durable-state lifecycle: a journaled batch is
+    followed by compactions SIGKILLed mid-rewrite (at the mid-write and
+    pre-rename steps, in forked children); after each kill the journal
+    must reopen with zero quarantined/torn records and a resumed run
+    must replay every completion byte-identically to a direct run.
     """
 
     import tempfile
@@ -1796,6 +1960,85 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         else:
             elastic_summary = "elastic FAILED"
 
+    # ------------------------------------------------------------------
+    # Phase 8: durable-state lifecycle (compaction killed mid-rewrite).
+    # ------------------------------------------------------------------
+    durability_summary = "durability skipped (no fork on this platform)"
+    if hasattr(os, "fork"):
+        dur_requests = [
+            intra_request(24 + step, 16, 24, 4096) for step in range(6)
+        ]
+        dur_direct = BatchEngine(EngineConfig(jobs=2)).run_batch(
+            dur_requests
+        )
+        kill_steps = ("mid_write", "pre_rename")
+        with tempfile.TemporaryDirectory() as tmpdir:
+            dur_path = f"{tmpdir}/durability.journal"
+            journal = BatchJournal(dur_path, resume=True)
+            BatchEngine(EngineConfig(jobs=2)).run_batch(
+                dur_requests, journal=journal
+            )
+            journal.close()
+            for kill_step in kill_steps:
+                pid = os.fork()
+                if pid == 0:
+                    # Child: arm the kill and compact.  The SIGKILL
+                    # fires inside compact(); os._exit is unreachable
+                    # unless the arming failed.
+                    try:
+                        child = BatchJournal(
+                            dur_path,
+                            resume=True,
+                            fsync=False,
+                            log=lambda message: None,
+                        )
+                        child.inject_compact_kill(kill_step)
+                        child.compact()
+                    finally:
+                        os._exit(3)
+                _, status = os.waitpid(pid, 0)
+                if not (
+                    os.WIFSIGNALED(status)
+                    and os.WTERMSIG(status) == signal.SIGKILL
+                ):
+                    failures.append(
+                        f"durability: compaction child survived the armed "
+                        f"{kill_step} SIGKILL (status {status})"
+                    )
+                    continue
+                survivor = BatchJournal(dur_path, resume=True)
+                quarantined = survivor.corrupt_quarantined
+                dropped = survivor.recovered_drops
+                resumed = BatchEngine(EngineConfig(jobs=2)).run_batch(
+                    dur_requests, journal=survivor
+                )
+                survivor.close()
+                if quarantined or dropped:
+                    failures.append(
+                        f"durability: journal not clean after {kill_step} "
+                        f"kill (quarantined={quarantined}, torn={dropped})"
+                    )
+                if resumed.replayed != len(dur_requests):
+                    failures.append(
+                        f"durability: {kill_step} kill lost completions "
+                        f"(replayed {resumed.replayed}/{len(dur_requests)})"
+                    )
+                if resumed.to_jsonl() != dur_direct.to_jsonl():
+                    failures.append(
+                        f"durability: resumed output differs from direct "
+                        f"run after {kill_step} kill"
+                    )
+        if not any(
+            failure.startswith("durability:") for failure in failures
+        ):
+            durability_summary = (
+                "durability ok (compaction SIGKILLed at "
+                f"{'/'.join(kill_steps)}, journal stayed valid, "
+                "byte-identical resume)"
+            )
+        else:
+            durability_summary = "durability FAILED"
+
     if failures:
         for failure in failures:
             print(f"selfcheck FAILED: {failure}", file=sys.stderr)
@@ -1812,7 +2055,8 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         f"sharding ok (shard killed mid-batch, {respawns} respawn, "
         "byte-identical completion); "
         f"{chaos_summary}; "
-        f"{elastic_summary}"
+        f"{elastic_summary}; "
+        f"{durability_summary}"
     )
     return 0
 
@@ -1837,6 +2081,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "call":
         return _cmd_call(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "selfcheck":
         return _cmd_selfcheck(args)
     if args.command == "chaos":

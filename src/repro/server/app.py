@@ -190,6 +190,14 @@ def render_metrics_text(stats: Dict[str, Any]) -> str:
         emit("journal_degraded", 1 if journal.get("degraded") else 0)
         emit("journal_appended_total", journal.get("appended"))
         emit("journal_write_errors_total", journal.get("write_errors"))
+        emit("journal_records", journal.get("completed"))
+        emit("journal_bytes", journal.get("file_bytes"))
+        emit("journal_compactions_total", journal.get("compactions"))
+        emit(
+            "journal_corrupt_quarantined_total",
+            journal.get("corrupt_quarantined"),
+        )
+        emit("journal_replay_seconds", journal.get("replay_seconds"))
     shards = stats.get("shards")
     if shards:
         emit("shards_total", shards["count"])
@@ -201,6 +209,15 @@ def render_metrics_text(stats: Dict[str, Any]) -> str:
         emit(
             "shards_journals_degraded", shards.get("journals_degraded")
         )
+        # Tier-wide durable-state rollups (summed across shard journals).
+        emit("journal_records", shards.get("journal_records"))
+        emit("journal_bytes", shards.get("journal_bytes"))
+        emit("journal_compactions_total", shards.get("journal_compactions"))
+        emit(
+            "journal_corrupt_quarantined_total",
+            shards.get("journal_corrupt_quarantined"),
+        )
+        emit("journal_replay_seconds", shards.get("journal_replay_seconds"))
         for shard in shards["shards"]:
             emit(
                 "shard_up",
@@ -251,6 +268,10 @@ class ServerConfig:
     paranoid: bool = False
     #: Write-ahead journal path (None: no journal).
     journal_path: Optional[str] = None
+    #: Auto-compact the journal past this many on-disk lines (None: off).
+    compact_max_records: Optional[int] = None
+    #: Auto-compact the journal past this many on-disk bytes (None: off).
+    compact_max_bytes: Optional[int] = None
     max_body_bytes: int = 8 << 20
     #: Ceiling on requests per analyze call (split bigger batches).
     max_batch_requests: int = 10000
@@ -277,6 +298,10 @@ class ServerConfig:
             raise ValueError("max_body_bytes must be positive")
         if self.max_batch_requests < 1:
             raise ValueError("max_batch_requests must be positive")
+        if self.compact_max_records is not None and self.compact_max_records < 1:
+            raise ValueError("compact_max_records must be positive (or None)")
+        if self.compact_max_bytes is not None and self.compact_max_bytes < 1:
+            raise ValueError("compact_max_bytes must be positive (or None)")
 
 
 class ServerApp:
@@ -305,7 +330,15 @@ class ServerApp:
         self.max_body_bytes = self.config.max_body_bytes
         self._journal: Optional[BatchJournal] = None
         if self.config.journal_path:
-            self._journal = BatchJournal(self.config.journal_path, resume=True)
+            self._journal = BatchJournal(
+                self.config.journal_path,
+                resume=True,
+                compact_max_records=self.config.compact_max_records,
+                compact_max_bytes=self.config.compact_max_bytes,
+            )
+            # Boot is the cheapest compaction point: replay just paid for
+            # reading every line, so fold the journal down before serving.
+            self._journal.maybe_compact()
         #: The journal is single-writer; journaled runs serialize on this.
         self._journal_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -384,6 +417,36 @@ class ServerApp:
         self._journal.inject_write_fault(mode, after=after)
         return True
 
+    def arm_compact_kill(self, step: str) -> bool:
+        """Arm a SIGKILL at a compaction step (chaos harness only).
+
+        Returns False when the app runs without a journal.  Reached via
+        the shard worker's env-guarded ``chaos`` op; the next compaction
+        then dies at ``step``, proving the crash-safe rewrite end to end.
+        """
+
+        if self._journal is None:
+            return False
+        self._journal.inject_compact_kill(step)
+        return True
+
+    def compact_journal(self) -> Optional[Dict[str, Any]]:
+        """Force a journal compaction now (the admin surface).
+
+        Serialized with journaled batches on the journal lock.  Returns
+        the compaction summary, or ``None`` when the app runs without a
+        journal or the journal is degraded (a failing volume is no place
+        to rewrite the only valid copy).
+        """
+
+        if self._journal is None:
+            return None
+        with self._journal_lock:
+            return self._journal.compact()
+
+    def journal_stats(self) -> Optional[Dict[str, Any]]:
+        return self._journal.stats() if self._journal is not None else None
+
     def load_cache(self, path: str) -> int:
         return self._base.load_cache(path)
 
@@ -411,6 +474,12 @@ class ServerApp:
             return self._metrics(query)
         if path == "/stats" and method == "GET":
             return self._stats()
+        if path == "/admin/compact":
+            if method != "POST":
+                return HttpResponse.error(
+                    405, "MethodNotAllowed", "use POST /admin/compact"
+                )
+            return self._admin_compact()
         if path == "/v1/analyze":
             if method != "POST":
                 return HttpResponse.error(
@@ -422,8 +491,26 @@ class ServerApp:
             404,
             "NotFound",
             f"no route {method} {path}; see /healthz /readyz /metrics "
-            "/stats /v1/analyze",
+            "/stats /admin/compact /v1/analyze",
         )
+
+    def _admin_compact(self) -> HttpResponse:
+        if self._journal is None:
+            return HttpResponse.error(
+                409,
+                "NoJournal",
+                "this server runs without a journal; nothing to compact",
+            )
+        summary = self.compact_journal()
+        if summary is None:
+            return HttpResponse.error(
+                409,
+                "JournalDegraded",
+                "journal is degraded (non-durable); fix the volume and "
+                "restart before compacting",
+            )
+        self.serving.increment("compactions")
+        return HttpResponse.json({"ok": True, "compact": summary})
 
     # ------------------------------------------------------------------
     # Observability endpoints
@@ -462,6 +549,8 @@ class ServerApp:
                 "rate_limit": self.config.rate_limit,
                 "paranoid": self.config.paranoid,
                 "journal": bool(self.config.journal_path),
+                "compact_max_records": self.config.compact_max_records,
+                "compact_max_bytes": self.config.compact_max_bytes,
                 "default_deadline": self.config.default_deadline,
             },
             "serving": serving,

@@ -338,6 +338,25 @@ class ReproClient:
         )
         return json.loads(data.decode("utf-8"))
 
+    def compact(self) -> Dict[str, Any]:
+        """POST /admin/compact: fold the journal(s) down to live records.
+
+        Not retried client-side: compaction is idempotent but heavy (it
+        rewrites every journal), so back-to-back retries against a slow
+        disk only pile on.  Raises :class:`ServerError` on 4xx/5xx
+        (including 409 when the server has no journal or it is
+        degraded).
+        """
+
+        _, _, data = self._request(
+            "POST",
+            "/admin/compact",
+            body=b"{}",
+            headers={"Content-Type": "application/json"},
+            retry=False,
+        )
+        return json.loads(data.decode("utf-8"))
+
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------

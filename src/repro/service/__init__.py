@@ -73,6 +73,10 @@ from .faults import (
     set_fault_plan,
 )
 from .journal import (
+    COMPACT_STEPS,
+    FSCK_CLEAN,
+    FSCK_FATAL,
+    FSCK_PROBLEMS,
     JOURNAL_FORMAT,
     JOURNAL_SCHEMA_VERSION,
     BatchJournal,
@@ -80,6 +84,10 @@ from .journal import (
     JournalExistsError,
     JournalLockedError,
     JournalVersionError,
+    fsck_file,
+    read_journal_completions,
+    record_crc,
+    scan_journal,
 )
 from .locking import (
     LOCKING_SUPPORTED,
@@ -127,6 +135,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "CircuitBreaker",
+    "COMPACT_STEPS",
     "CircuitOpenError",
     "CorruptResultError",
     "CounterRegistry",
@@ -137,6 +146,9 @@ __all__ = [
     "EXECUTORS",
     "FAULTS_ENV",
     "FAULTS_GUARD_ENV",
+    "FSCK_CLEAN",
+    "FSCK_FATAL",
+    "FSCK_PROBLEMS",
     "FaultClause",
     "FaultPlan",
     "FaultSpecError",
@@ -176,6 +188,7 @@ __all__ = [
     "configure_intra_cache",
     "error_record",
     "execute_request",
+    "fsck_file",
     "fusion_request",
     "graph_plan_request",
     "injected_faults",
@@ -186,8 +199,11 @@ __all__ = [
     "parse_fault_spec",
     "parse_request",
     "platform_compare_request",
+    "read_journal_completions",
     "record_category",
+    "record_crc",
     "request_key",
+    "scan_journal",
     "reset_fault_state",
     "result_digest",
     "run_payload",

@@ -403,6 +403,12 @@ class BatchEngine:
                 )
 
         self.counters.merge(resilience)
+        if journal is not None:
+            # End-of-batch is the natural compaction point: the journal
+            # is quiescent and every duplicate/superseded line written
+            # this run is reclaimable.  No-op unless thresholds are
+            # armed and exceeded.
+            journal.maybe_compact()
         stats_after = self.cache.stats()
         final = [entry for entry in entries if entry is not None]
         assert len(final) == len(requests)

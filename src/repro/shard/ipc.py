@@ -28,7 +28,8 @@ from typing import Any, Dict, Optional
 #: on any message-shape change; a mismatch fails shard boot loudly
 #: instead of desynchronizing the reply stream.
 #: v2: reshard handoff ops (``handoff_export`` / ``handoff_import``).
-SHARD_IPC_VERSION = 2
+#: v3: journal ``compact`` op + ``compact_kill`` chaos injection.
+SHARD_IPC_VERSION = 3
 
 
 class ShardIPCError(RuntimeError):

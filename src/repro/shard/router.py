@@ -79,7 +79,7 @@ from ..server.app import (
 )
 from ..server.http import HttpResponse, ReproHTTPServer, first_query_value
 from ..server.protocol import protocol_info
-from ..service.journal import read_journal_completions
+from ..service.journal import read_journal_completions, record_crc
 from ..service.metrics import CounterRegistry, LatencyReservoir, Stopwatch
 from ..service.requests import RequestError, parse_request, request_key
 from .hashing import (
@@ -476,12 +476,18 @@ class ShardedApp:
                     405, "MethodNotAllowed", "use POST /admin/reshard"
                 )
             return self._admin_reshard(body, client)
+        if path == "/admin/compact":
+            if method != "POST":
+                return HttpResponse.error(
+                    405, "MethodNotAllowed", "use POST /admin/compact"
+                )
+            return self._admin_compact(client)
         self.serving.increment("http_not_found")
         return HttpResponse.error(
             404,
             "NotFound",
             f"no route {method} {path}; see /healthz /readyz /metrics "
-            "/stats /v1/analyze /admin/reshard",
+            "/stats /v1/analyze /admin/reshard /admin/compact",
         )
 
     # ------------------------------------------------------------------
@@ -564,6 +570,13 @@ class ShardedApp:
         merged_latency = LatencyReservoir()
         shard_details: List[Dict[str, Any]] = []
         journals_degraded = 0
+        journal_rollup: Dict[str, Union[int, float]] = {
+            "journal_records": 0,
+            "journal_bytes": 0,
+            "journal_compactions": 0,
+            "journal_corrupt_quarantined": 0,
+            "journal_replay_seconds": 0.0,
+        }
         # Shard-id order: LatencyReservoir.merge is order-sensitive by
         # design, and a fixed order keeps aggregate percentiles
         # reproducible across scrapes of identical state.  Snapshot the
@@ -581,8 +594,24 @@ class ShardedApp:
             stats = reply.get("stats") or {}
             detail["stats"] = stats
             shard_details.append(detail)
-            if (stats.get("journal") or {}).get("degraded"):
+            jstats = stats.get("journal") or {}
+            if jstats.get("degraded"):
                 journals_degraded += 1
+            journal_rollup["journal_records"] += int(
+                jstats.get("completed") or 0
+            )
+            journal_rollup["journal_bytes"] += int(
+                jstats.get("file_bytes") or 0
+            )
+            journal_rollup["journal_compactions"] += int(
+                jstats.get("compactions") or 0
+            )
+            journal_rollup["journal_corrupt_quarantined"] += int(
+                jstats.get("corrupt_quarantined") or 0
+            )
+            journal_rollup["journal_replay_seconds"] += float(
+                jstats.get("replay_seconds") or 0.0
+            )
             _merge_counter_dicts(serving, stats.get("serving") or {})
             _merge_counter_dicts(cache, stats.get("cache") or {})
             _merge_counter_dicts(intra_cache, stats.get("intra_cache") or {})
@@ -601,6 +630,10 @@ class ShardedApp:
         shards = self.supervisor.snapshot()
         shards["shards"] = shard_details
         shards["journals_degraded"] = journals_degraded
+        journal_rollup["journal_replay_seconds"] = round(
+            float(journal_rollup["journal_replay_seconds"]), 6
+        )
+        shards.update(journal_rollup)
         state = self._resharding
         resharding = {
             "active": state is not None,
@@ -1047,6 +1080,63 @@ class ShardedApp:
             )
         return HttpResponse.json(summary)
 
+    def _admin_compact(self, client: str) -> HttpResponse:
+        """``POST /admin/compact`` -- compact every shard's journal."""
+        self.serving.increment("compact_calls")
+        if not self.config.journal_path:
+            return HttpResponse.error(
+                409,
+                "NoJournal",
+                "this tier runs without journals; nothing to compact",
+            )
+        summary = self.compact_all()
+        return HttpResponse.json(summary)
+
+    def compact_all(self) -> Dict[str, Any]:
+        """Fan the journal ``compact`` op out to every live shard.
+
+        Per-shard, not transactional: each worker rewrites its own
+        journal independently (crash-safe on its own), so one shard
+        failing -- or dying mid-compaction under an armed chaos kill and
+        coming back via ``call_with_retry``'s respawn path -- never
+        blocks the others.  The reply carries a per-shard breakdown so
+        operators can see exactly which slots reclaimed what.
+        """
+
+        shard_results: List[Dict[str, Any]] = []
+        compacted = 0
+        errors = 0
+        reclaimed = 0
+        for handle in list(self.supervisor.handles)[: self.shards]:
+            entry: Dict[str, Any] = {"shard": handle.index}
+            try:
+                reply = self.supervisor.call_with_retry(
+                    handle.index, "compact", timeout=120.0
+                )
+            except (ShardIPCError, ShardBootError, ShardOpError) as exc:
+                entry["error"] = str(exc)
+                errors += 1
+            else:
+                entry["compacted"] = bool(reply.get("compacted"))
+                if reply.get("compacted"):
+                    compacted += 1
+                    entry["compact"] = reply.get("compact")
+                    reclaimed += int(
+                        (reply.get("compact") or {}).get("reclaimed_bytes")
+                        or 0
+                    )
+                else:
+                    entry["reason"] = reply.get("reason")
+            shard_results.append(entry)
+        self.serving.increment("compactions", compacted)
+        return {
+            "ok": errors == 0,
+            "compacted": compacted,
+            "errors": errors,
+            "reclaimed_bytes": reclaimed,
+            "shards": shard_results,
+        }
+
     def reshard(
         self,
         new_count: int,
@@ -1293,7 +1383,7 @@ class ShardedApp:
             handles[index].stop(drain=False)
         completions = read_journal_completions(config.journal_path)
         entries = [
-            {"key": key, "record": record}
+            {"key": key, "record": record, "crc": record_crc(key, record)}
             for key, record in completions.items()
             if rendezvous_shard(key, new_count) != index
         ]

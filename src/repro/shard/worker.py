@@ -19,6 +19,9 @@ router drives the worker over a duplex pipe with the framed-JSON ops of
 ``handoff_import``  replay handed-off completion records into this
               worker's journal before it starts seeing their traffic
               (phase two of a live reshard; idempotent on duplicates)
+``compact``   rewrite this shard's journal down to its deduped durable
+              completions (crash-safe: SIGKILL at any point leaves a
+              fully valid journal for the successor to replay)
 ``drain``     flush the journal, persist the per-shard cache, ack, exit
 
 The loop is deliberately **serial**: one request at a time, in arrival
@@ -89,8 +92,12 @@ def _chaos_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
 
     Refuses outright unless ``REPRO_ENABLE_FAULT_INJECTION=1`` was in the
     worker's environment at boot -- production fleets cannot be chaos'd
-    by a stray request.  Currently supports arming journal write faults
-    (``{"journal": {"mode": "enospc"|"eio", "after": N}}``).
+    by a stray request.  Supports arming journal write faults
+    (``{"journal": {"mode": "enospc"|"eio", "after": N}}``) and a
+    compaction kill switch (``{"compact_kill": {"step": <step>}}``) that
+    SIGKILLs this worker at the named compaction step of the *next*
+    ``compact`` op -- the crash-safety invariant says the successor
+    still replays a fully valid journal.
     """
 
     if os.environ.get(FAULTS_GUARD_ENV) != "1":
@@ -112,7 +119,48 @@ def _chaos_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
                 "no journal configured on this shard; cannot arm a "
                 "journal fault"
             )
+    compact_kill = message.get("compact_kill")
+    if compact_kill is not None:
+        if not isinstance(compact_kill, dict):
+            raise ValueError("chaos compact_kill spec must be a mapping")
+        step = compact_kill.get("step")
+        if app.arm_compact_kill(step):
+            armed["compact_kill"] = {"step": step}
+        else:
+            raise ValueError(
+                "no journal configured on this shard; cannot arm a "
+                "compaction kill"
+            )
     return {"ok": True, "armed": armed, "pid": os.getpid()}
+
+
+def _compact_reply(app: ServerApp, message: Dict[str, Any]) -> Dict[str, Any]:
+    """Rewrite the shard journal down to its deduped durable set.
+
+    Returns the compaction summary (or ``compacted: false`` with a
+    reason when the shard has no journal or its journal is degraded);
+    if a ``compact_kill`` chaos step is armed the worker dies *inside*
+    this call and the router sees a :class:`ShardConnectionError`
+    instead of a reply -- exactly the respawn-and-retry path.
+    """
+
+    journal = app._journal
+    if journal is None:
+        return {"ok": True, "compacted": False, "reason": "no journal"}
+    summary = app.compact_journal()
+    if summary is None:
+        return {
+            "ok": True,
+            "compacted": False,
+            "reason": "journal degraded",
+            "pid": os.getpid(),
+        }
+    return {
+        "ok": True,
+        "compacted": True,
+        "compact": summary,
+        "pid": os.getpid(),
+    }
 
 
 def _handoff_export_reply(
@@ -177,11 +225,16 @@ def _handoff_import_reply(
             )
         return {"ok": True, "imported": 0, "duplicates": 0, "degraded": False}
     imported, duplicates = journal.ingest_handoff(entries)
+    # An import appends every handed-off record verbatim, so a shard that
+    # just absorbed a retiring sibling's keyspace is the likeliest to be
+    # carrying dead weight -- let the thresholds decide right away.
+    compact = journal.maybe_compact()
     return {
         "ok": True,
         "imported": imported,
         "duplicates": duplicates,
         "degraded": journal.degraded,
+        "compacted": compact is not None,
         "pid": os.getpid(),
     }
 
@@ -313,6 +366,8 @@ def shard_worker_main(
                     reply = _handoff_export_reply(app, shard_index, message)
                 elif op == "handoff_import":
                     reply = _handoff_import_reply(app, message)
+                elif op == "compact":
+                    reply = _compact_reply(app, message)
                 elif op == "drain":
                     persist()
                     send_message(conn, {"seq": seq, "ok": True, "drained": True})

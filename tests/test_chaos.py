@@ -15,6 +15,7 @@ from repro.bench import check_regression
 from repro.chaos import (
     CHAOS_GRID,
     CHAOS_PROFILES,
+    CORRUPT_MODES,
     ChaosConfig,
     ChaosEvent,
     churn_payload,
@@ -72,6 +73,18 @@ class TestSchedule:
         )
         assert parse_event(format_event(event)) == event
 
+    def test_parse_durability_actions(self):
+        event = parse_event("corrupt@2.5:shard=1:mode=mid")
+        assert event == ChaosEvent(
+            at=2.5, action="corrupt", shard=1, mode="mid"
+        )
+        assert parse_event(format_event(event)) == event
+        for mode in CORRUPT_MODES:
+            assert parse_event(f"corrupt@1:shard=0:mode={mode}").mode == mode
+        event = parse_event("kill_compact@4:shard=0")
+        assert event == ChaosEvent(at=4.0, action="kill_compact", shard=0)
+        assert parse_event(format_event(event)) == event
+
     @pytest.mark.parametrize(
         "spec",
         [
@@ -91,6 +104,10 @@ class TestSchedule:
             "hotspot@5:shard=0:key=1",  # tier action takes no shard
             "kill@2:shard=1:shards=3",  # shards= only valid on resize
             "kill@2:shard=1:key=x",  # key= only valid on hotspot
+            "corrupt@2:shard=1",  # corrupt requires a mode
+            "corrupt@2:shard=1:mode=sideways",  # not a corrupt mode
+            "kill_compact@2:shard=1:mode=mid",  # takes no mode
+            "kill_compact@2",  # slot action needs a shard
         ],
     )
     def test_parse_rejects_bad_specs(self, spec):
@@ -136,6 +153,27 @@ class TestSchedule:
         assert len(delays) >= 2
         assert all(e.duration > 0 for e in delays)
         assert sum(1 for e in events if e.action == "kill") == 1
+
+    def test_durability_profile_structure(self):
+        # The durability profile is the journal attack: two byte-level
+        # corruptions (the second always a torn tail), one SIGKILL
+        # mid-compaction, and a final plain kill of the first victim to
+        # prove its quarantined journal replays again.
+        assert "durability" in CHAOS_PROFILES
+        for seed in (7, 11, 23):
+            events = generate_timeline(seed, 3, 20.0, "durability")
+            corrupts = [e for e in events if e.action == "corrupt"]
+            assert len(corrupts) == 2
+            assert all(e.mode in CORRUPT_MODES for e in corrupts)
+            assert corrupts[-1].mode == "tail"
+            kills = [e for e in events if e.action == "kill_compact"]
+            assert len(kills) == 1
+            assert events[-1].action == "kill"
+            assert events[-1].shard == corrupts[0].shard
+            assert [e.at for e in events] == sorted(e.at for e in events)
+        # Two shards still generate a legal schedule (victims overlap).
+        small = generate_timeline(7, 2, 20.0, "durability")
+        assert all(0 <= e.shard < 2 for e in small)
 
     def test_describe_covers_every_event(self):
         events = generate_timeline(7, 3, 30.0)
@@ -309,3 +347,32 @@ class TestQuickSoak:
         assert report.respawns >= 1  # the scheduled kill respawned
         assert report.journal_degraded is True  # disk fault survived
         assert report.readyz_samples == report.iterations
+
+
+# ----------------------------------------------------------------------
+# One real durability soak (journal corruption + mid-compaction kill)
+# ----------------------------------------------------------------------
+class TestDurabilitySoak:
+    def test_corruption_and_compact_kill_survive(self):
+        # A fixed timeline rather than the seeded profile so the test
+        # pins down exactly one corruption mode and one compact kill.
+        report = run_chaos(
+            ChaosConfig(
+                seed=11,
+                shards=2,
+                duration=5.0,
+                events=parse_timeline(
+                    "corrupt@1.2:shard=0:mode=mid;"
+                    "kill_compact@3.0:shard=1"
+                ),
+                log=lambda message: None,
+            )
+        )
+        assert report.invariant_failures == []
+        assert report.oracle_mismatches == 0
+        assert report.corruptions == 1
+        assert report.corrupt_quarantined >= 1  # flipped byte detected
+        assert report.compact_kills == 1
+        assert report.compactions >= 1  # retried compaction completed
+        assert report.journals_valid is True  # post-soak fsck clean
+        assert report.respawns >= 2

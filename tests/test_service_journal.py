@@ -10,10 +10,13 @@ graceful SIGINT/SIGTERM shutdown guard.
 import json
 import os
 import signal
+import tempfile
 import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.service import (
     JOURNAL_FORMAT,
@@ -35,7 +38,7 @@ from repro.service import (
     reset_fault_state,
     shutdown_guard,
 )
-from repro.service.journal import _durable
+from repro.service.journal import _durable, fsck_file
 
 
 @pytest.fixture(autouse=True)
@@ -165,22 +168,122 @@ class TestJournalFile:
             assert journal.recovered_drops == 0
             assert set(journal.completed) == {"k1"}
 
-    def test_mid_file_corruption_drops_the_suffix(self, tmp_path):
+    def test_mid_file_corruption_keeps_the_records_after_it(self, tmp_path):
+        from repro.service.journal import record_crc
+
         path = str(tmp_path / "batch.journal")
         with BatchJournal(path) as journal:
             journal.record_completion("k1", _ok_record(1))
         with open(path, "ab") as handle:
             handle.write(b"\x00garbage\n")
-        # A good record *after* the garbage line does not rescue it:
-        # everything from the first bad line onward is dropped.
+        # A good record *after* the garbage line survives: corruption is
+        # quarantined per-line, not amplified into dropping the suffix.
+        good = {
+            "type": "completion",
+            "key": "k2",
+            "kind": "intra",
+            "category": None,
+            "at": 0,
+            "crc": record_crc("k2", _ok_record(2)),
+            "record": _ok_record(2),
+        }
         with open(path, "ab") as handle:
-            line = json.dumps(
-                {"type": "completion", "key": "k2", "record": _ok_record(2)}
-            )
-            handle.write(line.encode("utf-8") + b"\n")
+            handle.write(json.dumps(good).encode("utf-8") + b"\n")
         with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+            assert journal.corrupt_quarantined == 1
+            assert journal.recovered_drops == 0
+        # The rewrite preserved both good records.
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k2"}
+            assert journal.corrupt_quarantined == 0
+
+    def test_corruption_quarantines_and_rewrites_clean(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k2", _ok_record(2))
+            journal.record_completion("k3", _ok_record(3))
+        # Flip one byte inside k2's record: the line stays valid JSON,
+        # only the CRC can catch it.
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        assert b'"k2"' in lines[2]
+        assert b'"memory_access":2' in lines[2]
+        lines[2] = lines[2].replace(b'"memory_access":2', b'"memory_access":9')
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with BatchJournal(path, resume=True) as journal:
+            # The corrupt record is quarantined and counted; the good
+            # records before AND after it are kept.
+            assert set(journal.completed) == {"k1", "k3"}
+            assert journal.corrupt_quarantined == 1
+            assert journal.recovered_drops == 0
+            quarantine = journal.quarantine_path
+        with open(quarantine, "rb") as handle:
+            assert b'"k2"' in handle.read()
+        # The journal was rewritten clean: reopening does not
+        # re-quarantine the same line.
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1", "k3"}
+            assert journal.corrupt_quarantined == 0
+
+    def test_crc_covers_the_key_not_just_the_record(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # Graft the record onto a different key: the record bytes are
+        # intact, so only a key-covering checksum can object.
+        with open(path, "wb") as handle:
+            handle.write(data.replace(b'"key":"k1"', b'"key":"kX"'))
+        with BatchJournal(path, resume=True) as journal:
+            assert journal.completed == {}
+            assert journal.corrupt_quarantined == 1
+
+    def test_v1_journal_still_loads_and_compaction_upgrades_it(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "batch.journal")
+        header = {"format": JOURNAL_FORMAT, "version": 1, "created": 0}
+        completion = {
+            "type": "completion",
+            "key": "k1",
+            "kind": "intra",
+            "category": None,
+            "at": 0,
+            "record": _ok_record(1),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps(completion) + "\n")
+        with BatchJournal(path, resume=True) as journal:
+            # Pre-CRC records load unverified rather than quarantined.
             assert set(journal.completed) == {"k1"}
-            assert journal.recovered_drops == 2
+            assert journal.corrupt_quarantined == 0
+            journal.compact()
+        with open(path, "r", encoding="utf-8") as handle:
+            new_header = json.loads(handle.readline())
+            record_line = json.loads(handle.readline())
+        assert new_header["version"] == JOURNAL_SCHEMA_VERSION
+        assert "crc" in record_line
+
+    def test_corrupt_header_quarantines_whole_file(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" + data)
+        with BatchJournal(path, resume=True) as journal:
+            assert journal.completed == {}
+            assert journal.corrupt_quarantined == 2
+            assert os.path.exists(journal.quarantine_path)
+            journal.record_completion("k2", _ok_record(2))
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k2"}
 
     def test_torn_header_restarts_the_journal(self, tmp_path):
         path = str(tmp_path / "batch.journal")
@@ -217,6 +320,300 @@ class TestJournalFile:
         assert stats["appended"] == 1
         assert stats["recovered_drops"] == 0
         assert stats["path"] == os.path.abspath(path)
+        assert stats["corrupt_quarantined"] == 0
+        assert stats["compactions"] == 0
+        assert stats["disk_lines"] == 1
+        assert stats["file_bytes"] == os.path.getsize(path)
+        assert stats["file_bytes"] > 0
+        assert stats["replay_seconds"] == 0.0
+
+    def test_replay_progress_lines(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False) as journal:
+            for index in range(7):
+                journal.record_completion(f"k{index}", _ok_record(index))
+        monkeypatch.setattr(BatchJournal, "REPLAY_PROGRESS_EVERY", 3)
+        messages = []
+        with BatchJournal(path, resume=True, log=messages.append) as journal:
+            assert len(journal) == 7
+            assert journal.stats()["replay_seconds"] > 0.0
+        progress = [m for m in messages if "replaying" in m]
+        assert len(progress) == 2  # at 3 and at 6 of 7
+        assert any("replayed" in m for m in messages)  # final summary
+
+
+# ----------------------------------------------------------------------
+# Crash-safe compaction
+# ----------------------------------------------------------------------
+class TestJournalCompaction:
+    def test_compact_dedupes_and_drops_heartbeats(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False) as journal:
+            for index in range(6):
+                journal.record_completion(f"k{index}", _ok_record(index))
+            for index in range(3):  # superseded rewrites
+                journal.record_completion(f"k{index}", _ok_record(100 + index))
+            journal.heartbeat(completed=6)
+            assert journal.disk_lines == 10
+            before = os.path.getsize(path)
+            summary = journal.compact()
+            assert summary["records"] == 6
+            assert summary["before_lines"] == 10
+            assert journal.disk_lines == 6
+            assert journal.compactions == 1
+            assert os.path.getsize(path) < before
+            # The journal stays appendable through the handle swap.
+            journal.record_completion("k9", _ok_record(9))
+        with BatchJournal(path, resume=True) as journal:
+            assert len(journal) == 7
+            # Latest-write-wins survived the rewrite.
+            assert journal.completed["k1"]["result"]["memory_access"] == 101
+            assert journal.corrupt_quarantined == 0
+
+    def test_maybe_compact_respects_threshold_and_reclaim(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False, compact_max_records=4) as journal:
+            for index in range(5):
+                journal.record_completion(f"k{index}", _ok_record(index))
+            # Over threshold but nothing reclaimable: no thrash.
+            assert journal.maybe_compact() is None
+            for index in range(5):
+                journal.record_completion(f"k{index}", _ok_record(index))
+            # Over threshold AND half the lines are duplicates.
+            summary = journal.maybe_compact()
+            assert summary is not None
+            assert summary["records"] == 5
+            assert journal.compactions == 1
+
+    def test_maybe_compact_disabled_without_thresholds(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False) as journal:
+            for _ in range(3):
+                journal.record_completion("k1", _ok_record(1))
+            assert journal.maybe_compact() is None
+            assert journal.compactions == 0
+
+    def test_compact_max_bytes_threshold(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False, compact_max_bytes=64) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k1", _ok_record(2))
+            assert journal.maybe_compact() is not None
+
+    def test_degraded_journal_refuses_to_compact(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k1", _ok_record(2))
+            journal.inject_write_fault("enospc")
+            journal.record_completion("k2", _ok_record(3))
+            assert journal.degraded
+            assert journal.compact() is None
+            assert journal.compactions == 0
+        # The on-disk pre-fault prefix is untouched.
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+
+    def test_stale_compact_tmp_is_removed_on_open(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with open(path + ".compact.tmp", "wb") as handle:
+            handle.write(b"half-written garbage")
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+        assert not os.path.exists(path + ".compact.tmp")
+
+    def test_inject_compact_kill_rejects_unknown_step(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            with pytest.raises(ValueError, match="step"):
+                journal.inject_compact_kill("sharknado")
+
+    @pytest.mark.parametrize(
+        "step", ["pre_tmp", "mid_write", "pre_rename", "post_rename"]
+    )
+    def test_sigkill_at_every_compaction_step_loses_nothing(
+        self, tmp_path, step
+    ):
+        """The acceptance bar: die anywhere inside compact(), lose nothing."""
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path, fsync=False) as journal:
+            for index in range(8):
+                journal.record_completion(f"k{index}", _ok_record(index))
+            for index in range(4):
+                journal.record_completion(f"k{index}", _ok_record(100 + index))
+            journal.heartbeat(completed=8)
+            expected = dict(journal.completed)
+
+        pid = os.fork()
+        if pid == 0:  # child: compact with an armed SIGKILL, never returns
+            try:
+                child = BatchJournal(
+                    path, resume=True, fsync=False, log=lambda _msg: None
+                )
+                child.inject_compact_kill(step)
+                child.compact()
+            finally:
+                os._exit(3)  # reached only if the kill failed to fire
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == signal.SIGKILL
+
+        # The kernel freed the corpse's flock; the journal reopens with
+        # every durable completion intact (old file or new file, both
+        # fully valid) and no quarantine.
+        with BatchJournal(path, resume=True) as journal:
+            assert journal.completed == expected
+            assert journal.corrupt_quarantined == 0
+        assert not os.path.exists(path + ".compact.tmp")
+
+    def test_handoff_export_carries_crc_and_ingest_verifies(self, tmp_path):
+        path_a = str(tmp_path / "a.journal")
+        path_b = str(tmp_path / "b.journal")
+        with BatchJournal(path_a) as source:
+            source.record_completion("k1", _ok_record(1))
+            entries = source.export_handoff(lambda key: True)
+        assert all("crc" in entry for entry in entries)
+        with BatchJournal(path_b) as target:
+            assert target.ingest_handoff(entries) == (1, 0)
+            entries[0]["record"]["result"]["memory_access"] = 999
+            with pytest.raises(JournalError, match="crc"):
+                target.ingest_handoff(
+                    [{**entries[0], "key": "k-tampered"}]
+                )
+
+
+class TestCompactionPreservesDurableSet:
+    """Hypothesis: compaction == latest-write-wins durable completions."""
+
+    _KEYS = ("k1", "k2", "k3", "k4")
+    _OPS = st.lists(
+        st.tuples(
+            st.sampled_from(_KEYS),
+            st.sampled_from(
+                ["ok_low", "ok_high", "permanent", "transient", "heartbeat"]
+            ),
+        ),
+        max_size=30,
+    )
+
+    @staticmethod
+    def _record_for(op, serial):
+        if op == "ok_low":
+            return _ok_record(serial)
+        if op == "ok_high":
+            return _ok_record(1000 + serial)
+        if op == "permanent":
+            return _error_record("InfeasibleError", "permanent")
+        return _error_record("DeadlineExceededError", "transient")
+
+    @given(ops=_OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, ops):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "batch.journal")
+            expected = {}
+            with BatchJournal(path, fsync=False) as journal:
+                for serial, (key, op) in enumerate(ops):
+                    if op == "heartbeat":
+                        journal.heartbeat(completed=serial)
+                        continue
+                    record = self._record_for(op, serial)
+                    journal.record_completion(key, record)
+                    if _durable(record):
+                        expected[key] = record
+                journal.compact()
+                assert journal.completed == expected
+                assert journal.disk_lines == len(expected)
+            with BatchJournal(path, resume=True) as journal:
+                assert journal.completed == expected
+                assert journal.corrupt_quarantined == 0
+
+
+# ----------------------------------------------------------------------
+# Offline integrity checking (repro fsck)
+# ----------------------------------------------------------------------
+class TestFsck:
+    def test_clean_journal(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k1", _ok_record(2))
+            journal.record_completion("k2", _ok_record(3))
+            journal.heartbeat(completed=2)
+        report = fsck_file(path)
+        assert report["kind"] == "journal"
+        assert report["status"] == "clean"
+        assert report["exit_code"] == 0
+        assert report["completion_lines"] == 3
+        assert report["unique_keys"] == 2
+        assert report["duplicate_lines"] == 1
+        assert report["durable_records"] == 2
+        assert report["heartbeat_lines"] == 1
+
+    def test_flipped_byte_is_found_named_and_repaired(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            journal.record_completion("k2", _ok_record(2))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data.replace(b'"memory_access":2', b'"memory_access":7'))
+        report = fsck_file(path)
+        assert report["status"] == "problems"
+        assert report["exit_code"] == 1
+        (corrupt,) = report["corrupt"]
+        assert corrupt["key"] == "k2"
+        assert "crc mismatch" in corrupt["reason"]
+        assert corrupt["line"] == 3
+        repaired = fsck_file(path, repair=True)
+        assert repaired["repaired"]
+        assert repaired["quarantined"] == 1
+        assert repaired["durable_records"] == 1
+        assert fsck_file(path)["status"] == "clean"
+        with BatchJournal(path, resume=True) as journal:
+            assert set(journal.completed) == {"k1"}
+
+    def test_torn_tail_reports_problems(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "completion", "key": "k2", "reco')
+        report = fsck_file(path)
+        assert report["exit_code"] == 1
+        assert len(report["torn"]) == 1
+
+    def test_foreign_and_missing_files_are_fatal(self, tmp_path):
+        foreign = str(tmp_path / "foreign.json")
+        with open(foreign, "w", encoding="utf-8") as handle:
+            handle.write('{"format": "something-else", "version": 1}\n')
+        assert fsck_file(foreign)["exit_code"] == 2
+        assert fsck_file(str(tmp_path / "absent.journal"))["exit_code"] == 2
+
+    def test_live_locked_journal_is_fatal(self, tmp_path):
+        path = str(tmp_path / "batch.journal")
+        with BatchJournal(path) as journal:
+            journal.record_completion("k1", _ok_record(1))
+            report = fsck_file(path)
+            assert report["exit_code"] == 2
+            assert "locked" in report["detail"]
+
+    def test_cache_file_light_check(self, tmp_path):
+        path = str(tmp_path / "results.cache")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"version": 2, "entries": [["k1", _ok_record(1)]]}, handle
+            )
+        report = fsck_file(path)
+        assert report["kind"] == "cache"
+        assert report["exit_code"] == 0
+        assert report["completion_lines"] == 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 2, "entries": [["k1", "not-a-dict"]]}, handle)
+        assert fsck_file(path)["exit_code"] == 1
 
 
 # ----------------------------------------------------------------------
