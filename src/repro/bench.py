@@ -40,6 +40,10 @@ INTRA_SHAPES = ((64, 32, 48), (512, 256, 256), (1024, 16, 1024))
 FUSED_CHAINS = ((64, 32, 48, 56), (512, 256, 256, 128))
 BUFFER_ELEMS = 64 << 10
 
+#: Fixed DAG-planning point for the cold/warm memoization comparison.
+PLAN_SCENARIO = "attention"
+PLAN_BUFFER_ELEMS = 32 << 10
+
 
 def _time_call(fn: Callable[[], Any], repeats: int) -> Dict[str, Any]:
     """Median/min/max of ``repeats`` timed calls (seconds)."""
@@ -105,6 +109,70 @@ def bench_batch(batch_requests: int, jobs: int) -> Dict[str, Any]:
     }
 
 
+def bench_dag_plan(repeats: int) -> Dict[str, Any]:
+    """Cold vs warm DAG planning: the memoization delta.
+
+    ``cold`` drops the shared intra/fused/NRA caches before every call;
+    ``warm`` reuses them -- the planner's steady state inside sweeps,
+    the enumerative baseline, and the serving tier, where identical
+    segments recur across candidate partitions.  The cold/warm ratio is
+    the measured payoff of routing ``segment_cost`` through
+    :mod:`repro.service.intra_cache`.
+    """
+
+    from .core.nra import clear_nra_cache
+    from .plan import plan_dag, scenario_graph
+    from .service.intra_cache import clear_fused_cache, clear_intra_cache
+
+    graph = scenario_graph(PLAN_SCENARIO)
+
+    def cold() -> None:
+        clear_intra_cache()
+        clear_fused_cache()
+        clear_nra_cache()
+        plan_dag(graph, PLAN_BUFFER_ELEMS)
+
+    def warm() -> None:
+        plan_dag(graph, PLAN_BUFFER_ELEMS)
+
+    warm()  # prime the caches so the first warm repeat is steady-state
+    return {
+        "scenario": PLAN_SCENARIO,
+        "buffer_elems": PLAN_BUFFER_ELEMS,
+        "cold": _time_call(cold, repeats),
+        "warm": _time_call(warm, repeats),
+    }
+
+
+def bench_dag_plan_batch(jobs: int) -> Dict[str, Any]:
+    """Served ``dag_plan`` throughput over the full scenario matrix."""
+    from .plan import SCENARIO_BUFFERS, list_scenarios
+    from .service import dag_plan_request
+
+    requests = [
+        dag_plan_request(scenario, buffer_elems, baseline=True)
+        for scenario in list_scenarios()
+        for buffer_elems in SCENARIO_BUFFERS
+    ]
+    engine = BatchEngine(EngineConfig(jobs=jobs, cache_size=4))
+    start = time.perf_counter()
+    report = engine.run_batch(requests)
+    wall = time.perf_counter() - start
+    if report.errors:
+        raise RuntimeError(
+            f"bench dag_plan batch had {report.errors} errors; "
+            "timings are invalid"
+        )
+    return {
+        "requests": len(requests),
+        "jobs": jobs,
+        "wall_seconds": round(wall, 6),
+        "requests_per_second": (
+            round(len(requests) / wall, 3) if wall else 0.0
+        ),
+    }
+
+
 def run_bench(
     repeats: int = 5, batch_requests: int = 200, jobs: int = 2
 ) -> Dict[str, Any]:
@@ -121,6 +189,8 @@ def run_bench(
         "optimize_intra": bench_intra(repeats),
         "optimize_fused": bench_fused(repeats),
         "batch": bench_batch(batch_requests, jobs),
+        "dag_plan": bench_dag_plan(repeats),
+        "dag_plan_batch": bench_dag_plan_batch(jobs),
     }
 
 
@@ -144,6 +214,25 @@ def render_bench_text(result: Dict[str, Any]) -> str:
         f"{batch['requests_per_second']:.1f} req/s "
         f"({batch['wall_seconds']:.3f}s wall)"
     )
+    dag_plan = result.get("dag_plan")
+    if dag_plan:
+        cold = dag_plan["cold"]["median_seconds"]
+        warm = dag_plan["warm"]["median_seconds"]
+        speedup = cold / warm if warm else float("inf")
+        lines.append(
+            f"{'dag_plan':<16} {dag_plan['scenario']} "
+            f"@ {dag_plan['buffer_elems']} elems: "
+            f"cold={cold * 1e3:.3f}ms warm={warm * 1e3:.3f}ms "
+            f"({speedup:.1f}x memoization)"
+        )
+    plan_batch = result.get("dag_plan_batch")
+    if plan_batch:
+        lines.append(
+            f"{'dag_plan_batch':<16} {plan_batch['requests']} reqs @ "
+            f"jobs={plan_batch['jobs']}: "
+            f"{plan_batch['requests_per_second']:.1f} req/s "
+            f"({plan_batch['wall_seconds']:.3f}s wall)"
+        )
     return "\n".join(lines)
 
 

@@ -4,7 +4,11 @@ Commands
 --------
 optimize M K L      principle-optimize one matmul at a buffer size
 fuse M K L N        fusion decision for a two-matmul chain
-plan MODEL          graph-level fusion plan for a Table II model
+plan MODEL          graph-level fusion plan for a Table II model; with
+                    ``--scenario`` a DAG-scale plan (joins + retained
+                    intermediates) with an optional ``--baseline
+                    enumerative`` cross-check, ``--certify/--paranoid``
+                    plan certificates, and ``--json`` service records
 compare MODEL       Fig. 10-style platform comparison for one model
 explain M K L       narrate the principle decisions (add --consumer-n for fusion)
 certify M K L       independently certify the optimizer's answer for one
@@ -113,9 +117,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _buffer_argument(fuse)
 
-    plan = commands.add_parser("plan", help="graph fusion plan for a model")
-    plan.add_argument("model")
+    from .plan import list_scenarios
+
+    plan = commands.add_parser(
+        "plan",
+        help="graph fusion plan for a model, or a DAG-scale scenario plan "
+        "with joins + retained intermediates (--scenario)",
+    )
+    plan.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="Table II model name (required without --scenario; with "
+        "--scenario it rescales the scenario to that model's shape)",
+    )
     _buffer_argument(plan)
+    plan.add_argument(
+        "--scenario",
+        choices=list_scenarios(),
+        default=None,
+        help="plan a pinned DAG scenario through repro.plan",
+    )
+    plan.add_argument(
+        "--buffer",
+        type=int,
+        default=None,
+        help="buffer size in elements (overrides --buffer-kb)",
+    )
+    plan.add_argument(
+        "--baseline",
+        choices=["enumerative"],
+        default=None,
+        help="also run the budgeted enumerative mapper; exit 1 if the "
+        "principle-guided plan loses to it",
+    )
+    plan.add_argument(
+        "--budget",
+        type=int,
+        default=4096,
+        help="enumeration budget (candidate plans costed); default 4096",
+    )
+    plan.add_argument(
+        "--max-group", type=int, default=3, help="max operators per fused set"
+    )
+    plan.add_argument(
+        "--no-retention",
+        action="store_true",
+        help="disable retained-intermediate planning",
+    )
+    plan.add_argument(
+        "--certify",
+        action="store_true",
+        help="attach a repro.verify plan certificate; exit 1 if it fails",
+    )
+    plan.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="certify with the enumerative optimality probe + self-healing",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit the service record as JSON"
+    )
 
     compare = commands.add_parser("compare", help="platform comparison")
     compare.add_argument("model")
@@ -756,10 +818,83 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    graph = build_layer_graph(model_by_name(args.model))
-    plan = optimize_graph(graph, args.buffer_kb * 1024)
-    print(plan.describe())
-    return 0
+    buffer_elems = (
+        args.buffer if args.buffer is not None else args.buffer_kb * 1024
+    )
+    if args.scenario is None:
+        if args.model is None:
+            print("plan: a MODEL or --scenario is required", file=sys.stderr)
+            return 2
+        graph = build_layer_graph(model_by_name(args.model))
+        plan = optimize_graph(graph, buffer_elems)
+        print(plan.describe())
+        return 0
+
+    import json
+
+    from .service import dag_plan_request, execute_request
+
+    request = dag_plan_request(
+        args.scenario,
+        buffer_elems,
+        model=args.model or "",
+        max_group=args.max_group,
+        retention=not args.no_retention,
+        baseline=args.baseline is not None,
+        budget=args.budget,
+        certify=args.certify,
+        paranoid=args.paranoid,
+    )
+    record = execute_request(request)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(
+            f"dag-plan[{args.scenario}] @ {buffer_elems} elems: "
+            f"principle MA={record['total_memory_access']} "
+            f"(chain-independent {record['chain_memory_access']}, "
+            f"ideal {record['ideal_memory_access']})"
+        )
+        if record["retained"]:
+            print("  retained: " + ", ".join(record["retained"]))
+        for segment in record["segments"]:
+            line = (
+                f"  {'+'.join(segment['ops'])}: MA={segment['memory_access']}"
+            )
+            if segment["fused"]:
+                line += " (fused)"
+            if segment["resident"]:
+                line += (
+                    f" [resident {'+'.join(segment['resident'])}, "
+                    f"{segment['reserved_elems']} elems reserved]"
+                )
+            print(line)
+        baseline = record.get("baseline")
+        if baseline is not None:
+            print(
+                f"  enumerative baseline: MA={baseline['total_memory_access']} "
+                f"({baseline['plans_evaluated']}/{baseline['budget']} plans, "
+                f"exhausted={baseline['exhausted']})"
+            )
+        certification = record.get("certification")
+        if certification is not None:
+            status = "OK" if certification["ok"] else "FAILED"
+            healed = " (healed)" if certification["healed"] else ""
+            print(f"  certificate: {status}{healed}")
+
+    code = 0
+    baseline = record.get("baseline")
+    if baseline is not None and not baseline["agrees"]:
+        print(
+            "plan: principle-guided plan LOSES to the enumerative baseline",
+            file=sys.stderr,
+        )
+        code = 1
+    certification = record.get("certification")
+    if certification is not None and not certification["ok"]:
+        print("plan: certificate failed", file=sys.stderr)
+        code = 1
+    return code
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

@@ -23,8 +23,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 from ..ir.graph import OperatorGraph
 from ..ir.operator import TensorOperator
 from ..dataflow.cost import PartialSumConvention
-from .fusion import FusedResult, FusionMedium, optimize_fused
-from .intra import InfeasibleError, IntraResult, optimize_intra
+from .fusion import FusedResult, FusionMedium
+from .intra import InfeasibleError, IntraResult
 from .nra import UnsupportedOperatorError
 from .principles import principle4_same_nra
 
@@ -84,6 +84,44 @@ def principle4_predicate(
     return predicate
 
 
+def segment_cost(
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    fusion_predicate: Optional[FusionPredicate] = None,
+    medium: FusionMedium = FusionMedium.MEMORY,
+    register_elems: Optional[int] = None,
+) -> Optional[SegmentResult]:
+    """Optimal cost of one candidate segment, or ``None`` when infeasible.
+
+    A length-1 segment costs its intra-operator optimum; longer segments
+    cost their best fused dataflow (gated by ``fusion_predicate`` when
+    one is set).  Results are memoized through the process-wide caches in
+    :mod:`repro.service.intra_cache` -- identical segments recur across
+    chains, scenarios, and every candidate partition the DAG planners
+    evaluate, so the planner's hot path is a cache lookup.  The import is
+    lazy to keep :mod:`repro.core` free of module-level service imports
+    (same discipline as the ``certify=`` paths).
+    """
+
+    if len(ops) == 1:
+        from ..service.intra_cache import cached_optimize_intra
+
+        try:
+            return cached_optimize_intra(ops[0], buffer_elems, convention)
+        except (UnsupportedOperatorError, InfeasibleError):
+            return None
+    if fusion_predicate is not None:
+        if not all(fusion_predicate(a, b) for a, b in zip(ops, ops[1:])):
+            return None
+    from ..service.intra_cache import cached_optimize_fused
+
+    return cached_optimize_fused(
+        ops, buffer_elems, convention=convention,
+        medium=medium, register_elems=register_elems,
+    )
+
+
 def _segment_cost(
     ops: Sequence[TensorOperator],
     buffer_elems: int,
@@ -92,16 +130,8 @@ def _segment_cost(
     medium: FusionMedium,
     register_elems: Optional[int],
 ) -> Optional[SegmentResult]:
-    if len(ops) == 1:
-        try:
-            return optimize_intra(ops[0], buffer_elems, convention)
-        except (UnsupportedOperatorError, InfeasibleError):
-            return None
-    if predicate is not None:
-        if not all(predicate(a, b) for a, b in zip(ops, ops[1:])):
-            return None
-    return optimize_fused(
-        ops, buffer_elems, convention=convention,
+    return segment_cost(
+        ops, buffer_elems, convention=convention, fusion_predicate=predicate,
         medium=medium, register_elems=register_elems,
     )
 

@@ -21,12 +21,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
 from ..ir.operator import TensorOperator
+from ..ir.tensor import Tensor
 from ..dataflow.scheduling import Schedule, stationary_schedule
 from ..dataflow.spec import Dataflow, NRAClass
 from ..dataflow.tiling import Tiling
+
+#: Bound of the process-wide closed-form lookup cache (entries).
+NRA_CACHE_SIZE = 16384
 
 
 class UnsupportedOperatorError(ValueError):
@@ -254,16 +259,9 @@ class NRACandidate:
         return f"{self.label}: {self.dataflow.describe(operator)}"
 
 
-def single_nra(
+def _single_nra_impl(
     operator: TensorOperator, stationary: str, buffer_elems: int
 ) -> Optional[NRACandidate]:
-    """Principle 1 dataflow with ``stationary`` (tensor name) resident.
-
-    Maximizes the stationary tensor's tile dims jointly, minimizes the
-    remaining dim's tile (Eq. 1 / Eq. 2).  Returns ``None`` when even the
-    minimal working set overflows the buffer.
-    """
-
     _require_mm_like(operator)
     dim_x, dim_y = operator.dims_of(stationary)
     dim_z = _other_dim(operator, (dim_x, dim_y))
@@ -294,22 +292,13 @@ def single_nra(
     )
 
 
-def two_nra(
+def _two_nra_impl(
     operator: TensorOperator,
     untiled_dim: str,
     maximized_dim: str,
     buffer_elems: int,
 ) -> Optional[NRACandidate]:
-    """Principle 2 dataflow: ``untiled_dim`` whole, ``maximized_dim`` grown.
-
-    The redundant tensor is the one containing ``untiled_dim`` but not
-    ``maximized_dim``; the other two are accessed exactly once (Eq. 3 /
-    Eq. 4).
-    """
-
     _require_mm_like(operator)
-    if untiled_dim == maximized_dim:
-        raise ValueError("untiled and maximized dims must differ")
     dim_y = _other_dim(operator, (untiled_dim, maximized_dim))
 
     def footprint(tile_x: int) -> int:
@@ -340,16 +329,9 @@ def two_nra(
     )
 
 
-def three_nra(
+def _three_nra_impl(
     operator: TensorOperator, resident: str, buffer_elems: int
 ) -> Optional[NRACandidate]:
-    """Principle 3 dataflow with tensor ``resident`` held entirely on-chip.
-
-    Both of the resident tensor's dims are untiled; the remaining dim's tile
-    does not affect memory access (Principle 3: "Tiling: do not care"), so
-    the minimal footprint (tile 1) is used.
-    """
-
     _require_mm_like(operator)
     dim_x, dim_y = operator.dims_of(resident)
     dim_z = _other_dim(operator, (dim_x, dim_y))
@@ -367,6 +349,128 @@ def three_nra(
         label=f"three[resident {resident}]",
         nra=NRAClass.THREE,
         dataflow=Dataflow(tiling, schedule),
+    )
+
+
+# ----------------------------------------------------------------------
+# Memoized public lookups
+# ----------------------------------------------------------------------
+# :class:`TensorOperator` holds dict fields and is not hashable, so the
+# ``functools.lru_cache`` below keys on a structural description instead
+# and rebuilds an equivalent operator inside the cached call.  Candidates
+# only reference dim names, tensor names, and tile sizes -- all part of
+# the key -- so one cached :class:`NRACandidate` is valid for every
+# operator with the same structure (sweeps ask for the same shapes at the
+# same buffer sizes thousands of times).
+def _operator_key(operator: TensorOperator) -> Tuple:
+    tensors = operator.tensors
+    return (
+        tuple(operator.dims.items()),
+        tuple(
+            (tensor.name, tuple(operator.indexing[tensor.name]), tensor.dtype_bytes)
+            for tensor in tensors
+        ),
+        tuple(sorted(operator.reduction_dims)),
+        operator.count,
+        operator.flops_per_point,
+    )
+
+
+def _operator_from_key(key: Tuple) -> TensorOperator:
+    dims_items, tensor_specs, reductions, count, flops = key
+    dims = dict(dims_items)
+    tensors = [
+        Tensor(name, tuple(dims[dim] for dim in index_dims), dtype_bytes)
+        for name, index_dims, dtype_bytes in tensor_specs
+    ]
+    return TensorOperator(
+        name="nra-cache",
+        dims=dims,
+        inputs=tuple(tensors[:-1]),
+        output=tensors[-1],
+        indexing={name: tuple(index_dims) for name, index_dims, _ in tensor_specs},
+        reduction_dims=frozenset(reductions),
+        count=count,
+        flops_per_point=flops,
+    )
+
+
+@lru_cache(maxsize=NRA_CACHE_SIZE)
+def _cached_closed_form(
+    kind: str,
+    key: Tuple,
+    arg_x: str,
+    arg_y: Optional[str],
+    buffer_elems: int,
+) -> Optional[NRACandidate]:
+    operator = _operator_from_key(key)
+    if kind == "single":
+        return _single_nra_impl(operator, arg_x, buffer_elems)
+    if kind == "two":
+        return _two_nra_impl(operator, arg_x, arg_y, buffer_elems)
+    return _three_nra_impl(operator, arg_x, buffer_elems)
+
+
+def nra_cache_info():
+    """``functools.lru_cache`` counters of the closed-form lookup cache."""
+    return _cached_closed_form.cache_info()
+
+
+def clear_nra_cache() -> None:
+    """Drop all cached closed-form lookups (mainly for tests/benchmarks)."""
+    _cached_closed_form.cache_clear()
+
+
+def single_nra(
+    operator: TensorOperator, stationary: str, buffer_elems: int
+) -> Optional[NRACandidate]:
+    """Principle 1 dataflow with ``stationary`` (tensor name) resident.
+
+    Maximizes the stationary tensor's tile dims jointly, minimizes the
+    remaining dim's tile (Eq. 1 / Eq. 2).  Returns ``None`` when even the
+    minimal working set overflows the buffer.
+    """
+
+    _require_mm_like(operator)
+    return _cached_closed_form(
+        "single", _operator_key(operator), stationary, None, buffer_elems
+    )
+
+
+def two_nra(
+    operator: TensorOperator,
+    untiled_dim: str,
+    maximized_dim: str,
+    buffer_elems: int,
+) -> Optional[NRACandidate]:
+    """Principle 2 dataflow: ``untiled_dim`` whole, ``maximized_dim`` grown.
+
+    The redundant tensor is the one containing ``untiled_dim`` but not
+    ``maximized_dim``; the other two are accessed exactly once (Eq. 3 /
+    Eq. 4).
+    """
+
+    _require_mm_like(operator)
+    if untiled_dim == maximized_dim:
+        raise ValueError("untiled and maximized dims must differ")
+    return _cached_closed_form(
+        "two", _operator_key(operator), untiled_dim, maximized_dim, buffer_elems
+    )
+
+
+def three_nra(
+    operator: TensorOperator, resident: str, buffer_elems: int
+) -> Optional[NRACandidate]:
+    """Principle 3 dataflow with tensor ``resident`` held entirely on-chip.
+
+    Both of the resident tensor's dims are untiled; the remaining dim's tile
+    does not affect memory access (Principle 3: "Tiling: do not care"), so
+    the minimal footprint (tile 1) is used.
+    """
+
+    _require_mm_like(operator)
+    return _cached_closed_form(
+        "three", _operator_key(operator), resident, None, buffer_elems
     )
 
 

@@ -155,6 +155,28 @@ class OperatorGraph:
         repeated instances (``count``) match their neighbor's count (fusing
         operators with different repetition factors is not meaningful).
         Every operator appears in exactly one chain (possibly of length 1).
+
+        Behavior at branch points (deliberate, and relied on by
+        :mod:`repro.plan` as its fallback decomposition):
+
+        * **Fan-out** -- an output with two or more consumers ends the
+          chain at its producer; every consumer starts (or continues)
+          its own chain.  The fan-out tensor is never elidable by
+          fusion, so truncating there loses nothing a chain planner
+          could have used.
+        * **Join** -- an operator drawing produced inputs from more than
+          one producer starts its own chain, even when one incoming edge
+          is a single-consumer link: a linear chain cannot contain both
+          producers, and this detector refuses to pick a side.  DAG-level
+          planners (:func:`repro.plan.partition.plan_dag`) relax exactly
+          this rule by *choosing* one in-link per join.
+        * **Count mismatch** -- neighbors with different repetition
+          factors never link, regardless of consumer multiplicity.
+
+        The decomposition is deterministic: operators are visited in
+        :meth:`topological_order` (itself deterministic -- Kahn's
+        algorithm over insertion order), so identical graphs always
+        yield identical chain tuples.
         """
 
         def links_to(a: TensorOperator, b: TensorOperator) -> bool:

@@ -1,0 +1,62 @@
+"""DAG-scale fusion planning (the analytical layer above chain DP).
+
+``repro.plan`` plans *whole operator DAGs* into fused sets with retained
+intermediates, extending the paper's pairwise Principle 4 and the
+chain-at-a-time planner in :mod:`repro.core.graph_optimizer`:
+
+* :mod:`repro.plan.partition` -- the partition/retention model, the
+  shared :func:`cost_partition` primitive, and the principle-guided
+  :func:`plan_dag` planner;
+* :mod:`repro.plan.enumerative` -- a LoopTree-style budgeted enumerative
+  mapper over the same space, the independent search baseline;
+* :mod:`repro.plan.scenarios` -- the pinned scenario catalog (attention,
+  moe, decode, training-backward) shared by CLI, service, CI, and bench.
+
+Certification of plans lives in :func:`repro.verify.certify_plan`, which
+recounts a plan segment-by-segment and cross-checks (and self-heals)
+principle vs. enumerative.
+"""
+
+from .partition import (
+    DagPlan,
+    PlanSegment,
+    clean_links,
+    cost_partition,
+    plan_dag,
+    retention_candidates,
+)
+from .enumerative import (
+    DEFAULT_PLAN_BUDGET,
+    MAX_RETENTION_CANDIDATES,
+    EnumerationStats,
+    EnumerativeOutcome,
+    enumerate_plans,
+)
+from .scenarios import (
+    SCENARIO_BUFFERS,
+    SCENARIO_CONFIG,
+    SCENARIOS,
+    PlanScenario,
+    list_scenarios,
+    scenario_graph,
+)
+
+__all__ = [
+    "DagPlan",
+    "PlanSegment",
+    "clean_links",
+    "cost_partition",
+    "plan_dag",
+    "retention_candidates",
+    "DEFAULT_PLAN_BUDGET",
+    "MAX_RETENTION_CANDIDATES",
+    "EnumerationStats",
+    "EnumerativeOutcome",
+    "enumerate_plans",
+    "SCENARIO_BUFFERS",
+    "SCENARIO_CONFIG",
+    "SCENARIOS",
+    "PlanScenario",
+    "list_scenarios",
+    "scenario_graph",
+]

@@ -1,0 +1,122 @@
+"""Named end-to-end planning scenarios over the existing graph builders.
+
+A scenario pins one operator DAG -- built by the workload layer -- so the
+planner, the enumerative baseline, the served ``dag_plan`` request kind,
+the CI smoke step, and the bench harness all speak about the same graphs
+by name.  The default configuration is deliberately small (the
+enumerative baseline must exhaust its space within budget in CI); any
+Table II model name can be substituted for scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..ir.graph import OperatorGraph
+from ..workloads import (
+    ModelConfig,
+    build_decode_graph,
+    build_ffn_training_graph,
+    build_layer_graph,
+    build_moe_ffn_graph,
+    model_by_name,
+)
+
+#: Small pinned shape all scenarios default to.  ``batch=1`` keeps the
+#: attention repetition factor (= batch * heads) low enough that the
+#: enumerative mapper exhausts every scenario within its default budget.
+SCENARIO_CONFIG = ModelConfig(
+    name="plan-small", heads=4, seq_len=64, hidden=64, batch=1
+)
+
+#: The two pinned buffer sizes (elements) the acceptance matrix runs at:
+#: one tight enough to force multi-pass dataflows, one roomy enough that
+#: fusion and retention actually fit.
+SCENARIO_BUFFERS: Tuple[int, ...] = (4096, 32768)
+
+
+@dataclass(frozen=True)
+class PlanScenario:
+    """One named scenario: a description plus its graph builder."""
+
+    name: str
+    description: str
+    build: Callable[[ModelConfig], OperatorGraph]
+
+
+def _attention(config: ModelConfig) -> OperatorGraph:
+    return build_layer_graph(config)
+
+
+def _moe(config: ModelConfig) -> OperatorGraph:
+    return build_moe_ffn_graph(config, num_experts=4, top_k=2)
+
+
+def _decode(config: ModelConfig) -> OperatorGraph:
+    return build_decode_graph(config, context=4 * config.seq_len)
+
+
+def _training(config: ModelConfig) -> OperatorGraph:
+    return build_ffn_training_graph(config)
+
+
+SCENARIOS: Dict[str, PlanScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        PlanScenario(
+            name="attention",
+            description=(
+                "full transformer layer: QKV projections, QK^T -> softmax "
+                "-> AV attention core, output projection, FFN pair"
+            ),
+            build=_attention,
+        ),
+        PlanScenario(
+            name="moe",
+            description=(
+                "MoE FFN block: router plus 4 expert FFN pairs at top-2 "
+                "token routing"
+            ),
+            build=_moe,
+        ),
+        PlanScenario(
+            name="decode",
+            description=(
+                "KV-cache decode step: single-token projections and "
+                "GEMV-shaped attention over a 4x-seq context"
+            ),
+            build=_decode,
+        ),
+        PlanScenario(
+            name="training-backward",
+            description=(
+                "FFN training step: forward pair, activation-gradient "
+                "chain, weight-gradient operators"
+            ),
+            build=_training,
+        ),
+    )
+}
+
+
+def list_scenarios() -> Tuple[str, ...]:
+    """Scenario names, sorted (the CLI/service contract order)."""
+    return tuple(sorted(SCENARIOS))
+
+
+def scenario_graph(name: str, model: Optional[str] = None) -> OperatorGraph:
+    """Build a scenario's graph, optionally at a Table II model's shape.
+
+    Raises :class:`KeyError` for unknown scenario or model names (the
+    service layer classifies that as a permanent error, like unknown
+    models elsewhere).
+    """
+
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown plan scenario {name!r}; choose from "
+            + ", ".join(list_scenarios())
+        )
+    config = SCENARIO_CONFIG if not model else model_by_name(model)
+    return SCENARIOS[name].build(config)

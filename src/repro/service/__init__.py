@@ -98,10 +98,14 @@ from .locking import (
 )
 from .shutdown import RESUMABLE_EXIT_CODE, ShutdownRequested, shutdown_guard
 from .intra_cache import (
+    DEFAULT_FUSED_CACHE_SIZE,
     DEFAULT_INTRA_CACHE_SIZE,
+    cached_optimize_fused,
     cached_optimize_intra,
+    clear_fused_cache,
     clear_intra_cache,
     configure_intra_cache,
+    fused_cache_stats,
     intra_cache_stats,
     operator_signature,
 )
@@ -113,6 +117,7 @@ from .requests import (
     AnalysisRequest,
     RequestError,
     apply_paranoid,
+    dag_plan_request,
     fusion_request,
     graph_plan_request,
     intra_request,
@@ -139,6 +144,7 @@ __all__ = [
     "CircuitOpenError",
     "CorruptResultError",
     "CounterRegistry",
+    "DEFAULT_FUSED_CACHE_SIZE",
     "DEFAULT_INTRA_CACHE_SIZE",
     "Deadline",
     "DeadlineExceededError",
@@ -181,14 +187,18 @@ __all__ = [
     "WorkerCrashError",
     "active_fault_plan",
     "apply_paranoid",
+    "cached_optimize_fused",
     "cached_optimize_intra",
     "classify_error_name",
     "classify_exception",
+    "clear_fused_cache",
     "clear_intra_cache",
     "configure_intra_cache",
+    "dag_plan_request",
     "error_record",
     "execute_request",
     "fsck_file",
+    "fused_cache_stats",
     "fusion_request",
     "graph_plan_request",
     "injected_faults",

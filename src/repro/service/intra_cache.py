@@ -18,8 +18,9 @@ the caller's operator and tensor names.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..core.fusion import FusionMedium, optimize_fused
 from ..core.intra import IntraResult, optimize_intra
 from ..core.regimes import classify_buffer
 from ..dataflow.cost import PartialSumConvention, memory_access
@@ -29,7 +30,15 @@ from .cache import CacheStats, LRUCache
 #: Default bound of the shared cache (entries, not bytes).
 DEFAULT_INTRA_CACHE_SIZE = 8192
 
+#: Default bound of the shared fused-segment cache.  Fused results embed
+#: their chain (op names included), so entries are keyed exactly and the
+#: cache mainly serves searches that re-cost the same segment: the chain
+#: DP revisits every (start, end) window, and the enumerative DAG mapper
+#: revisits the same segment across thousands of candidate partitions.
+DEFAULT_FUSED_CACHE_SIZE = 4096
+
 _cache = LRUCache(DEFAULT_INTRA_CACHE_SIZE)
+_fused_cache = LRUCache(DEFAULT_FUSED_CACHE_SIZE)
 
 
 def operator_signature(operator: TensorOperator) -> Tuple:
@@ -83,15 +92,82 @@ def cached_optimize_intra(
     return result
 
 
+def fused_segment_key(
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    convention: PartialSumConvention,
+    medium: FusionMedium,
+    register_elems: Optional[int],
+) -> Tuple:
+    """Exact cache key for one fused-segment optimization problem.
+
+    Unlike :func:`operator_signature` this includes operator *names*:
+    a :class:`~repro.core.fusion.FusedResult` embeds its chain (tensors
+    and all), so sharing entries across renamed chains would require a
+    full rebuild on every hit.  Name-keyed entries still collapse the
+    dominant repetition -- search layers re-costing one segment many
+    times.
+    """
+
+    return (
+        tuple((op.name, operator_signature(op)) for op in ops),
+        buffer_elems,
+        convention.value,
+        medium.value,
+        register_elems,
+    )
+
+
+def cached_optimize_fused(
+    ops: Sequence[TensorOperator],
+    buffer_elems: int,
+    convention: PartialSumConvention = PartialSumConvention.SINGLE,
+    medium: FusionMedium = FusionMedium.MEMORY,
+    register_elems: Optional[int] = None,
+):
+    """Memoized :func:`repro.core.fusion.optimize_fused` (memory medium etc.).
+
+    Infeasible outcomes (``None``) are cached too -- the enumerative DAG
+    mapper asks about the same impossible segment across many candidate
+    partitions, and re-deriving "does not fit" each time is as expensive
+    as re-deriving a feasible dataflow.
+    """
+
+    key = fused_segment_key(ops, buffer_elems, convention, medium, register_elems)
+    hit = _fused_cache.get(key)
+    if hit is not None:
+        return hit[0]
+    result = optimize_fused(
+        list(ops),
+        buffer_elems,
+        convention=convention,
+        medium=medium,
+        register_elems=register_elems,
+    )
+    _fused_cache.put(key, (result,))
+    return result
+
+
 def intra_cache_stats() -> CacheStats:
     """Counters of the shared intra-operator cache."""
     return _cache.stats()
+
+
+def fused_cache_stats() -> CacheStats:
+    """Counters of the shared fused-segment cache."""
+    return _fused_cache.stats()
 
 
 def clear_intra_cache() -> None:
     """Drop all entries and reset counters (mainly for tests)."""
     _cache.clear()
     _cache.reset_stats()
+
+
+def clear_fused_cache() -> None:
+    """Drop all fused-segment entries and reset counters."""
+    _fused_cache.clear()
+    _fused_cache.reset_stats()
 
 
 def configure_intra_cache(maxsize: int) -> None:

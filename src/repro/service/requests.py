@@ -13,6 +13,7 @@ Request kinds
 ``intra``             optimize one ``M x K x L`` matmul at a buffer size
 ``fusion``            fusion decision for an ``(M,K,L) -> (M,L,N)`` chain
 ``graph_plan``        graph-level fusion plan for a Table II model
+``dag_plan``          DAG-scale plan (joins + retention) for a scenario
 ``platform_compare``  Fig. 10-style platform comparison for one model
 ``sweep_point``       one (operator, buffer) point of the MA(BS) sweep
 """
@@ -69,6 +70,18 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[str, bool, Any]]] = {
         "buffer_elems": (_INT, True, None),
         "enable_fusion": (_BOOL, False, True),
         "max_group": (_INT, False, 3),
+    },
+    "dag_plan": {
+        "scenario": (_STR, True, None),
+        "buffer_elems": (_INT, True, None),
+        "model": (_STR, False, ""),
+        "enable_fusion": (_BOOL, False, True),
+        "max_group": (_INT, False, 3),
+        "retention": (_BOOL, False, True),
+        "baseline": (_BOOL, False, False),
+        "budget": (_INT, False, 4096),
+        "certify": (_BOOL, False, False),
+        "paranoid": (_BOOL, False, False),
     },
     "platform_compare": {
         "model": (_STR, True, None),
@@ -271,6 +284,35 @@ def graph_plan_request(
             "buffer_elems": buffer_elems,
             "enable_fusion": enable_fusion,
             "max_group": max_group,
+        }
+    )
+
+
+def dag_plan_request(
+    scenario: str,
+    buffer_elems: int,
+    model: str = "",
+    enable_fusion: bool = True,
+    max_group: int = 3,
+    retention: bool = True,
+    baseline: bool = False,
+    budget: int = 4096,
+    certify: bool = False,
+    paranoid: bool = False,
+) -> AnalysisRequest:
+    return parse_request(
+        {
+            "kind": "dag_plan",
+            "scenario": scenario,
+            "buffer_elems": buffer_elems,
+            "model": model,
+            "enable_fusion": enable_fusion,
+            "max_group": max_group,
+            "retention": retention,
+            "baseline": baseline,
+            "budget": budget,
+            "certify": certify,
+            "paranoid": paranoid,
         }
     )
 

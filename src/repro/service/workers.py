@@ -150,6 +150,79 @@ def _execute_graph_plan(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _execute_dag_plan(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..plan import enumerate_plans, plan_dag, scenario_graph
+
+    graph = scenario_graph(params["scenario"], params["model"] or None)
+    buffer_elems = params["buffer_elems"]
+    knobs = dict(
+        enable_fusion=params["enable_fusion"],
+        max_group=params["max_group"],
+    )
+    certify = params.get("certify", False) or params.get("paranoid", False)
+    if certify:
+        from ..verify import certify_plan
+
+        certified = certify_plan(
+            graph,
+            buffer_elems,
+            enable_retention=params["retention"],
+            paranoid=params.get("paranoid", False),
+            budget=params["budget"],
+            **knobs,
+        )
+        plan = certified.plan
+    else:
+        certified = None
+        plan = plan_dag(
+            graph, buffer_elems, enable_retention=params["retention"], **knobs
+        )
+    record: Dict[str, Any] = {
+        "scenario": params["scenario"],
+        "model": params["model"] or None,
+        "graph": plan.graph_name,
+        "buffer_elems": buffer_elems,
+        "method": plan.method,
+        "total_memory_access": plan.memory_access,
+        "ideal_memory_access": graph.ideal_memory_access(),
+        "chain_memory_access": optimize_graph(
+            graph, buffer_elems, **knobs
+        ).memory_access,
+        "retained": list(plan.retained),
+        "segments": [
+            {
+                "ops": [op.name for op in segment.ops],
+                "fused": segment.fused,
+                "memory_access": segment.memory_access,
+                "resident": list(segment.resident),
+                "reserved_elems": segment.reserved_elems,
+            }
+            for segment in plan.segments
+        ],
+    }
+    if params["baseline"]:
+        outcome = enumerate_plans(
+            graph,
+            buffer_elems,
+            budget=params["budget"],
+            enable_retention=params["retention"],
+            **knobs,
+        )
+        record["baseline"] = {
+            "total_memory_access": (
+                None if outcome.plan is None else outcome.plan.memory_access
+            ),
+            "agrees": (
+                outcome.plan is not None
+                and plan.memory_access <= outcome.plan.memory_access
+            ),
+            **outcome.stats.as_dict(),
+        }
+    if certified is not None:
+        record["certification"] = certified.certificate.as_dict()
+    return record
+
+
 def _execute_platform_compare(params: Mapping[str, Any]) -> Dict[str, Any]:
     memory = MemorySpec(buffer_bytes=params["buffer_elems"])
     graph = build_layer_graph(model_by_name(params["model"]))
@@ -202,6 +275,7 @@ _EXECUTORS = {
     "intra": _execute_intra,
     "fusion": _execute_fusion,
     "graph_plan": _execute_graph_plan,
+    "dag_plan": _execute_dag_plan,
     "platform_compare": _execute_platform_compare,
     "sweep_point": _execute_sweep_point,
 }

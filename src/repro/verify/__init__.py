@@ -35,12 +35,14 @@ from .certify import (
     list_discrepancies,
     record_discrepancy,
 )
+from .plan_audit import CertifiedPlan, certify_plan
 
 __all__ = [
     "Certificate",
     "CertificationError",
     "CertifiedFused",
     "CertifiedIntra",
+    "CertifiedPlan",
     "CheckResult",
     "DEFAULT_PROBE_NODES",
     "DEFAULT_SIMULATE_LIMIT",
@@ -51,6 +53,7 @@ __all__ = [
     "audit_memory_access",
     "certify_fused",
     "certify_intra",
+    "certify_plan",
     "drain_discrepancies",
     "list_discrepancies",
     "record_discrepancy",

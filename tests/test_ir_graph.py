@@ -117,6 +117,55 @@ class TestChains:
         assert len(chains) == 1
         assert [op.name for op in chains[0]] == ["mm1", "sm", "mm2"]
 
+    def test_join_starts_its_own_chain(self):
+        # Both in-links are single-consumer, but the join draws produced
+        # inputs from TWO producers: the detector refuses to pick a side,
+        # so the join starts its own chain (see chains() docstring).
+        graph = OperatorGraph()
+        a = graph.add(matmul("a", 4, 4, 4))
+        b = graph.add(matmul("b", 4, 4, 4))
+        graph.add(matmul("join", 4, 4, 4, a=a.output, b=b.output))
+        chains = {tuple(op.name for op in chain) for chain in graph.chains()}
+        assert chains == {("a",), ("b",), ("join",)}
+
+    def test_diamond_partitions_every_op_once(self):
+        graph = OperatorGraph()
+        x = graph.add(matmul("x", 4, 4, 4))
+        c1 = graph.add(matmul("c1", 4, 4, 4, a=x.output))
+        c2 = graph.add(matmul("c2", 4, 4, 6, a=x.output))
+        graph.add(matmul("j", 4, 4, 6, a=c1.output, b=c2.output))
+        names = sorted(
+            op.name for chain in graph.chains() for op in chain
+        )
+        assert names == sorted(op.name for op in graph)
+        chains = {tuple(op.name for op in chain) for chain in graph.chains()}
+        # fan-out ends x; the join refuses both c1 and c2 as chain mates.
+        assert chains == {("x",), ("c1",), ("c2",), ("j",)}
+
+    def test_chain_continues_past_join_output(self):
+        # Downstream of a join, single-consumer links chain normally: the
+        # join heads a chain that extends through its own consumers.
+        graph = OperatorGraph()
+        a = graph.add(matmul("a", 4, 4, 4))
+        b = graph.add(matmul("b", 4, 4, 4))
+        j = graph.add(matmul("join", 4, 4, 4, a=a.output, b=b.output))
+        graph.add(rowwise_softmax("sm", j.output))
+        chains = {tuple(op.name for op in chain) for chain in graph.chains()}
+        assert ("join", "sm") in chains
+
+    def test_chains_are_deterministic(self):
+        graph = OperatorGraph()
+        x = graph.add(matmul("x", 4, 4, 4))
+        graph.add(matmul("c1", 4, 4, 4, a=x.output))
+        graph.add(matmul("c2", 4, 4, 6, a=x.output))
+        first = [
+            tuple(op.name for op in chain) for chain in graph.chains()
+        ]
+        second = [
+            tuple(op.name for op in chain) for chain in graph.chains()
+        ]
+        assert first == second
+
 
 class TestGraphAggregates:
     def test_macs_sum(self):

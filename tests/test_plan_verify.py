@@ -1,0 +1,139 @@
+"""Tests for DAG-plan certification (``repro.verify.plan_audit``)."""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import OperatorGraph, matmul
+from repro.plan import list_scenarios, plan_dag, scenario_graph
+from repro.verify import CertifiedPlan, certify_plan, drain_discrepancies
+
+
+def fanout_graph(dim=32):
+    graph = OperatorGraph("fanout")
+    x = graph.add(matmul("x", dim, dim, dim))
+    graph.add(matmul("c1", dim, dim, dim, a=x.output))
+    graph.add(matmul("c2", dim, dim, dim, a=x.output))
+    return graph
+
+
+def join_graph(dim=64):
+    graph = OperatorGraph("joined")
+    a = graph.add(matmul("a", dim, dim, dim))
+    b = graph.add(matmul("b", dim, dim, dim))
+    graph.add(matmul("join", dim, dim, dim, a=a.output, b=b.output))
+    return graph
+
+
+@pytest.fixture(autouse=True)
+def _clean_discrepancy_registry():
+    drain_discrepancies()
+    yield
+    drain_discrepancies()
+
+
+class TestCertifyPlan:
+    @pytest.mark.parametrize("scenario", list_scenarios())
+    @pytest.mark.parametrize("buffer_elems", [4096, 32768])
+    def test_scenarios_certify_clean(self, scenario, buffer_elems):
+        graph = scenario_graph(scenario)
+        certified = certify_plan(graph, buffer_elems)
+        assert isinstance(certified, CertifiedPlan)
+        assert certified.certificate.ok, certified.certificate.describe()
+        assert not certified.certificate.healed
+
+    def test_synthetic_graphs_certify_clean(self):
+        for graph in (fanout_graph(), join_graph()):
+            certified = certify_plan(graph, 8192)
+            assert certified.certificate.ok, certified.certificate.describe()
+
+    def test_retention_plan_certifies(self):
+        graph = fanout_graph()
+        certified = certify_plan(graph, 4096)
+        assert certified.plan.retained == ("x.C",)
+        assert certified.certificate.ok
+        names = {check.name for check in certified.certificate.checks}
+        assert "retention" in names
+
+    def test_corrupt_claim_fails_cost_audit(self):
+        graph = fanout_graph()
+        plan = plan_dag(graph, 4096)
+        certified = certify_plan(
+            graph, 4096, plan=plan,
+            claimed_memory_access=plan.memory_access // 2,
+        )
+        assert not certified.certificate.ok
+        failed = {
+            check.name
+            for check in certified.certificate.checks
+            if not check.passed
+        }
+        assert "cost_audit" in failed
+
+    def test_corrupt_claim_heals_under_paranoid(self):
+        graph = fanout_graph()
+        plan = plan_dag(graph, 4096)
+        certified = certify_plan(
+            graph, 4096, plan=plan,
+            claimed_memory_access=plan.memory_access // 2,
+            paranoid=True,
+        )
+        assert certified.certificate.healed
+        assert certified.certificate.ok  # healed plan re-certifies clean
+        discrepancy = certified.certificate.discrepancy
+        assert discrepancy is not None
+        assert discrepancy.reason == "failed_audit"
+        assert certified.plan.memory_access == plan.memory_access
+        registered = drain_discrepancies()
+        assert len(registered) == 1
+        assert registered[0].kind == "plan"
+
+    def test_paranoid_appends_probe_check(self):
+        graph = join_graph()
+        certified = certify_plan(graph, 8192, paranoid=True)
+        assert certified.certificate.ok
+        probe = [
+            check
+            for check in certified.certificate.checks
+            if check.name == "optimality_probe"
+        ]
+        assert len(probe) == 1 and probe[0].passed
+        assert certified.baseline_memory_access == (
+            certified.plan.memory_access
+        )
+        assert drain_discrepancies() == ()
+
+    def test_structural_corruption_fails(self):
+        graph = fanout_graph()
+        plan = plan_dag(graph, 4096, enable_retention=False)
+        # Drop a segment: the cover check must notice the missing op.
+        broken = dataclasses.replace(plan, segments=plan.segments[:-1])
+        certified = certify_plan(graph, 4096, plan=broken)
+        assert not certified.certificate.ok
+        failed = {
+            check.name
+            for check in certified.certificate.checks
+            if not check.passed
+        }
+        assert "cover" in failed
+
+    def test_bogus_retention_fails(self):
+        graph = fanout_graph()
+        plan = plan_dag(graph, 4096, enable_retention=False)
+        broken = dataclasses.replace(plan, retained=("x.A",))
+        certified = certify_plan(graph, 4096, plan=broken)
+        assert not certified.certificate.ok
+        failed = {
+            check.name
+            for check in certified.certificate.checks
+            if not check.passed
+        }
+        assert "retention" in failed
+
+    def test_certificate_serializes(self):
+        graph = fanout_graph()
+        certified = certify_plan(graph, 8192)
+        as_dict = certified.certificate.as_dict()
+        assert as_dict["kind"] == "plan"
+        assert as_dict["ok"] is True
+        assert all("name" in check for check in as_dict["checks"])
